@@ -1,0 +1,95 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* counted-gap filters (the paper's future-work ``.*A.{n,m}B``) versus
+  compiling those patterns intact — state count and build time;
+* Hopcroft minimization of the component DFA — how much the (unminimized,
+  as in the paper) Table V counts could still shrink;
+* decomposition disabled entirely — what the filter engine buys at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import minimize_dfa
+from repro.bench.harness import build_engine, patterns_for, write_table
+from repro.core import SplitterOptions, compile_dfa, compile_mfa, verify_equivalence
+from repro.regex import parse_many
+from repro.traffic import generate_trace
+
+COUNTED_RULES = [
+    ".*HOST: .{1,12}overflow",
+    ".*\\x90\\x90\\x90.{4,16}\\xcd\\x80",
+    ".*Content-Length: .{0,6}99999",
+    ".*user=.{2,10}admin0",
+]
+
+
+def test_counted_gap_states(benchmark):
+    """Offset registers shrink counted-gap patterns like bits shrink
+    dot-stars; disabling the extension grows the component DFA."""
+    benchmark.group = "ablation-counted"
+    patterns = parse_many(COUNTED_RULES)
+    with_counted = benchmark(lambda: compile_mfa(patterns))
+    without = compile_mfa(
+        patterns, splitter_options=SplitterOptions(enable_counted_gaps=False)
+    )
+    assert with_counted.stats().n_counted == len(COUNTED_RULES)
+    assert with_counted.program.n_registers == len(COUNTED_RULES)
+    assert with_counted.n_states < without.n_states
+
+    trace = generate_trace(patterns, 4000, 0.85, seed=11)
+    verify_equivalence(patterns, trace.payload, mfa=with_counted).raise_on_mismatch()
+    verify_equivalence(patterns, trace.payload, mfa=without).raise_on_mismatch()
+
+    write_table(
+        "ablation_counted.txt",
+        [
+            f"counted-gap filters ON : {with_counted.n_states} states, "
+            f"{with_counted.program.n_registers} registers",
+            f"counted-gap filters OFF: {without.n_states} states",
+        ],
+    )
+
+
+@pytest.mark.parametrize("set_name", ["C8", "C10", "S24"])
+def test_minimization(benchmark, set_name):
+    """Hopcroft on the component DFA: paper-faithful counts are unminimized;
+    measure the additional shrink available."""
+    benchmark.group = "ablation-minimize"
+    mfa = build_engine(set_name, "mfa")
+    assert mfa.ok
+    dfa = mfa.engine.dfa
+    minimized = benchmark.pedantic(
+        lambda: minimize_dfa(dfa), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert minimized.n_states <= dfa.n_states
+    payload = b"GET /scripts/..%c1%1c/ HTTP xp_cmdshell wget x chmod y" * 20
+    assert sorted(minimized.run(payload)) == sorted(dfa.run(payload))
+
+
+def test_decomposition_value(benchmark):
+    """Disabling the splitter turns the MFA into a plain DFA: same matches,
+    vastly more states on dot-star-heavy rules."""
+    patterns = patterns_for("C10")
+    mfa = build_engine("C10", "mfa")
+    plain = benchmark.pedantic(
+        lambda: compile_mfa(
+            list(patterns),
+            splitter_options=SplitterOptions(
+                enable_dot_star=False,
+                enable_almost_dot_star=False,
+                enable_counted_gaps=False,
+            ),
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert mfa.ok
+    assert plain.width == 0
+    assert plain.n_states > 20 * mfa.engine.n_states
+    reference = compile_dfa(list(patterns))
+    payload = b"select wget htt jmp esp ret where chmod " * 30
+    assert sorted(plain.run(payload)) == sorted(reference.run(payload))
+    assert sorted(mfa.engine.run(payload)) == sorted(reference.run(payload))

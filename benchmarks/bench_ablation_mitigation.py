@@ -1,0 +1,78 @@
+"""Ablation: the §IV-B clear-flood hazard and its mitigation.
+
+The paper warns that decomposing ``.*A[^X]*B`` makes the filter process a
+clear event for *every* input byte in X, so hostile traffic that repeats X
+bytes can melt throughput, and proposes (a) a 128-character threshold on
+|X| and (b) rewriting the clear component to ``[X]+[^X]`` so a whole run
+of X bytes costs one event.  This benchmark reproduces the hazard and
+measures the mitigation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import write_table
+from repro.core import SplitterOptions, compile_dfa, compile_mfa
+from repro.utils.timing import cycles_per_byte, time_call
+
+# X = [a-f]: small enough to decompose; hostile traffic repeats it.  (The
+# A segment must not end in an X byte — §IV-B's final-position condition —
+# hence "pqs" rather than something ending in a-f.)
+PATTERN = ".*pqs[^a-f]*xyz"
+HOSTILE = b"pqs" + b"abcdef" * 4000 + b"xyz"     # X-byte flood
+BENIGN = b"pqs" + b"ghijkl" * 4000 + b"xyz"      # same size, no clears
+
+
+@pytest.fixture(scope="module")
+def engines():
+    plain = compile_mfa([PATTERN])
+    coalesced = compile_mfa(
+        [PATTERN], splitter_options=SplitterOptions(coalesce_clear_runs=True)
+    )
+    intact = compile_mfa(
+        [PATTERN],
+        splitter_options=SplitterOptions(
+            enable_almost_dot_star=False, enable_dot_star=False
+        ),
+    )
+    return {"plain": plain, "coalesced": coalesced, "intact": intact}
+
+
+@pytest.mark.parametrize("variant", ["plain", "coalesced", "intact"])
+@pytest.mark.parametrize("traffic", ["hostile", "benign"])
+def test_clear_flood(benchmark, engines, variant, traffic):
+    benchmark.group = f"mitigation-{traffic}"
+    engine = engines[variant]
+    payload = HOSTILE if traffic == "hostile" else BENIGN
+    reference = compile_dfa([PATTERN]).run(payload)
+    assert sorted(engine.run(payload)) == sorted(reference)
+    benchmark(lambda: engine.run(payload))
+
+
+def test_mitigation_summary(benchmark, engines):
+    """The coalesced clear processes ~one event per X-run, not per X-byte."""
+    plain_raw = benchmark.pedantic(lambda: len(engines["plain"].raw_matches(HOSTILE)), rounds=1, iterations=1, warmup_rounds=0)
+    coalesced_raw = len(engines["coalesced"].raw_matches(HOSTILE))
+    # The flood produces tens of thousands of raw clear events un-mitigated.
+    assert plain_raw > 10_000
+    assert coalesced_raw < plain_raw / 100
+
+    rows = []
+    for variant, engine in engines.items():
+        _, ns = time_call(lambda e=engine: e.run(HOSTILE))
+        rows.append(
+            f"{variant:10s} raw_events={len(engine.raw_matches(HOSTILE)):6d} "
+            f"hostile_cpb={cycles_per_byte(ns, len(HOSTILE)):8.0f} "
+            f"states={engine.n_states}"
+        )
+    write_table("ablation_mitigation.txt", rows)
+
+
+def test_threshold_refuses_wide_class(benchmark):
+    """|X| >= 128 refuses decomposition (the paper's .*abc[a-f]*xyz case)."""
+    wide = benchmark.pedantic(lambda: compile_mfa([".*abc[a-f]*xyz"]), rounds=1, iterations=1, warmup_rounds=0)  # X = [^a-f], 250 characters
+    assert wide.stats().n_almost_dot_star == 0
+    assert wide.width == 0  # compiled intact: correct, no filter bits
+    narrow = compile_mfa([PATTERN])
+    assert narrow.stats().n_almost_dot_star == 1

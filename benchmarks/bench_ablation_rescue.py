@@ -1,0 +1,65 @@
+"""Ablation: the offset-register overlap rescue (paper future work).
+
+When rule sets contain overlapping dot-star segments, the default splitter
+refuses those splits and eats the state explosion.  The rescue splits them
+anyway, replacing the memory bit with an offset register.  This bench
+measures what that buys on an overlap-heavy rule set: component-DFA size,
+construction time, and the filter cost of register-plane actions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import write_table
+from repro.core import SplitterOptions, build_mfa, compile_dfa, verify_equivalence
+from repro.regex import parse_many
+from repro.traffic import generate_trace
+
+# Every pair of segments overlaps (shared two-letter alphabet tails).
+RULES = [f".*w{c}x.*x{c}w" for c in "abcdefg"]
+RESCUE = SplitterOptions(offset_overlap_rescue=True)
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    return parse_many(RULES)
+
+
+@pytest.fixture(scope="module")
+def engines(patterns):
+    return {
+        "default": build_mfa(patterns),
+        "rescued": build_mfa(patterns, RESCUE),
+    }
+
+
+def test_rescue_state_savings(benchmark, engines, patterns):
+    benchmark.group = "ablation-rescue"
+    default, rescued = engines["default"], engines["rescued"]
+    assert rescued.stats().n_offset_rescues == len(RULES)
+    assert rescued.n_states < default.n_states / 2
+    trace = benchmark(lambda: generate_trace(patterns, 4000, 0.85, seed=21))
+    verify_equivalence(patterns, trace.payload, mfa=rescued).raise_on_mismatch()
+    verify_equivalence(patterns, trace.payload, mfa=default).raise_on_mismatch()
+    write_table(
+        "ablation_rescue.txt",
+        [
+            f"default (refuse overlaps): {default.n_states} states, "
+            f"{default.program.n_registers} registers",
+            f"rescued (offset windows) : {rescued.n_states} states, "
+            f"{rescued.program.n_registers} registers",
+            f"plain DFA                : {compile_dfa(list(patterns)).n_states} states",
+        ],
+    )
+
+
+@pytest.mark.parametrize("variant", ["default", "rescued"])
+def test_rescue_throughput(benchmark, engines, patterns, variant):
+    """Register actions cost more per event than bit actions; measure it."""
+    benchmark.group = "ablation-rescue-speed"
+    trace = generate_trace(patterns, 6000, 0.75, seed=22)
+    engine = engines[variant]
+    reference = sorted(compile_dfa(list(patterns)).run(trace.payload))
+    assert sorted(engine.run(trace.payload)) == reference
+    benchmark(lambda: engine.run(trace.payload))

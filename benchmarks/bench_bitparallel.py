@@ -1,0 +1,75 @@
+"""Bit-parallel component engine vs the DFA component engine.
+
+Match filtering runs "on top of an arbitrary regex matching solution"
+(§II-C).  For string-heavy sets like B217p, the decomposed components are
+linear and fit a Shift-And machine whose entire image is a few kilobytes —
+the decomposition front end of Hyperscan-class engines.  This bench puts
+both component backends side by side on B217p: memory image and matching
+speed, with identical filtered output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_engine, patterns_for, real_trace_flows, write_table
+from repro.core import SplitterOptions, build_bp_mfa
+from repro.utils.timing import cycles_per_byte, time_call
+
+_SET = "B217p"
+_RESCUE = SplitterOptions(offset_overlap_rescue=True)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    dfa_mfa = build_engine(_SET, "mfa")
+    assert dfa_mfa.ok
+    bp_mfa = build_bp_mfa(list(patterns_for(_SET)), _RESCUE)
+    return {"dfa-mfa": dfa_mfa.engine, "bp-mfa": bp_mfa}
+
+
+@pytest.mark.parametrize("variant", ["dfa-mfa", "bp-mfa"])
+def test_component_backend_speed(benchmark, engines, variant):
+    benchmark.group = "bitparallel"
+    flows = real_trace_flows(_SET, "LL1")
+    engine = engines[variant]
+
+    def run_all():
+        for flow in flows:
+            engine.run(flow)
+
+    benchmark(run_all)
+
+
+def test_backends_agree(benchmark, engines):
+    flows = real_trace_flows(_SET, "N")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1, warmup_rounds=0)
+    for flow in flows:
+        dfa_result = sorted(engines["dfa-mfa"].run(flow))
+        bp_result = sorted(engines["bp-mfa"].run(flow))
+        assert bp_result == dfa_result
+
+
+def test_size_summary(benchmark, engines):
+    """The bit-parallel image is kilobytes against the DFA-MFA's megabytes."""
+    flows = real_trace_flows(_SET, "LL1")
+    total = sum(len(f) for f in flows)
+    rows = []
+    sizes = {}
+    def collect():
+        for name, engine in engines.items():
+            engine.run(flows[0][:1024])  # warm up
+            ns = min(
+                time_call(lambda e=engine: [e.run(f) for f in flows])[1]
+                for _ in range(3)
+            )
+            sizes[name] = engine.memory_bytes()
+            rows.append(
+                f"{name:8s} image={engine.memory_bytes():>10,d} B  "
+                f"cpb={cycles_per_byte(ns, total):8.0f}  "
+                f"states={engine.n_states}"
+            )
+        return rows
+    benchmark.pedantic(collect, rounds=1, iterations=1, warmup_rounds=0)
+    write_table("bitparallel.txt", rows)
+    assert sizes["bp-mfa"] < sizes["dfa-mfa"] / 20

@@ -1,0 +1,59 @@
+"""The state-explosion law behind the whole paper (§IV-A, §V-C).
+
+Adding dot-star patterns one at a time: the plain DFA roughly *doubles*
+per pattern (multiplicative law) until it hits the construction budget,
+while the MFA grows by a handful of states per pattern (additive law).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import write_table
+from repro.bench.sweep import explosion_rows, explosion_sweep
+
+_MAX_RULES = 9
+
+
+@pytest.fixture(scope="module")
+def points():
+    return explosion_sweep(max_rules=_MAX_RULES, state_budget=80_000, time_budget=25.0)
+
+
+def test_explosion_law(benchmark, points):
+    rows = benchmark.pedantic(
+        lambda: explosion_rows(points), rounds=1, iterations=1, warmup_rounds=0
+    )
+    write_table("explosion_law.txt", rows)
+
+    measured = [p for p in points if p.dfa_states is not None]
+    assert len(measured) >= 4
+
+    # Multiplicative DFA growth: each added dot-star pattern multiplies the
+    # state count by ~2 (geometric mean of consecutive ratios > 1.6).
+    ratios = [
+        b.dfa_states / a.dfa_states for a, b in zip(measured, measured[1:])
+    ]
+    geometric_mean = 1.0
+    for ratio in ratios:
+        geometric_mean *= ratio
+    geometric_mean **= 1 / len(ratios)
+    assert geometric_mean > 1.6
+
+    # Additive MFA growth: a bounded number of states per added pattern.
+    mfa_increments = [
+        b.mfa_states - a.mfa_states for a, b in zip(points, points[1:])
+    ]
+    assert max(mfa_increments) < 40
+    assert points[-1].mfa_states < 400
+
+
+def test_single_extra_rule_blows_construction_time(benchmark, points):
+    """§V-C: "adding a single extra regex with multiple dot-stars can
+    increase construction time to many times what it was"."""
+    measured = [p for p in points if p.dfa_states is not None]
+    last, prev = measured[-1], measured[-2]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1, warmup_rounds=0)
+    assert last.dfa_seconds > 1.8 * prev.dfa_seconds
+    # The MFA's construction time barely moves.
+    assert points[-1].mfa_seconds < 1.0

@@ -1,0 +1,51 @@
+"""Figure 2: memory image sizes (MB) for NFA / DFA / HFA / MFA.
+
+Reproduction targets: NFA images smallest; DFA images largest by orders of
+magnitude; MFA within a small factor of NFA and many times smaller than
+HFA; the MFA filter tables are a negligible share of its image (paper:
+under 0.2% on average).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.memory import image_size
+from repro.bench.harness import build_engine, write_table
+from repro.bench.tables import fig2_rows
+from repro.patterns import ruleset_names
+
+
+@pytest.mark.parametrize("set_name", ruleset_names())
+def test_image_sizes(benchmark, set_name):
+    """Per-set image accounting, with the engines built via the shared cache."""
+    benchmark.group = "fig2-memory"
+    nfa = build_engine(set_name, "nfa")
+    hfa = build_engine(set_name, "hfa")
+    mfa = build_engine(set_name, "mfa")
+    dfa = build_engine(set_name, "dfa")
+    sizes = benchmark(
+        lambda: {
+            name: image_size(result.engine)
+            for name, result in (("nfa", nfa), ("hfa", hfa), ("mfa", mfa), ("dfa", dfa))
+            if result.ok
+        }
+    )
+    # NFA is always the smallest image.
+    assert sizes["nfa"].total_bytes <= sizes["mfa"].total_bytes
+    assert sizes["nfa"].total_bytes < sizes["hfa"].total_bytes
+    # MFA beats HFA by a wide margin (paper: ~30x average).
+    assert sizes["hfa"].total_bytes > 3 * sizes["mfa"].total_bytes
+    # When the DFA exists at all, it dwarfs the MFA.
+    if "dfa" in sizes and set_name.startswith("C"):
+        assert sizes["dfa"].total_bytes > 10 * sizes["mfa"].total_bytes
+    # Filters are a sliver of the MFA image (paper: < 0.2% on average; allow
+    # slack for the scaled-down state counts).
+    assert sizes["mfa"].filter_fraction < 0.02
+
+
+def test_fig2_table(benchmark):
+    """Persist the full Figure 2 table."""
+    rows = benchmark.pedantic(lambda: fig2_rows(), rounds=1, iterations=1, warmup_rounds=0)
+    write_table("fig2_memory.txt", rows)
+    assert any("mean HFA/MFA" in line for line in rows)

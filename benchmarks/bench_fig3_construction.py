@@ -1,0 +1,55 @@
+"""Figure 3: automaton construction times.
+
+Reproduction targets: NFA construction near-instant; MFA construction
+seconds-not-minutes and orders of magnitude faster than plain DFA on the
+explosive sets; DFA construction *fails* on B217p (state budget exceeded).
+Construction wall time is recorded by the shared build cache at first use,
+so this file both triggers and reports the canonical measurements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import fig3_rows
+from repro.bench.harness import build_engine, write_table
+from repro.patterns import ruleset_names
+
+
+@pytest.mark.parametrize("set_name", ruleset_names())
+@pytest.mark.parametrize("engine_name", ["nfa", "hfa", "mfa"])
+def test_cheap_constructions(benchmark, set_name, engine_name):
+    """NFA/HFA/MFA constructions are all fast — benchmark them for real."""
+    benchmark.group = f"construct-{engine_name}"
+    from repro.bench.harness import patterns_for, _BUILDERS
+
+    patterns = patterns_for(set_name)
+    builder = _BUILDERS[engine_name]
+    engine = benchmark.pedantic(
+        lambda: builder(patterns), rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert engine.n_states > 0
+
+
+@pytest.mark.slow
+def test_dfa_explodes_on_b217p(benchmark):
+    """The paper could not construct B217p as a DFA; neither can we."""
+    result = benchmark.pedantic(lambda: build_engine("B217p", "dfa"), rounds=1, iterations=1, warmup_rounds=0)
+    assert not result.ok
+    assert "exceeded" in (result.error or "")
+
+
+@pytest.mark.slow
+def test_fig3_table(benchmark):
+    """Persist the construction-time figure and check the orderings."""
+    rows = benchmark.pedantic(lambda: fig3_rows(), rounds=1, iterations=1, warmup_rounds=0)
+    write_table("fig3_construction.txt", rows)
+    for set_name in ruleset_names():
+        nfa = build_engine(set_name, "nfa")
+        mfa = build_engine(set_name, "mfa")
+        dfa = build_engine(set_name, "dfa")
+        assert nfa.seconds < mfa.seconds + 1.0  # NFA never slower (slack 1s)
+        assert mfa.seconds < 60.0  # "seconds, not minutes"
+        if set_name.startswith("C") and dfa.ok:
+            # On explosive-but-buildable sets the DFA is far slower.
+            assert dfa.seconds > 5 * mfa.seconds

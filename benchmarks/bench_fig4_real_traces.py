@@ -1,0 +1,96 @@
+"""Figure 4: matching throughput on (synthetic stand-ins for) real traces.
+
+Eight trace profiles mirror the paper's corpora — LL1-3 (DARPA days),
+C11/C12/C110/C112 (CDX, attack-dense; C112 is the hostile one the paper
+calls out as MFA's worst), N (Nitroba, benign browsing) — each synthesized
+as a genuine pcap and pushed through pcap decode, flow reassembly and the
+engine under test.
+
+Reproduction targets: DFA fastest; NFA slowest of the classic engines and
+~10x worse on B217p; HFA slowest of the memory-augmented engines; MFA
+close to DFA and meaningfully faster than XFA (paper: 43% excluding C112).
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+import pytest
+
+from repro.bench.figures import fig4_collect, fig4_rows
+from repro.bench.harness import (
+    ENGINES,
+    build_engine,
+    measure_run_cpb,
+    real_trace_flows,
+    write_table,
+)
+
+# A representative, fast subset for per-engine pytest-benchmark entries.
+_REPRESENTATIVE_SET = "S24"
+_REPRESENTATIVE_TRACE = "LL1"
+
+
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_engine_throughput(benchmark, engine_name):
+    """Per-engine matching speed on one representative (set, trace) pair."""
+    benchmark.group = "fig4-throughput"
+    result = build_engine(_REPRESENTATIVE_SET, engine_name)
+    assert result.ok
+    flows = real_trace_flows(_REPRESENTATIVE_SET, _REPRESENTATIVE_TRACE)
+    total = sum(len(f) for f in flows)
+    assert total > 0
+
+    def run_all():
+        for flow in flows:
+            result.engine.run(flow)
+
+    benchmark.extra_info["payload_bytes"] = total
+    benchmark(run_all)
+
+
+@pytest.mark.slow
+def test_fig4_table(benchmark):
+    """The full engine x set x trace matrix, persisted and sanity-checked."""
+    points = benchmark.pedantic(lambda: fig4_collect(), rounds=1, iterations=1, warmup_rounds=0)
+    write_table("fig4_throughput.txt", fig4_rows(points))
+
+    def mean_cpb(engine, exclude_c112=False):
+        values = [
+            p.cpb
+            for p in points
+            if p.engine == engine
+            and p.cpb is not None
+            and (not exclude_c112 or p.trace != "C112")
+        ]
+        return mean(values)
+
+    dfa, nfa, hfa = mean_cpb("dfa"), mean_cpb("nfa"), mean_cpb("hfa")
+    xfa = mean_cpb("xfa", exclude_c112=True)
+    mfa = mean_cpb("mfa", exclude_c112=True)
+
+    # "Matching speed close to that of a DFA alone": in this interpreted
+    # setting the giant plain-DFA tables also pay cache penalties the tiny
+    # component DFA avoids, so MFA sometimes edges ahead — assert closeness
+    # in both directions rather than a strict DFA ceiling.
+    assert mfa < 1.5 * dfa
+    assert mfa <= xfa * 1.02  # the paper's headline: MFA beats (or ties) XFA
+    assert mfa < hfa          # and beats HFA (the slow augmented baseline)
+    assert mfa < nfa / 5      # and the NFA baseline by a wide margin
+    # NFA pays ~10x more on B217p than on the other sets (paper: 130 -> 1300).
+    nfa_b = mean([p.cpb for p in points if p.engine == "nfa" and p.set_name == "B217p" and p.cpb])
+    nfa_rest = mean(
+        [p.cpb for p in points if p.engine == "nfa" and p.set_name != "B217p" and p.cpb]
+    )
+    assert nfa_b > 2 * nfa_rest
+
+
+@pytest.mark.slow
+def test_mfa_completes_b217p(benchmark):
+    """MFA (and NFA) handle B217p; DFA cannot; MFA stays far faster."""
+    mfa = benchmark.pedantic(lambda: build_engine("B217p", "mfa"), rounds=1, iterations=1, warmup_rounds=0)
+    nfa = build_engine("B217p", "nfa")
+    assert mfa.ok and nfa.ok
+    assert not build_engine("B217p", "dfa").ok
+    flows = real_trace_flows("B217p", "LL1")
+    assert measure_run_cpb(mfa.engine, flows) < measure_run_cpb(nfa.engine, flows)

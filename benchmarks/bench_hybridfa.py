@@ -1,0 +1,81 @@
+"""Hybrid-FA vs MFA (paper §II-A, Becchi & Crowley [6]).
+
+Both avoid the product blow-up by cutting patterns at their unbounded
+gaps; they differ in what replaces the lost product state.  The hybrid-FA
+keeps exact tail NFAs — no safety conditions, but per-byte simulation
+whenever tails are active, which hostile traffic maximises.  The MFA
+keeps one bit or register per cut — constant-time filtering, bought with
+the decomposition conditions.  Measured here on C7p across the difficulty
+axis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.hybridfa import build_hybrid_fa
+from repro.bench.harness import build_engine, patterns_for, synthetic_payload, write_table
+from repro.utils.timing import cycles_per_byte, time_call
+
+_SET = "C7p"
+
+
+@pytest.fixture(scope="module")
+def engines():
+    hybrid = build_hybrid_fa(list(patterns_for(_SET)))
+    mfa = build_engine(_SET, "mfa")
+    assert mfa.ok
+    return {"hybrid": hybrid, "mfa": mfa.engine}
+
+
+@pytest.mark.parametrize("variant", ["hybrid", "mfa"])
+@pytest.mark.parametrize("p_match", [None, 0.95], ids=["benign", "hostile"])
+def test_speed_by_difficulty(benchmark, engines, variant, p_match):
+    benchmark.group = f"hybridfa-{'hostile' if p_match else 'benign'}"
+    payload = synthetic_payload(_SET, p_match)
+    engine = engines[variant]
+    benchmark(lambda: engine.run(payload))
+
+
+def test_hybrid_summary(benchmark, engines):
+    hybrid, mfa = engines["hybrid"], engines["mfa"]
+    benign = synthetic_payload(_SET, None)
+    hostile = synthetic_payload(_SET, 0.95)
+
+    assert sorted(hybrid.run(benign)) == sorted(mfa.run(benign))
+    assert sorted(hybrid.run(hostile)) == sorted(mfa.run(hostile))
+
+    rows = []
+    measurements = {}
+    def best_of(engine, payload, repeats=3):
+        engine.run(payload[:2048])
+        return min(time_call(lambda: engine.run(payload))[1] for _ in range(repeats))
+
+    def collect():
+        for name, engine in (("hybrid", hybrid), ("mfa", mfa)):
+            benign_ns = best_of(engine, benign)
+            hostile_ns = best_of(engine, hostile)
+            measurements[name] = (benign_ns, hostile_ns)
+            extra = ""
+            if name == "hybrid":
+                extra = (
+                    f"  tail-states/byte: benign "
+                    f"{hybrid.mean_active_tail_states(benign):.2f}, hostile "
+                    f"{hybrid.mean_active_tail_states(hostile):.2f}"
+                )
+            rows.append(
+                f"{name:6s} states={engine.n_states:5d} "
+                f"benign={cycles_per_byte(benign_ns, len(benign)):6.0f} CpB "
+                f"hostile={cycles_per_byte(hostile_ns, len(hostile)):6.0f} CpB"
+                + extra
+            )
+        return rows
+    benchmark.pedantic(collect, rounds=1, iterations=1, warmup_rounds=0)
+    write_table("hybridfa.txt", rows)
+
+    # Hostile traffic lights the hybrid's tails up; the MFA's filter cost
+    # stays bounded, so its hostile/benign ratio is no worse.
+    hybrid_ratio = measurements["hybrid"][1] / measurements["hybrid"][0]
+    mfa_ratio = measurements["mfa"][1] / measurements["mfa"][0]
+    assert hybrid_ratio > 1.1
+    assert mfa_ratio < hybrid_ratio * 1.5

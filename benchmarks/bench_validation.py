@@ -1,0 +1,41 @@
+"""Pre-flight cross-validation: every engine, every pattern set, one trace.
+
+Throughput numbers mean nothing if an engine silently diverges, so this
+file asserts that all constructible engines produce the identical match
+stream on a sample of every pattern set's traffic before the figure
+benchmarks are trusted.  The NFA (always constructible) is the reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ENGINES, build_engine, real_trace_flows
+from repro.patterns import ruleset_names
+
+
+@pytest.mark.parametrize("set_name", ruleset_names())
+def test_engines_agree(benchmark, set_name):
+    benchmark.group = "validation"
+    reference_build = build_engine(set_name, "nfa")
+    assert reference_build.ok
+    flows = real_trace_flows(set_name, "C11")[:6]
+    assert flows
+
+    def validate():
+        expected = [sorted(reference_build.engine.run(flow)) for flow in flows]
+        checked = 0
+        for engine_name in ENGINES:
+            if engine_name == "nfa":
+                continue
+            result = build_engine(set_name, engine_name)
+            if not result.ok:
+                continue  # B217p's DFA, by design
+            for flow, want in zip(flows, expected):
+                got = sorted(result.engine.run(flow))
+                assert got == want, (set_name, engine_name, flow[:60])
+            checked += 1
+        return checked
+
+    checked = benchmark.pedantic(validate, rounds=1, iterations=1, warmup_rounds=0)
+    assert checked >= 3

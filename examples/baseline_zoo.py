@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""The whole design space on one rule set.
+
+Every automaton family in the library — the paper's four baselines, its
+contribution, and the related-work points (§II-A/C) implemented alongside —
+compiled for the same vendor-style rules and raced on benign and hostile
+traffic.  This is the paper's Figures 2-5 compressed to one table.
+
+Run:  python examples/baseline_zoo.py [set-name]   (default C8)
+"""
+
+import sys
+import time
+
+from repro.automata import (
+    DfaExplosionError,
+    build_dfa,
+    build_hfa,
+    build_hybrid_fa,
+    build_mdfa,
+    build_nfa,
+    build_xfa,
+    compress_dfa,
+)
+from repro.bench.harness import patterns_for
+from repro.core import SplitterOptions, build_bp_mfa, build_mfa
+from repro.patterns import ruleset_names
+from repro.traffic import generate_payload
+from repro.utils.timing import cycles_per_byte
+
+
+def main() -> None:
+    set_name = sys.argv[1] if len(sys.argv) > 1 else "C8"
+    if set_name not in ruleset_names():
+        raise SystemExit(f"unknown set {set_name!r}; choose from {ruleset_names()}")
+    patterns = list(patterns_for(set_name))
+    print(f"rule set {set_name}: {len(patterns)} rules\n")
+
+    def bp_builder(p):
+        return build_bp_mfa(p, SplitterOptions(offset_overlap_rescue=True))
+
+    builders = [
+        ("nfa", build_nfa),
+        ("dfa", lambda p: build_dfa(p, state_budget=150_000, time_budget=60)),
+        ("dfa+d2fa", lambda p: compress_dfa(build_dfa(p, state_budget=150_000, time_budget=60))),
+        ("mdfa", lambda p: build_mdfa(p, group_state_budget=3_000)),
+        ("hybrid", build_hybrid_fa),
+        ("hfa", build_hfa),
+        ("xfa", build_xfa),
+        ("mfa", build_mfa),
+        ("bp-mfa", bp_builder),
+    ]
+
+    nfa = build_nfa(patterns)
+    benign = generate_payload(nfa, 16_000, None, seed=2)
+    hostile = generate_payload(nfa, 16_000, 0.9, seed=2)
+    reference = None
+
+    print(f"{'engine':9s} {'build s':>8s} {'states':>7s} {'image':>12s} "
+          f"{'benign':>8s} {'hostile':>8s}  (CpB)")
+    for name, builder in builders:
+        start = time.perf_counter()
+        try:
+            engine = builder(patterns)
+        except (DfaExplosionError, ValueError) as exc:
+            print(f"{name:9s} {'—':>8s}  ({type(exc).__name__}: {exc})")
+            continue
+        build_s = time.perf_counter() - start
+
+        start = time.perf_counter_ns()
+        benign_matches = engine.run(benign)
+        benign_cpb = cycles_per_byte(time.perf_counter_ns() - start, len(benign))
+        start = time.perf_counter_ns()
+        hostile_matches = engine.run(hostile)
+        hostile_cpb = cycles_per_byte(time.perf_counter_ns() - start, len(hostile))
+
+        key = (sorted(benign_matches), sorted(hostile_matches))
+        if reference is None:
+            reference = key
+        assert key == reference, f"{name} disagrees with the other engines!"
+
+        states = getattr(engine, "n_states", 0)
+        print(f"{name:9s} {build_s:8.2f} {states:7d} {engine.memory_bytes():>12,d} "
+              f"{benign_cpb:8.0f} {hostile_cpb:8.0f}")
+
+    print("\nall engines produced identical match streams.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The offset-register extension: counted gaps like ``.*A.{n,m}B``.
+
+The paper's conclusion names counting constraints (``/abc.{n}xyz/``) as
+the notable missing decomposition and sketches offset tracking as the
+answer.  This library implements it: the filter records *where* A ended in
+a sliding 256-bit window register and confirms B only when the measured
+distance lands in ``[n, m]``.  This demo shows the register mechanics and
+verifies against a plain DFA on generated traffic.
+
+Run:  python examples/counted_gaps.py
+"""
+
+from repro import compile_dfa, compile_mfa
+from repro.core import SplitterOptions, verify_equivalence
+from repro.regex import parse_many
+from repro.regex.printer import pattern_to_text
+from repro.traffic import generate_trace
+
+PATTERN = ".*login=.{2,6}root0"
+
+
+def main() -> None:
+    patterns = parse_many([PATTERN])
+    mfa = compile_mfa(patterns)
+    plain = compile_mfa(
+        patterns, splitter_options=SplitterOptions(enable_counted_gaps=False)
+    )
+    print(f"pattern: {PATTERN}")
+    print("components:")
+    for component in mfa.split.components:
+        print(f"  {{{{{component.match_id}}}}}  {pattern_to_text(component)}")
+    print("filters:")
+    for line in mfa.program.describe():
+        print(f"  {line}")
+    print(f"\nwith offset registers : {mfa.n_states} states, "
+          f"{mfa.program.n_registers} register(s)")
+    print(f"without (compiled as-is): {plain.n_states} states")
+
+    probes = [
+        (b"xx login=ab root0", "gap 3 (space counts) -> in [2,6]"),
+        (b"xx login=root0", "gap 0 -> too close"),
+        (b"xx login=abcdefgh root0", "gap 9 -> too far"),
+        (b"login=zz login=abc root0", "second A fits even though first doesn't"),
+    ]
+    dfa = compile_dfa(patterns)
+    print()
+    for payload, note in probes:
+        ours = sorted(mfa.run(payload))
+        reference = sorted(dfa.run(payload))
+        assert ours == reference, (payload, ours, reference)
+        verdict = "MATCH" if ours else "no match"
+        print(f"  {payload!r:36} {verdict:9s} ({note})")
+
+    trace = generate_trace(patterns, 20_000, 0.85, seed=42)
+    report = verify_equivalence(patterns, trace.payload, mfa=mfa)
+    report.raise_on_mismatch()
+    matches = len(mfa.run(trace.payload))
+    print(f"\nfuzz check: {matches} matches on 20 kB of adversarial traffic, "
+          f"identical to the plain DFA ({report.reference_engine}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""A miniature IDS: pcap in, per-flow alerts out.
+
+Demonstrates the full data path the paper's evaluation exercises:
+
+1. compile a Snort-style rule set into an MFA;
+2. synthesize a pcap capture (stand-in for the DARPA/CDX corpora);
+3. decode packets, group them into flows and feed each flow through the
+   MFA with its own (q, m) context — the multiplexed-flow mode of §III-B;
+4. print alerts attributed to flows and rules.
+
+Run:  python examples/ids_pipeline.py
+"""
+
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from repro import compile_mfa
+from repro.bench.harness import patterns_for
+from repro.patterns import ruleset
+from repro.traffic import (
+    FlowAssembler,
+    TraceProfile,
+    build_corpus,
+    dispatch_flows,
+    read_pcap,
+)
+
+PROFILE = TraceProfile(
+    name="demo",
+    target_bytes=40_000,
+    mix=(0.5, 0.2, 0.15, 0.15),   # http, smtp, telnet, binary
+    attack_density=0.25,
+)
+
+
+def main() -> None:
+    rules = ruleset("S24")
+    patterns = patterns_for("S24")
+    mfa = compile_mfa(list(patterns))
+    print(f"compiled {len(rules.rules)} rules -> {mfa.n_states} DFA states, "
+          f"{mfa.width} filter bits per flow")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = build_corpus(tmp, list(patterns), profiles=(PROFILE,), seed=7)
+        pcap_path = paths["demo"]
+        print(f"synthesized capture: {pcap_path} "
+              f"({Path(pcap_path).stat().st_size} bytes)")
+
+        with open(pcap_path, "rb") as stream:
+            packets = list(read_pcap(stream))
+        print(f"decoded {len(packets)} packets")
+
+        # Packets are interleaved across flows; dispatch_flows keeps one
+        # (q, m) context per 5-tuple, exactly as a middlebox would.
+        assembler = FlowAssembler()
+        assembler.add_all(packets)
+        print(f"{len(assembler.flows())} flows reassembled")
+
+        alerts = list(dispatch_flows(mfa, packets))
+
+    by_rule = Counter(alert.event.match_id for alert in alerts)
+    by_flow = Counter(alert.key for alert in alerts)
+    print(f"\n{len(alerts)} alerts from {len(by_flow)} flows")
+    print("top offending rules:")
+    for match_id, count in by_rule.most_common(5):
+        print(f"  rule {{{{{match_id}}}}} {rules.rules[match_id - 1]!r}: {count} hits")
+    print("top offending flows:")
+    for key, count in by_flow.most_common(3):
+        print(f"  {key.src_ip}:{key.src_port} -> {key.dst_ip}:{key.dst_port}: {count} alerts")
+
+
+if __name__ == "__main__":
+    main()

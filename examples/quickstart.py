@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: compile security patterns into an MFA and match a payload.
+
+Runs the paper's own motivating example (Tables I-III): three dot-star
+rules that explode a plain DFA are decomposed into seven string components
+plus a 7-action filter program, and matching the example input yields
+exactly the matches the original patterns define.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import compile_dfa, compile_mfa
+from repro.regex.printer import pattern_to_text
+
+RULES = [
+    ".*vi.*emacs",          # match id 1
+    ".*bsd.*gnu",           # match id 2
+    ".*abc.*mm?o.*xyz",     # match id 3
+]
+PAYLOAD = b"vi.emacs.gnu.bsd.gnu.abc.mo.xyz"
+
+
+def main() -> None:
+    print("rules:")
+    for i, rule in enumerate(RULES, start=1):
+        print(f"  {{{{{i}}}}}  {rule}")
+
+    mfa = compile_mfa(RULES)
+    dfa = compile_dfa(RULES)
+
+    print(f"\nplain DFA:  {dfa.n_states} states")
+    print(f"MFA:        {mfa.n_states} DFA states + {mfa.width} filter bits")
+
+    print("\ndecomposed components:")
+    for component in mfa.split.components:
+        print(f"  {{{{{component.match_id}}}}}  {pattern_to_text(component)}")
+
+    print("\nfilter program (paper Table III):")
+    for line in mfa.program.describe():
+        print(f"  {line}")
+
+    print(f"\ninput: {PAYLOAD.decode()!r}")
+    print("raw component matches:", [(m.pos, m.match_id) for m in mfa.raw_matches(PAYLOAD)])
+    print("confirmed matches:    ", [(m.pos, m.match_id) for m in sorted(mfa.run(PAYLOAD))])
+    print("plain-DFA reference:  ", [(m.pos, m.match_id) for m in sorted(dfa.run(PAYLOAD))])
+
+    assert sorted(mfa.run(PAYLOAD)) == sorted(dfa.run(PAYLOAD))
+    print("\nMFA output identical to the plain DFA, at a fraction of the states.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""From a Snort-style rule file to a deployable MFA bundle.
+
+The workflow a security appliance uses the library for:
+
+1. parse a rule file (``content``/``pcre`` options, commented-rule
+   restoration — how the paper's "p" pattern sets were built);
+2. compile the rules into an MFA, decomposing the explosive ones;
+3. serialise the compiled bundle to disk (control plane)
+4. load it back and scan traffic (data plane), attributing alerts to sids.
+
+Run:  python examples/snort_ruleset.py
+"""
+
+import io
+import tempfile
+from pathlib import Path
+
+from repro import compile_mfa
+from repro.core.serialize import load_mfa, save_mfa
+from repro.patterns.snortlike import parse_rules_restoring, rules_to_patterns
+from repro.regex.printer import pattern_to_text
+
+RULE_FILE = r"""
+# Sample IDS rule file (Snort-style syntax subset)
+alert tcp $EXTERNAL_NET any -> $HOME_NET 80 (msg:"WEB-IIS cmd.exe access"; content:"cmd.exe"; nocase; sid:1002;)
+alert tcp any any -> any 80 (msg:"WEB-CGI phf access"; content:"/cgi-bin/phf"; sid:1762;)
+alert tcp any any -> any 21 (msg:"FTP site exec then pid format"; content:"SITE EXEC"; content:"%p"; sid:361;)
+alert tcp any any -> any 80 (msg:"directory traversal then passwd"; content:"../"; pcre:"/etc[^\n]*passwd/"; sid:1113;)
+alert tcp any any -> any any (msg:"shellcode NOP sled"; content:"|90 90 90 90|"; sid:648;)
+# alert tcp any any -> any 25 (msg:"SMTP expn root (restored)"; content:"expn root"; nocase; sid:660;)
+"""
+
+TRAFFIC = [
+    b"GET /scripts/CMD.EXE?/c+dir HTTP/1.0\r\n",
+    b"GET /cgi-bin/phf?Qalias=x HTTP/1.0\r\n",
+    b"SITE EXEC %p%p%p\r\n",
+    b"GET /../../etc/xx/passwd HTTP/1.0\r\n",
+    b"\x90\x90\x90\x90\xcc\xcc",
+    b"EXPN ROOT\r\n",
+    b"GET /index.html HTTP/1.0\r\n",         # benign
+]
+
+
+def main() -> None:
+    rules = parse_rules_restoring(RULE_FILE)
+    print(f"parsed {len(rules)} rules (including 1 restored from comments)")
+    patterns = rules_to_patterns(rules)
+    for rule, pattern in zip(rules, patterns):
+        print(f"  sid {rule.sid:>5}: {pattern_to_text(pattern)}")
+
+    mfa = compile_mfa(patterns)
+    stats = mfa.stats()
+    print(
+        f"\ncompiled: {mfa.n_states} DFA states, {mfa.width} filter bits, "
+        f"{stats.n_dot_star} dot-star + {stats.n_almost_dot_star} almost-dot-star splits"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle_path = Path(tmp) / "rules.mfa"
+        with open(bundle_path, "wb") as stream:
+            save_mfa(mfa, stream)
+        print(f"bundle written: {bundle_path.name}, {bundle_path.stat().st_size} bytes")
+
+        with open(bundle_path, "rb") as stream:
+            engine = load_mfa(stream)
+
+    by_sid = {rule.sid: rule.msg for rule in rules}
+    print("\nscanning traffic:")
+    for payload in TRAFFIC:
+        matches = engine.run(payload)
+        if matches:
+            for match in matches:
+                print(f"  ALERT sid={match.match_id} ({by_sid[match.match_id]}) "
+                      f"at byte {match.pos}: {payload[:40]!r}")
+        else:
+            print(f"  clean: {payload[:40]!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Match Filtering Automata — reproduction of Norige & Liu, ICDCS 2016.
+
+A de-compositional regular-expression matching library for network
+security: complex patterns are split into DFA-friendly components whose
+raw matches a tiny stateful filter engine post-processes into exact
+matches of the original patterns.
+
+Quickstart::
+
+    import repro
+
+    mfa = repro.compile_mfa([".*cmd\\.exe.*system32", ".*user=[^\\n]*root"])
+    for match in mfa.run(payload):
+        print(match.pos, match.match_id)
+"""
+
+from .automata import (
+    DFA,
+    HFA,
+    NFA,
+    XFA,
+    DfaExplosionError,
+    MatchEvent,
+    build_dfa,
+    build_hfa,
+    build_nfa,
+    build_xfa,
+    minimize_dfa,
+)
+from .core import (
+    MFA,
+    FilterAction,
+    FilterEngine,
+    FilterProgram,
+    FlowContext,
+    SplitterOptions,
+    build_mfa,
+    compile_dfa,
+    compile_mfa,
+    compile_nfa,
+    split_patterns,
+    verify_equivalence,
+)
+from .regex import CharClass, Pattern, RegexSyntaxError, parse, parse_many
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DFA",
+    "HFA",
+    "NFA",
+    "XFA",
+    "DfaExplosionError",
+    "MatchEvent",
+    "build_dfa",
+    "build_hfa",
+    "build_nfa",
+    "build_xfa",
+    "minimize_dfa",
+    "MFA",
+    "FilterAction",
+    "FilterEngine",
+    "FilterProgram",
+    "FlowContext",
+    "SplitterOptions",
+    "build_mfa",
+    "compile_dfa",
+    "compile_mfa",
+    "compile_nfa",
+    "split_patterns",
+    "verify_equivalence",
+    "CharClass",
+    "Pattern",
+    "RegexSyntaxError",
+    "parse",
+    "parse_many",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro`` runs the mfa-bench command line."""
+
+from .bench.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""Graphviz (DOT) export for automata.
+
+Debugging a decomposition is much easier when you can *see* the machines;
+these helpers render NFAs and DFAs as DOT text (pipe into ``dot -Tsvg``).
+Edges are labelled with compact character-class syntax; DFA renderings
+collapse the 256 byte columns into one edge per distinct target and omit
+the dead state's self-loops to keep graphs readable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..regex.charclass import CharClass
+from .dfa import DFA
+from .nfa import NFA
+
+__all__ = ["nfa_to_dot", "dfa_to_dot"]
+
+
+def _escape(label: str) -> str:
+    return label.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _class_label(klass: CharClass) -> str:
+    from ..regex.printer import to_text
+    from ..regex.ast import ClassNode
+
+    return to_text(ClassNode(klass))
+
+
+def nfa_to_dot(nfa: NFA, name: str = "nfa") -> str:
+    """Render an ε-free NFA as DOT text."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;", '  node [shape=circle];']
+    for state in range(nfa.n_states):
+        attributes = []
+        if nfa.accepts[state] or nfa.accepts_end[state]:
+            attributes.append("shape=doublecircle")
+            ids = sorted(set(nfa.accepts[state]) | set(nfa.accepts_end[state]))
+            attributes.append(f'xlabel="{",".join(map(str, ids))}"')
+        if state in nfa.initial:
+            attributes.append("style=bold")
+        if attributes:
+            lines.append(f"  {state} [{', '.join(attributes)}];")
+    for state, edges in enumerate(nfa.transitions):
+        # Merge parallel edges to the same target.
+        merged: dict[int, int] = defaultdict(int)
+        for bits, target in edges:
+            merged[target] |= bits
+        for target, bits in sorted(merged.items()):
+            label = _escape(_class_label(CharClass(bits)))
+            lines.append(f'  {state} -> {target} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dfa_to_dot(dfa: DFA, name: str = "dfa", max_states: int = 200) -> str:
+    """Render a DFA as DOT text (refuses unreadably large machines)."""
+    if dfa.n_states > max_states:
+        raise ValueError(
+            f"DFA has {dfa.n_states} states; raise max_states (now {max_states}) "
+            "to render it anyway"
+        )
+    # Identify a dead state (self-loop on all bytes, non-accepting) to omit.
+    dead = None
+    for state in range(dfa.n_states):
+        if dfa.accepts[state] or dfa.accepts_end[state]:
+            continue
+        if all(dfa.rows[state][byte] == state for byte in range(256)):
+            dead = state
+            break
+
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=circle];"]
+    for state in range(dfa.n_states):
+        if state == dead:
+            continue
+        attributes = []
+        if dfa.accepts[state] or dfa.accepts_end[state]:
+            attributes.append("shape=doublecircle")
+            ids = sorted(set(dfa.accepts[state]) | set(dfa.accepts_end[state]))
+            attributes.append(f'xlabel="{",".join(map(str, ids))}"')
+        if state == dfa.start:
+            attributes.append("style=bold")
+        if attributes:
+            lines.append(f"  {state} [{', '.join(attributes)}];")
+    for state in range(dfa.n_states):
+        if state == dead:
+            continue
+        by_target: dict[int, list[int]] = defaultdict(list)
+        for byte in range(256):
+            by_target[dfa.rows[state][byte]].append(byte)
+        for target, bytes_list in sorted(by_target.items()):
+            if target == dead:
+                continue
+            label = _escape(_class_label(CharClass(bytes_list)))
+            lines.append(f'  {state} -> {target} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)

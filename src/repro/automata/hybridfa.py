@@ -1,0 +1,213 @@
+"""Hybrid finite automaton — the Becchi & Crowley baseline (paper §II-A).
+
+The hybrid-FA stops subset construction at the *border* where state
+explosion would begin: everything before a pattern's first unbounded gap
+compiles into one head DFA, and the remainder of each pattern becomes a
+small *tail NFA* that is activated whenever the head reports the prefix.
+One head lookup per byte plus work proportional to the number of active
+tail states — "a fixed or bounded number of active states", bought with
+NFA-speed processing whenever tails are hot (the §II-A critique: "using
+just 2 active states reduces their throughput to 50%").
+
+This implementation derives the border from the same separator scan the
+match-filtering splitter uses, but needs *no safety conditions and no
+filter*: the tail automaton is the exact remainder (separator included),
+compiled anchored and seeded at the byte after each prefix match, so no
+information is lost by construction.  That freedom from conditions is the
+hybrid-FA's advantage; paying per-byte tail simulation is its cost, and
+the contrast against the MFA's constant-cost filter is the point of the
+comparison benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..regex import ast
+from ..regex.analysis import min_length
+from ..regex.ast import Pattern
+from .dfa import DFA, DEFAULT_STATE_BUDGET, build_dfa
+from .nfa import NFA, MatchEvent, build_nfa
+
+__all__ = ["HybridFA", "build_hybrid_fa"]
+
+
+class HybridFA:
+    """Head DFA plus per-pattern tail NFAs."""
+
+    def __init__(
+        self,
+        head: DFA,
+        head_actions: dict[int, tuple[str, int]],
+        tails: list[NFA],
+        tail_ids: list[int],
+    ):
+        self.head = head
+        # head match-id -> ("direct", original id) | ("activate", tail index)
+        self.head_actions = head_actions
+        self.tails = tails
+        self.tail_ids = tail_ids
+
+    @property
+    def n_states(self) -> int:
+        return self.head.n_states + sum(tail.n_states for tail in self.tails)
+
+    @property
+    def n_tails(self) -> int:
+        return len(self.tails)
+
+    def memory_bytes(self) -> int:
+        return self.head.memory_bytes() + sum(t.memory_bytes() for t in self.tails)
+
+    def run(self, data: bytes) -> list[MatchEvent]:
+        out: list[MatchEvent] = []
+        head = self.head
+        rows = head.rows
+        head_accepts = head.accepts
+        head_actions = self.head_actions
+        tails = self.tails
+        tail_ids = self.tail_ids
+        tail_tables = [tail._prepare() for tail in tails]
+
+        head_state = head.start
+        # Only live tails cost anything: the whole point of the border.
+        live: dict[int, set[int]] = {}
+
+        for pos, byte in enumerate(data):
+            # Step the live tails first: an activation at position p seeds
+            # the tail to start consuming at p + 1.
+            if live:
+                dead = []
+                for index, states in live.items():
+                    alpha_map, moves = tail_tables[index]
+                    group = alpha_map[byte]
+                    nxt: set[int] = set()
+                    for state in states:
+                        nxt.update(moves[state][group])
+                    if nxt:
+                        live[index] = nxt
+                        accepts = tails[index].accepts
+                        for state in nxt:
+                            if accepts[state]:
+                                out.append(MatchEvent(pos, tail_ids[index]))
+                                break
+                    else:
+                        dead.append(index)
+                for index in dead:
+                    del live[index]
+
+            head_state = rows[head_state][byte]
+            acc = head_accepts[head_state]
+            if acc:
+                for head_id in acc:
+                    kind, value = head_actions[head_id]
+                    if kind == "direct":
+                        out.append(MatchEvent(pos, value))
+                    else:
+                        states = live.get(value)
+                        if states is None:
+                            live[value] = set(tails[value].initial)
+                        else:
+                            states.update(tails[value].initial)
+        return out
+
+    def mean_active_tail_states(self, data: bytes) -> float:
+        """Diagnostic: average live tail states per byte (the cost driver)."""
+        total = 0
+        head = self.head
+        rows = head.rows
+        tail_tables = [tail._prepare() for tail in self.tails]
+        head_state = head.start
+        live: dict[int, set[int]] = {}
+        for byte in data:
+            dead = []
+            for index, states in live.items():
+                alpha_map, moves = tail_tables[index]
+                group = alpha_map[byte]
+                nxt: set[int] = set()
+                for state in states:
+                    nxt.update(moves[state][group])
+                if nxt:
+                    live[index] = nxt
+                else:
+                    dead.append(index)
+            for index in dead:
+                del live[index]
+            head_state = rows[head_state][byte]
+            for head_id in head.accepts[head_state]:
+                kind, value = self.head_actions[head_id]
+                if kind == "activate":
+                    states = live.get(value)
+                    if states is None:
+                        live[value] = set(self.tails[value].initial)
+                    else:
+                        states.update(self.tails[value].initial)
+            total += sum(len(s) for s in live.values())
+        return total / len(data) if data else 0.0
+
+
+def build_hybrid_fa(
+    patterns: Sequence[Pattern],
+    state_budget: int = DEFAULT_STATE_BUDGET,
+) -> HybridFA:
+    """Split each pattern at its first unbounded gap; heads DFA, rests NFA."""
+    from ..core.splitter import SplitterOptions, _classify, _top_parts
+
+    options = SplitterOptions()
+    head_patterns: list[Pattern] = []
+    head_actions: dict[int, tuple[str, int]] = {}
+    tails: list[NFA] = []
+    tail_ids: list[int] = []
+    next_head_id = 1
+
+    for pattern in patterns:
+        if pattern.end_anchored:
+            raise ValueError(
+                f"pattern {{{{{pattern.match_id}}}}} is end-anchored; "
+                "the hybrid-FA model here does not support $"
+            )
+        parts = _top_parts(pattern.root)
+        border = None
+        for index, part in enumerate(parts):
+            if index == 0:
+                continue  # a leading separator is just unanchored-ness
+            if _classify(part, options) is not None:
+                border = index
+                break
+        head_id = next_head_id
+        next_head_id += 1
+        if border is None:
+            head_patterns.append(
+                Pattern(
+                    pattern.root,
+                    match_id=head_id,
+                    anchored=pattern.anchored,
+                    source=pattern.source,
+                )
+            )
+            head_actions[head_id] = ("direct", pattern.match_id)
+            continue
+        head_node = ast.concat(list(parts[:border]))
+        tail_node = ast.concat(list(parts[border:]))
+        if min_length(head_node) == 0:
+            # Nullable prefix: no meaningful border, keep the pattern whole.
+            head_patterns.append(
+                Pattern(pattern.root, match_id=head_id, anchored=pattern.anchored)
+            )
+            head_actions[head_id] = ("direct", pattern.match_id)
+            continue
+        head_patterns.append(
+            Pattern(
+                head_node,
+                match_id=head_id,
+                anchored=pattern.anchored,
+                source=pattern.source,
+            )
+        )
+        head_actions[head_id] = ("activate", len(tails))
+        # The tail is the exact remainder, anchored at the activation point.
+        tails.append(build_nfa([Pattern(tail_node, match_id=1, anchored=True)]))
+        tail_ids.append(pattern.match_id)
+
+    head = build_dfa(head_patterns, state_budget=state_budget)
+    return HybridFA(head, head_actions, tails, tail_ids)

@@ -1,0 +1,119 @@
+"""Multiple-DFA baseline (Yu et al., ANCS 2006 — paper §II-A).
+
+The other classic answer to state explosion: *partition* the rule set into
+groups whose individual DFAs stay small, and run the group DFAs in
+parallel — a fixed number of active states instead of one. The paper's
+§II-A summarises the cost: "using just 2 active states reduces their
+throughput to 50% of a DFA engine", i.e. per-byte work scales with the
+group count while memory scales with the sum of the group tables.
+
+Grouping here is the practical greedy variant: patterns are offered to
+existing groups in order and accepted by the first group whose combined
+subset construction stays within ``group_state_budget``; a pattern no
+group can absorb starts a new one. Explosive pattern pairs therefore
+land in different groups automatically (their combined DFA blows the
+budget), which is exactly the interaction-avoidance heuristic of the
+original paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..regex.ast import Pattern
+from .dfa import DFA, DfaExplosionError, build_dfa
+from .nfa import MatchEvent
+
+__all__ = ["MDFA", "build_mdfa"]
+
+DEFAULT_GROUP_BUDGET = 4_000
+
+
+class MDFA:
+    """A set of group DFAs run in parallel (k active states)."""
+
+    def __init__(self, groups: list[DFA], group_patterns: list[list[int]]):
+        self.groups = groups
+        self.group_patterns = group_patterns
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def n_states(self) -> int:
+        return sum(dfa.n_states for dfa in self.groups)
+
+    def memory_bytes(self) -> int:
+        return sum(dfa.memory_bytes() for dfa in self.groups)
+
+    def run(self, data: bytes) -> list[MatchEvent]:
+        """Advance every group DFA over each byte (k lookups per byte)."""
+        out: list[MatchEvent] = []
+        groups = [(dfa.rows, dfa.accepts, dfa.start) for dfa in self.groups]
+        states = [start for _rows, _accepts, start in groups]
+        for pos, byte in enumerate(data):
+            for index, (rows, accepts, _start) in enumerate(groups):
+                state = rows[states[index]][byte]
+                states[index] = state
+                acc = accepts[state]
+                if acc:
+                    for match_id in acc:
+                        out.append(MatchEvent(pos, match_id))
+        if data:
+            final = len(data) - 1
+            for index, dfa in enumerate(self.groups):
+                for match_id in dfa.accepts_end[states[index]]:
+                    out.append(MatchEvent(final, match_id))
+        out.sort()
+        return out
+
+    def scan(self, data: bytes) -> tuple[int, ...]:
+        """Benchmark loop: advance all groups without collecting matches."""
+        groups = [(dfa.rows, dfa.start) for dfa in self.groups]
+        states = [start for _rows, start in groups]
+        for byte in data:
+            for index, (rows, _start) in enumerate(groups):
+                states[index] = rows[states[index]][byte]
+        return tuple(states)
+
+
+def build_mdfa(
+    patterns: Sequence[Pattern],
+    group_state_budget: int = DEFAULT_GROUP_BUDGET,
+    time_budget_per_group: float = 20.0,
+) -> MDFA:
+    """Greedily partition ``patterns`` into budget-respecting DFA groups."""
+    member_lists: list[list[Pattern]] = []
+    built: list[DFA] = []
+
+    for pattern in patterns:
+        placed = False
+        for index, members in enumerate(member_lists):
+            candidate = members + [pattern]
+            try:
+                dfa = build_dfa(
+                    candidate,
+                    state_budget=group_state_budget,
+                    time_budget=time_budget_per_group,
+                )
+            except DfaExplosionError:
+                continue
+            member_lists[index] = candidate
+            built[index] = dfa
+            placed = True
+            break
+        if not placed:
+            try:
+                dfa = build_dfa(
+                    [pattern],
+                    state_budget=group_state_budget,
+                    time_budget=time_budget_per_group,
+                )
+            except DfaExplosionError as exc:
+                raise DfaExplosionError(exc.budget, exc.reason) from exc
+            member_lists.append([pattern])
+            built.append(dfa)
+
+    group_patterns = [[p.match_id for p in members] for members in member_lists]
+    return MDFA(built, group_patterns)

@@ -1,0 +1,58 @@
+"""Memory-image accounting shared by the Fig. 2 experiment.
+
+Every engine models its own image size (``memory_bytes`` on each class)
+using the per-entry costs its data structure implies; this module provides
+the uniform report the benchmark table consumes, plus the MB formatting
+used throughout the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+__all__ = ["SizedAutomaton", "ImageSize", "image_size", "format_mb"]
+
+
+class SizedAutomaton(Protocol):
+    """Anything with a modelled memory image."""
+
+    def memory_bytes(self) -> int: ...
+
+
+@dataclass(frozen=True, slots=True)
+class ImageSize:
+    """An image size with the breakdown the paper discusses for MFA."""
+
+    total_bytes: int
+    filter_bytes: int = 0
+
+    @property
+    def megabytes(self) -> float:
+        return self.total_bytes / 1e6
+
+    @property
+    def filter_fraction(self) -> float:
+        """The share of the image spent on filters (paper: < 0.2% for MFA)."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.filter_bytes / self.total_bytes
+
+
+def image_size(engine: SizedAutomaton) -> ImageSize:
+    """Measure an engine, separating the filter table when one exists."""
+    filter_bytes = 0
+    filter_probe = getattr(engine, "filter_bytes", None)
+    if callable(filter_probe):
+        filter_bytes = filter_probe()
+    return ImageSize(total_bytes=engine.memory_bytes(), filter_bytes=filter_bytes)
+
+
+def format_mb(n_bytes: int) -> str:
+    """Format bytes as the paper's MB figures (two significant digits)."""
+    mb = n_bytes / 1e6
+    if mb >= 100:
+        return f"{mb:.0f}"
+    if mb >= 1:
+        return f"{mb:.1f}"
+    return f"{mb:.2f}"

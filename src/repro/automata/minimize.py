@@ -1,0 +1,116 @@
+"""Hopcroft DFA minimization, respecting multi-match decision sets.
+
+Two states may only merge when they report the same decision tuples (both
+the per-entry and end-anchored sets), so minimization never changes the
+match stream — the property tests check exactly that.  Minimization is
+optional in the compile pipeline (the paper does not minimize either), but
+it tightens the Table V state counts and is ammunition for the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import defaultdict
+
+from .dfa import DFA
+
+__all__ = ["minimize_dfa"]
+
+
+def minimize_dfa(dfa: DFA) -> DFA:
+    """Return an equivalent DFA with the minimal number of states."""
+    n = dfa.n_states
+
+    # Initial partition: group states by their decision signature.
+    signature_of: dict[tuple[tuple[int, ...], tuple[int, ...]], int] = {}
+    block_of = array("i", [0] * n)
+    for q in range(n):
+        sig = (dfa.accepts[q], dfa.accepts_end[q])
+        block = signature_of.setdefault(sig, len(signature_of))
+        block_of[q] = block
+    n_blocks = len(signature_of)
+
+    # Inverse transition lists per byte: who reaches q on byte c?
+    # Stored flat as preds[c][q] -> list of sources.
+    preds: list[dict[int, list[int]]] = [defaultdict(list) for _ in range(256)]
+    for src in range(n):
+        row = dfa.rows[src]
+        for byte in range(256):
+            preds[byte][row[byte]].append(src)
+
+    blocks: list[set[int]] = [set() for _ in range(n_blocks)]
+    for q in range(n):
+        blocks[block_of[q]].add(q)
+
+    # Hopcroft's worklist of (block, byte) splitters.
+    worklist: set[tuple[int, int]] = {
+        (b, c) for b in range(n_blocks) for c in range(256)
+    }
+    while worklist:
+        block_id, byte = worklist.pop()
+        splitter = blocks[block_id]
+        # X = states with a transition on `byte` into the splitter block.
+        x: set[int] = set()
+        pred_map = preds[byte]
+        for q in splitter:
+            x.update(pred_map.get(q, ()))
+        if not x:
+            continue
+        # Refine every block against X.
+        touched = {block_of[q] for q in x}
+        for b in touched:
+            block = blocks[b]
+            inside = block & x
+            outside = block - x
+            if not inside or not outside:
+                continue
+            # Replace block b with the smaller half as a new block.
+            if len(inside) <= len(outside):
+                new_set, old_set = inside, outside
+            else:
+                new_set, old_set = outside, inside
+            new_id = len(blocks)
+            blocks[b] = old_set
+            blocks.append(new_set)
+            for q in new_set:
+                block_of[q] = new_id
+            # Queue the smaller half for every byte (standard Hopcroft; the
+            # shrunken original block keeps any queue entries it had).
+            for c in range(256):
+                worklist.add((new_id, c))
+
+    # Rebuild the DFA over blocks, keeping the start block as state 0.
+    remap = array("i", [0] * len(blocks))
+    order: list[int] = []
+    seen = [False] * len(blocks)
+
+    def visit(block: int) -> None:
+        if seen[block]:
+            return
+        seen[block] = True
+        remap[block] = len(order)
+        order.append(block)
+
+    visit(block_of[dfa.start])
+    # Breadth-first over block transitions for a deterministic layout.
+    i = 0
+    while i < len(order):
+        block = order[i]
+        representative = next(iter(blocks[block]))
+        row = dfa.rows[representative]
+        for byte in range(256):
+            visit(block_of[row[byte]])
+        i += 1
+
+    rows: list[array] = []
+    accepts: list[tuple[int, ...]] = []
+    accepts_end: list[tuple[int, ...]] = []
+    for block in order:
+        representative = next(iter(blocks[block]))
+        src_row = dfa.rows[representative]
+        rows.append(array("i", [remap[block_of[src_row[byte]]] for byte in range(256)]))
+        accepts.append(dfa.accepts[representative])
+        accepts_end.append(dfa.accepts_end[representative])
+
+    return DFA(rows, 0, accepts, accepts_end)

@@ -1,0 +1,178 @@
+"""Bit-parallel (Shift-And) multi-pattern matcher.
+
+Match filtering works on top of "an arbitrary regex matching solution"
+(paper §II-C), and the components the splitter emits are overwhelmingly
+*linear*: plain sequences of character classes.  Linear sets are exactly
+what the classic Shift-And algorithm (Baeza-Yates/Gonnet, multi-pattern
+per Navarro & Raffinot) handles with a couple of word operations per byte:
+the whole active-position set lives in one machine word (here: one Python
+big integer), advanced as
+
+    state = ((state << 1) | INITIAL) & B[byte]
+
+This module provides that matcher as an alternative component engine — the
+decomposition front end that Hyperscan-style engines pair with literal
+matchers.  Each pattern occupies a contiguous run of bit positions with a
+dead padding bit between patterns (so a final-position bit cannot bleed
+into the next pattern's first position); anchored patterns receive their
+initial bit only at offset zero.
+
+Limitations (by design): components must be linear — concatenations of
+single classes and exactly-counted class repeats.  The splitter's string
+segments, clear components and anchored heads all qualify; anything else
+(alternation, unbounded repeats) belongs on the DFA engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..regex.ast import ClassNode, Concat, Empty, Node, Pattern, Repeat
+from ..regex.charclass import CharClass
+from .nfa import MatchEvent
+
+__all__ = ["ShiftAndMatcher", "linearize", "build_shift_and"]
+
+
+def linearize(node: Node) -> Optional[list[CharClass]]:
+    """Flatten a linear regex into its class sequence, or None.
+
+    Linear = concatenation of single classes and ``C{n}`` exact repeats.
+    """
+    if isinstance(node, Empty):
+        return []
+    if isinstance(node, ClassNode):
+        return [node.cls]
+    if isinstance(node, Repeat):
+        if node.max != node.min:
+            return None
+        inner = linearize(node.child)
+        if inner is None:
+            return None
+        return inner * node.min
+    if isinstance(node, Concat):
+        out: list[CharClass] = []
+        for part in node.parts:
+            inner = linearize(part)
+            if inner is None:
+                return None
+            out.extend(inner)
+        return out
+    return None
+
+
+class ShiftAndMatcher:
+    """Executable multi-pattern Shift-And automaton."""
+
+    def __init__(
+        self,
+        byte_masks: list[int],
+        start_always: int,
+        start_first: int,
+        finals: int,
+        final_ids: dict[int, int],
+        n_positions: int,
+    ):
+        self.byte_masks = byte_masks
+        self.start_always = start_always    # unanchored initial bits
+        self.start_first = start_first      # anchored initial bits (offset 0)
+        self.finals = finals
+        self.final_ids = final_ids          # final bit position -> match id
+        self.n_positions = n_positions
+
+    @property
+    def n_states(self) -> int:
+        """Position count — the Shift-And analogue of automaton size."""
+        return self.n_positions
+
+    def memory_bytes(self) -> int:
+        """256 byte-masks of ceil(positions/8) bytes plus the final map."""
+        mask_bytes = (self.n_positions + 7) // 8
+        return 256 * mask_bytes + 8 * len(self.final_ids) + 2 * mask_bytes
+
+    def run(self, data: bytes) -> list[MatchEvent]:
+        out: list[MatchEvent] = []
+        masks = self.byte_masks
+        start = self.start_always
+        finals = self.finals
+        final_ids = self.final_ids
+        state = 0
+        first = self.start_first | start
+        for pos, byte in enumerate(data):
+            if pos == 0:
+                state = ((state << 1) | first) & masks[byte]
+            else:
+                state = ((state << 1) | start) & masks[byte]
+            hits = state & finals
+            if hits:
+                while hits:
+                    low = hits & -hits
+                    out.append(MatchEvent(pos, final_ids[low.bit_length() - 1]))
+                    hits ^= low
+        return out
+
+    def scan(self, data: bytes) -> int:
+        """Benchmark loop: advance without collecting matches."""
+        masks = self.byte_masks
+        start = self.start_always
+        state = 0
+        first = self.start_first | start
+        for pos, byte in enumerate(data):
+            if pos == 0:
+                state = ((state << 1) | first) & masks[byte]
+            else:
+                state = ((state << 1) | start) & masks[byte]
+        return state
+
+
+def build_shift_and(patterns: Sequence[Pattern]) -> ShiftAndMatcher:
+    """Compile linear patterns into one Shift-And machine.
+
+    Raises ``ValueError`` naming the first non-linear pattern (callers fall
+    back to the DFA engine for those).
+    """
+    byte_masks = [0] * 256
+    start_always = 0
+    start_first = 0
+    finals = 0
+    final_ids: dict[int, int] = {}
+    position = 0
+
+    for pattern in patterns:
+        classes = linearize(pattern.root)
+        if classes is None:
+            raise ValueError(
+                f"pattern {{{{{pattern.match_id}}}}} is not linear: "
+                f"{pattern.source or pattern.root!r}"
+            )
+        if not classes:
+            raise ValueError(
+                f"pattern {{{{{pattern.match_id}}}}} matches the empty string"
+            )
+        if pattern.end_anchored:
+            raise ValueError(
+                f"pattern {{{{{pattern.match_id}}}}} is end-anchored; "
+                "use the DFA engine"
+            )
+        first_bit = 1 << position
+        if pattern.anchored:
+            start_first |= first_bit
+        else:
+            start_always |= first_bit
+        for klass in classes:
+            bit = 1 << position
+            for byte in klass:
+                byte_masks[byte] |= bit
+            position += 1
+        finals |= 1 << (position - 1)
+        final_ids[position - 1] = pattern.match_id
+        position += 1  # dead padding bit between patterns
+
+    return ShiftAndMatcher(
+        byte_masks=byte_masks,
+        start_always=start_always,
+        start_first=start_first,
+        finals=finals,
+        final_ids=final_ids,
+        n_positions=position,
+    )

@@ -1,0 +1,193 @@
+"""Simplified XFA baseline (Smith et al., SIGCOMM 2008).
+
+An XFA is a DFA whose states carry small *update programs* over scratch
+memory, executed every time the state is entered.  The original
+construction ("determinising a non-deterministic update function" through
+an EIDD search) is the part the paper calls byzantine — it could not build
+XFAs for its pattern sets at all and *estimated* throughput instead.
+
+This reproduction substitutes the closest constructible model: the regex
+splitter provides the scratch variables (one flag per decomposition point)
+and each deciding state of the component DFA gets an interpreted
+instruction block.  What is preserved from real XFA, and what the
+benchmarks measure, is its cost profile:
+
+* update programs are *general instruction sequences* interpreted on state
+  entry, operating on individually addressed scratch-memory cells — the
+  per-instruction dispatch and scratch addressing is the cost the MFA
+  filter's packed one-word memory and fixed 4-integer bytecode avoid
+  (paper §IV-C);
+* programs run whenever an instrumented state is entered, which on
+  match-heavy traffic happens far more often than confirmed matches.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..regex.ast import Pattern
+from .dfa import DFA, DEFAULT_STATE_BUDGET, build_dfa
+from .nfa import MatchEvent
+
+__all__ = ["XFA", "build_xfa"]
+
+# Instruction opcodes for the per-state update programs.
+OP_SET = 0       # arg: flag index
+OP_CLEAR = 1     # arg: flag index
+OP_TEST_SET = 2  # args: (test flag, set flag)
+OP_TEST_REPORT = 3  # args: (test flag, match id)
+OP_REPORT = 4    # arg: match id
+
+
+class XfaContext:
+    """Per-flow XFA state: automaton state plus the scratch cells."""
+
+    __slots__ = ("state", "scratch", "offset")
+
+    def __init__(self, xfa: "XFA"):
+        self.state = xfa.dfa.start
+        self.scratch = [0] * max(xfa.width, 1)
+        self.offset = 0
+
+
+class XFA:
+    """DFA plus per-state instruction blocks over scratch memory."""
+
+    def __init__(self, dfa: DFA, programs: list[tuple[tuple[int, ...], ...]], width: int):
+        self.dfa = dfa
+        self.programs = programs
+        self.width = width
+
+    @property
+    def n_states(self) -> int:
+        return self.dfa.n_states
+
+    # -- streaming (same trio as the MFA, for dispatch/replay drivers) ------
+
+    def new_context(self) -> XfaContext:
+        return XfaContext(self)
+
+    def feed(self, context: XfaContext, data: bytes):
+        rows = self.dfa.rows
+        programs = self.programs
+        state = context.state
+        scratch = context.scratch
+        base = context.offset
+        for pos, byte in enumerate(data):
+            state = rows[state][byte]
+            program = programs[state]
+            if program:
+                for instruction in program:
+                    op = instruction[0]
+                    if op == OP_SET:
+                        scratch[instruction[1]] = 1
+                    elif op == OP_CLEAR:
+                        scratch[instruction[1]] = 0
+                    elif op == OP_TEST_SET:
+                        if scratch[instruction[1]]:
+                            scratch[instruction[2]] = 1
+                    elif op == OP_TEST_REPORT:
+                        if scratch[instruction[1]]:
+                            yield MatchEvent(base + pos, instruction[2])
+                    else:  # OP_REPORT
+                        yield MatchEvent(base + pos, instruction[1])
+        context.state = state
+        context.offset = base + len(data)
+
+    def finish(self, context: XfaContext):
+        return iter(())
+
+    def memory_bytes(self) -> int:
+        """Modelled image: the dense DFA table plus 12 bytes per instruction
+        (opcode + two arguments) and a per-state program pointer."""
+        n_instructions = sum(len(p) for p in self.programs)
+        return self.dfa.memory_bytes() + 12 * n_instructions + 4 * self.n_states
+
+    def run(self, data: bytes) -> list[MatchEvent]:
+        out: list[MatchEvent] = []
+        rows = self.dfa.rows
+        programs = self.programs
+        state = self.dfa.start
+        # Scratch memory: individually addressed cells, as XFA defines it.
+        scratch = [0] * max(self.width, 1)
+        for pos, byte in enumerate(data):
+            state = rows[state][byte]
+            program = programs[state]
+            if program:
+                for instruction in program:
+                    op = instruction[0]
+                    if op == OP_SET:
+                        scratch[instruction[1]] = 1
+                    elif op == OP_CLEAR:
+                        scratch[instruction[1]] = 0
+                    elif op == OP_TEST_SET:
+                        if scratch[instruction[1]]:
+                            scratch[instruction[2]] = 1
+                    elif op == OP_TEST_REPORT:
+                        if scratch[instruction[1]]:
+                            out.append(MatchEvent(pos, instruction[2]))
+                    else:  # OP_REPORT
+                        out.append(MatchEvent(pos, instruction[1]))
+        return out
+
+    def scan(self, data: bytes) -> int:
+        """Benchmark loop: execute update programs but drop reports."""
+        rows = self.dfa.rows
+        programs = self.programs
+        state = self.dfa.start
+        scratch = [0] * max(self.width, 1)
+        for byte in data:
+            state = rows[state][byte]
+            program = programs[state]
+            if program:
+                for instruction in program:
+                    op = instruction[0]
+                    if op == OP_SET:
+                        scratch[instruction[1]] = 1
+                    elif op == OP_CLEAR:
+                        scratch[instruction[1]] = 0
+                    elif op == OP_TEST_SET:
+                        if scratch[instruction[1]]:
+                            scratch[instruction[2]] = 1
+        return state
+
+
+def build_xfa(
+    patterns: Sequence[Pattern],
+    state_budget: int = DEFAULT_STATE_BUDGET,
+) -> XFA:
+    """Construct the simplified XFA from the splitter's decomposition."""
+    from ..core.filters import NONE
+    from ..core.splitter import SplitterOptions, split_patterns
+
+    # Like HFA, the scratch model is pure flags: counted gaps stay intact.
+    split = split_patterns(patterns, SplitterOptions(enable_counted_gaps=False))
+    dfa = build_dfa(split.components, state_budget=state_budget)
+    program = split.program
+
+    programs: list[tuple[tuple[int, ...], ...]] = []
+    for q in range(dfa.n_states):
+        decisions = sorted(
+            dfa.accepts[q], key=lambda i: (program.action_priority(i), i)
+        )
+        block: list[tuple[int, ...]] = []
+        for match_id in decisions:
+            action = program.actions.get(match_id)
+            if action is None:
+                if match_id in program.final_ids:
+                    block.append((OP_REPORT, match_id))
+                continue
+            if action.clear != NONE:
+                block.append((OP_CLEAR, action.clear))
+            if action.set != NONE:
+                if action.test != NONE:
+                    block.append((OP_TEST_SET, action.test, action.set))
+                else:
+                    block.append((OP_SET, action.set))
+            if action.report != NONE:
+                if action.test != NONE:
+                    block.append((OP_TEST_REPORT, action.test, action.report))
+                else:
+                    block.append((OP_REPORT, action.report))
+        programs.append(tuple(block))
+    return XFA(dfa, programs, program.width)

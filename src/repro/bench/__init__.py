@@ -1,0 +1,32 @@
+"""Benchmark harness: engine caches, measurement, table/figure generation."""
+
+from .plots import bar_chart, line_chart
+from .sweep import ExplosionPoint, explosion_rows, explosion_sweep
+from .harness import (
+    ENGINES,
+    BuildResult,
+    build_engine,
+    measure_run_cpb,
+    patterns_for,
+    real_trace_flows,
+    results_dir,
+    synthetic_payload,
+    write_table,
+)
+
+__all__ = [
+    "bar_chart",
+    "line_chart",
+    "ExplosionPoint",
+    "explosion_rows",
+    "explosion_sweep",
+    "ENGINES",
+    "BuildResult",
+    "build_engine",
+    "measure_run_cpb",
+    "patterns_for",
+    "real_trace_flows",
+    "results_dir",
+    "synthetic_payload",
+    "write_table",
+]

@@ -1,0 +1,109 @@
+"""``mfa-bench`` command line: run individual exhibits or the full report.
+
+Examples::
+
+    mfa-bench table5            # print Table V
+    mfa-bench fig2              # memory image sizes
+    mfa-bench fig3              # construction times
+    mfa-bench fig4              # real-trace throughput
+    mfa-bench fig5              # synthetic difficulty sweep
+    mfa-bench explosion         # the state-explosion law sweep
+    mfa-bench report            # regenerate EXPERIMENTS.md (everything)
+    mfa-bench compile C7p       # compile one set, print its stats
+    mfa-bench scan S24 cap.pcap # compile a set and scan a capture
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .figures import fig3_rows, fig4_collect, fig4_rows, fig5_collect, fig5_rows
+from .harness import all_set_names, build_engine, write_table
+from .report import generate_all
+from .tables import fig2_rows, table5_rows
+
+
+def _cmd_compile(set_name: str) -> None:
+    from ..core.explain import explain_lines
+
+    for engine_name in ("nfa", "dfa", "hfa", "xfa", "mfa"):
+        result = build_engine(set_name, engine_name)
+        if result.ok:
+            states = getattr(result.engine, "n_states", "?")
+            print(f"{engine_name}: {states} states in {result.seconds:.2f}s")
+        else:
+            print(f"{engine_name}: failed ({result.error}) after {result.seconds:.2f}s")
+    mfa = build_engine(set_name, "mfa")
+    if mfa.ok:
+        print()
+        for line in explain_lines(mfa.engine):  # type: ignore[arg-type]
+            print(line)
+
+
+def _cmd_scan(set_name: str, pcap_path: str) -> int:
+    from collections import Counter
+
+    from ..traffic.flows import dispatch_flows
+    from ..traffic.pcap import read_pcap
+
+    mfa = build_engine(set_name, "mfa")
+    if not mfa.ok:
+        print(f"cannot compile {set_name}: {mfa.error}")
+        return 1
+    with open(pcap_path, "rb") as stream:
+        packets = list(read_pcap(stream))
+    print(f"{len(packets)} packets decoded from {pcap_path}")
+    alerts = list(dispatch_flows(mfa.engine, packets))
+    by_rule = Counter(alert.event.match_id for alert in alerts)
+    print(f"{len(alerts)} alerts across {len({a.key for a in alerts})} flows")
+    for match_id, count in by_rule.most_common(10):
+        print(f"  rule {{{{{match_id}}}}}: {count} hits")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="mfa-bench", description=__doc__)
+    parser.add_argument(
+        "command",
+        choices=[
+            "table5", "fig2", "fig3", "fig4", "fig5",
+            "explosion", "report", "compile", "scan",
+        ],
+    )
+    parser.add_argument("set_name", nargs="?", help="pattern set for 'compile'/'scan'")
+    parser.add_argument("pcap", nargs="?", help="capture file for 'scan'")
+    args = parser.parse_args(argv)
+
+    if args.command == "table5":
+        write_table("table5.txt", table5_rows())
+    elif args.command == "fig2":
+        write_table("fig2_memory.txt", fig2_rows())
+    elif args.command == "fig3":
+        write_table("fig3_construction.txt", fig3_rows())
+    elif args.command == "fig4":
+        write_table("fig4_throughput.txt", fig4_rows(fig4_collect()))
+    elif args.command == "fig5":
+        write_table("fig5_synthetic.txt", fig5_rows(fig5_collect()))
+    elif args.command == "explosion":
+        from .sweep import explosion_rows, explosion_sweep
+
+        write_table("explosion_law.txt", explosion_rows(explosion_sweep()))
+    elif args.command == "report":
+        generate_all()
+    elif args.command in ("compile", "scan"):
+        if not args.set_name:
+            parser.error(f"{args.command} needs a pattern set name")
+        if args.set_name not in all_set_names():
+            parser.error(f"unknown set {args.set_name!r}; have {all_set_names()}")
+        if args.command == "compile":
+            _cmd_compile(args.set_name)
+        else:
+            if not args.pcap:
+                parser.error("scan needs a pcap file")
+            return _cmd_scan(args.set_name, args.pcap)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

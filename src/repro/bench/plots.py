@@ -1,0 +1,100 @@
+"""Terminal rendering of the paper's figures.
+
+The paper presents Figures 3–5 as bar/scatter/line charts; these helpers
+render the measured data the same way in plain text (log-scale bars and
+multi-series line plots), so ``results/`` holds something visually
+comparable to the paper, not just tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "line_chart"]
+
+
+def _log_scale(value: float, lo: float, hi: float, width: int) -> int:
+    """Map value into [0, width] on a log axis (clamped)."""
+    if value <= 0:
+        return 0
+    log_lo, log_hi = math.log10(lo), math.log10(hi)
+    if log_hi <= log_lo:
+        return width
+    fraction = (math.log10(value) - log_lo) / (log_hi - log_lo)
+    return max(0, min(width, round(fraction * width)))
+
+
+def bar_chart(
+    series: Mapping[str, Mapping[str, float | None]],
+    width: int = 48,
+    unit: str = "",
+) -> list[str]:
+    """Horizontal log-scale bars: one group per outer key, one bar per
+    inner key.  ``None`` values render as a ``fail`` marker (the paper's
+    B217p DFA bar is missing the same way)."""
+    values = [
+        v for group in series.values() for v in group.values() if v is not None and v > 0
+    ]
+    if not values:
+        return ["(no data)"]
+    lo = min(values)
+    hi = max(values)
+    lo = min(lo, hi / 10)  # keep at least a decade of axis
+    lines: list[str] = []
+    label_width = max(len(k) for group in series.values() for k in group)
+    for group_name, group in series.items():
+        lines.append(f"{group_name}")
+        for name, value in group.items():
+            if value is None:
+                lines.append(f"  {name:<{label_width}} | (failed)")
+                continue
+            bar = "#" * _log_scale(value, lo, hi, width)
+            lines.append(f"  {name:<{label_width}} |{bar} {value:.2f}{unit}")
+        lines.append("")
+    lines.append(f"(log scale, {lo:.2g}..{hi:.2g}{unit})")
+    return lines
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float | None]],
+    x_labels: Sequence[str],
+    height: int = 16,
+    unit: str = "",
+) -> list[str]:
+    """Multi-series log-scale line plot with one column block per x label.
+
+    Each series gets a letter marker; collisions show the later series.
+    """
+    values = [v for ys in series.values() for v in ys if v is not None and v > 0]
+    if not values:
+        return ["(no data)"]
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        hi = lo * 10
+    markers = {}
+    for index, name in enumerate(series):
+        markers[name] = name[0].upper() if name else chr(ord("A") + index)
+
+    column_width = max(8, max(len(label) for label in x_labels) + 2)
+    grid = [[" "] * (len(x_labels) * column_width) for _ in range(height + 1)]
+    for name, ys in series.items():
+        marker = markers[name]
+        for i, value in enumerate(ys):
+            if value is None or value <= 0:
+                continue
+            row = height - _log_scale(value, lo, hi, height)
+            col = i * column_width + column_width // 2
+            grid[row][col] = marker
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        axis_value = hi / (10 ** ((math.log10(hi / lo)) * row_index / height))
+        prefix = f"{axis_value:>9.0f} |" if row_index % 4 == 0 else f"{'':>9s} |"
+        lines.append(prefix + "".join(row).rstrip())
+    lines.append(f"{'':>9s} +" + "-" * (len(x_labels) * column_width))
+    label_row = "".join(f"{label:^{column_width}}" for label in x_labels)
+    lines.append(f"{'':>11s}{label_row}")
+    legend = "  ".join(f"{marker}={name}" for name, marker in markers.items())
+    lines.append(f"{'':>11s}{legend}   ({unit}, log scale)")
+    return lines

@@ -1,0 +1,110 @@
+"""Parameter sweeps behind the paper's scaling arguments.
+
+§IV-A argues each dot-star pattern contributes a *multiplicative* factor
+to plain-DFA size while match filtering turns it *additive*.  The sweep
+here measures that law directly: grow a rule set one dot-star pattern at a
+time and record DFA states, MFA states, and construction times — the data
+behind "adding a single extra regex with multiple dot-stars can increase
+construction time to many times what it was" (§V-C).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..automata.dfa import DfaExplosionError, build_dfa
+from ..core.mfa import build_mfa
+from ..regex.parser import parse_many
+from ..utils.rng import make_rng
+
+__all__ = ["ExplosionPoint", "explosion_sweep", "explosion_rows"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExplosionPoint:
+    """Measurements for a rule set of ``n_rules`` dot-star patterns."""
+
+    n_rules: int
+    dfa_states: int | None
+    dfa_seconds: float
+    mfa_states: int
+    mfa_seconds: float
+
+    @property
+    def ratio(self) -> float | None:
+        if self.dfa_states is None:
+            return None
+        return self.dfa_states / self.mfa_states
+
+
+def _sweep_rules(n: int, seed: int = 4) -> list[str]:
+    """n distinct dot-star patterns over 4-letter pseudo-words."""
+    rng = make_rng(seed, "explosion-sweep")
+    rules = []
+    seen = set()
+    while len(rules) < n:
+        a = "".join(rng.choice("bcdfgklmn") for _ in range(4))
+        b = "".join(rng.choice("prstvwz") for _ in range(4))
+        rule = f".*{a}.*{b}"
+        if rule not in seen:
+            seen.add(rule)
+            rules.append(rule)
+    return rules
+
+
+def explosion_sweep(
+    max_rules: int = 9,
+    state_budget: int = 120_000,
+    time_budget: float = 30.0,
+    seed: int = 4,
+) -> list[ExplosionPoint]:
+    """Measure DFA vs MFA growth from 1 to ``max_rules`` dot-star rules."""
+    points: list[ExplosionPoint] = []
+    all_rules = _sweep_rules(max_rules, seed=seed)
+    for n in range(1, max_rules + 1):
+        patterns = parse_many(all_rules[:n])
+        start = time.perf_counter()
+        try:
+            dfa_states: int | None = build_dfa(
+                patterns, state_budget=state_budget, time_budget=time_budget
+            ).n_states
+        except DfaExplosionError:
+            dfa_states = None
+        dfa_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        mfa = build_mfa(patterns)
+        mfa_seconds = time.perf_counter() - start
+        points.append(
+            ExplosionPoint(
+                n_rules=n,
+                dfa_states=dfa_states,
+                dfa_seconds=dfa_seconds,
+                mfa_states=mfa.n_states,
+                mfa_seconds=mfa_seconds,
+            )
+        )
+        if dfa_states is None:
+            break  # further points only get slower, the law is established
+    return points
+
+
+def explosion_rows(points: list[ExplosionPoint]) -> list[str]:
+    lines = [
+        f"{'rules':>5s} {'DFA states':>11s} {'DFA s':>7s} {'MFA states':>11s} "
+        f"{'MFA s':>7s} {'ratio':>8s} {'x prev':>7s}",
+        "-" * 62,
+    ]
+    previous: int | None = None
+    for point in points:
+        dfa = f"{point.dfa_states:,}" if point.dfa_states is not None else "fail"
+        ratio = f"{point.ratio:.0f}x" if point.ratio is not None else "-"
+        growth = ""
+        if point.dfa_states is not None and previous:
+            growth = f"{point.dfa_states / previous:.2f}"
+        previous = point.dfa_states
+        lines.append(
+            f"{point.n_rules:5d} {dfa:>11s} {point.dfa_seconds:7.2f} "
+            f"{point.mfa_states:11,d} {point.mfa_seconds:7.2f} {ratio:>8s} {growth:>7s}"
+        )
+    return lines

@@ -1,0 +1,97 @@
+"""Table-shaped experiment outputs: Table V and Figure 2.
+
+Each function returns formatted text lines (also printed and persisted by
+the callers in ``benchmarks/``) mirroring the corresponding exhibit of the
+paper, with the same columns and row order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..automata.memory import format_mb, image_size
+from .harness import BuildResult, build_engine, patterns_for, all_set_names
+
+__all__ = ["table5_rows", "fig2_rows", "Table5Row"]
+
+
+@dataclass(frozen=True, slots=True)
+class Table5Row:
+    """One pattern set's structural properties (Table V columns)."""
+
+    set_name: str
+    n_regexes: int
+    nfa_states: int
+    dfa_states: int | None  # None: exceeded the construction budget
+    mfa_states: int
+
+
+def table5_data() -> list[Table5Row]:
+    rows: list[Table5Row] = []
+    for name in all_set_names():
+        nfa = build_engine(name, "nfa")
+        dfa = build_engine(name, "dfa")
+        mfa = build_engine(name, "mfa")
+        assert nfa.ok and mfa.ok
+        rows.append(
+            Table5Row(
+                set_name=name,
+                n_regexes=len(patterns_for(name)),
+                nfa_states=nfa.engine.n_states,  # type: ignore[union-attr]
+                dfa_states=dfa.engine.n_states if dfa.ok else None,  # type: ignore[union-attr]
+                mfa_states=mfa.engine.n_states,  # type: ignore[union-attr]
+            )
+        )
+    return rows
+
+
+def table5_rows() -> list[str]:
+    """Table V: RegEx set properties."""
+    lines = [
+        f"{'Set':7s} {'RegExes':>8s} {'NFA Qs':>8s} {'DFA Qs':>9s} {'MFA Qs':>8s}",
+        "-" * 45,
+    ]
+    for row in table5_data():
+        dfa = f"{row.dfa_states:,}" if row.dfa_states is not None else "-"
+        lines.append(
+            f"{row.set_name:7s} {row.n_regexes:8d} {row.nfa_states:8,d} "
+            f"{dfa:>9s} {row.mfa_states:8,d}"
+        )
+    return lines
+
+
+def fig2_rows() -> list[str]:
+    """Figure 2: memory image sizes in MB, plus the MFA filter share."""
+    lines = [
+        f"{'Pattern':7s} {'NFA':>7s} {'DFA':>8s} {'HFA':>8s} {'MFA':>7s} {'filter%':>8s}",
+        "-" * 50,
+    ]
+    ratios = []
+    for name in all_set_names():
+        cells: dict[str, str] = {}
+        filter_share = ""
+        for engine_name in ("nfa", "dfa", "hfa", "mfa"):
+            result: BuildResult = build_engine(name, engine_name)
+            if not result.ok:
+                cells[engine_name] = "-"
+                continue
+            size = image_size(result.engine)
+            cells[engine_name] = format_mb(size.total_bytes)
+            if engine_name == "mfa":
+                filter_share = f"{100 * size.filter_fraction:.3f}"
+        hfa_result = build_engine(name, "hfa")
+        mfa_result = build_engine(name, "mfa")
+        if hfa_result.ok and mfa_result.ok:
+            ratios.append(
+                image_size(hfa_result.engine).total_bytes
+                / image_size(mfa_result.engine).total_bytes
+            )
+        lines.append(
+            f"{name:7s} {cells['nfa']:>7s} {cells['dfa']:>8s} "
+            f"{cells['hfa']:>8s} {cells['mfa']:>7s} {filter_share:>8s}"
+        )
+    if ratios:
+        mean = sum(ratios) / len(ratios)
+        lines.append("-" * 50)
+        lines.append(f"mean HFA/MFA image ratio: {mean:.1f}x (paper: ~30x)")
+    return lines

@@ -1,0 +1,40 @@
+"""The paper's contribution: splitter, filter engine, and the MFA."""
+
+from .bpmfa import BitParallelMFA, build_bp_mfa
+from .compiler import compile_dfa, compile_mfa, compile_nfa, compile_patterns
+from .explain import PatternReport, explain, explain_lines
+from .filters import FilterAction, FilterEngine, FilterProgram, FilterState
+from .mfa import MFA, FlowContext, build_mfa
+from .serialize import dumps_mfa, load_mfa, loads_mfa, save_mfa
+from .splitter import SplitResult, SplitStats, SplitterOptions, split_patterns
+from .verify import VerificationReport, reference_matches, verify_equivalence
+
+__all__ = [
+    "BitParallelMFA",
+    "build_bp_mfa",
+    "PatternReport",
+    "explain",
+    "explain_lines",
+    "compile_dfa",
+    "compile_mfa",
+    "compile_nfa",
+    "compile_patterns",
+    "FilterAction",
+    "FilterEngine",
+    "FilterProgram",
+    "FilterState",
+    "MFA",
+    "FlowContext",
+    "build_mfa",
+    "dumps_mfa",
+    "load_mfa",
+    "loads_mfa",
+    "save_mfa",
+    "SplitResult",
+    "SplitStats",
+    "SplitterOptions",
+    "split_patterns",
+    "VerificationReport",
+    "reference_matches",
+    "verify_equivalence",
+]

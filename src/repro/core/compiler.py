@@ -1,0 +1,68 @@
+"""Top-level compile pipeline: rule text in, engine out (paper Figure 1).
+
+This is the public entry point a downstream IDS would use::
+
+    from repro import compile_mfa
+    mfa = compile_mfa([".*vi.*emacs", ".*bsd.*gnu"])
+    for match in mfa.run(payload):
+        ...
+
+Every engine family of the evaluation is constructible through the same
+interface so the benchmark harness can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..automata.dfa import DFA, DEFAULT_STATE_BUDGET, build_dfa
+from ..automata.nfa import NFA, build_nfa
+from ..regex.ast import Pattern
+from ..regex.parser import ParserOptions, parse_many
+from .mfa import MFA, build_mfa
+from .splitter import SplitterOptions
+
+__all__ = ["compile_patterns", "compile_mfa", "compile_dfa", "compile_nfa"]
+
+
+def compile_patterns(
+    rules: Sequence[str] | Sequence[Pattern],
+    parser_options: ParserOptions | None = None,
+) -> list[Pattern]:
+    """Parse rule text into patterns with match-ids 1..n; patterns pass
+    through unchanged (so callers may mix pre-built patterns with text)."""
+    if not rules:
+        return []
+    if isinstance(rules[0], Pattern):
+        return list(rules)  # type: ignore[arg-type]
+    return parse_many(list(rules), options=parser_options)  # type: ignore[arg-type]
+
+
+def compile_mfa(
+    rules: Sequence[str] | Sequence[Pattern],
+    splitter_options: SplitterOptions | None = None,
+    parser_options: ParserOptions | None = None,
+    state_budget: int = DEFAULT_STATE_BUDGET,
+) -> MFA:
+    """Parse, split and compile a rule set into a match-filtering automaton."""
+    patterns = compile_patterns(rules, parser_options)
+    return build_mfa(patterns, splitter_options, state_budget=state_budget)
+
+
+def compile_dfa(
+    rules: Sequence[str] | Sequence[Pattern],
+    parser_options: ParserOptions | None = None,
+    state_budget: int = DEFAULT_STATE_BUDGET,
+) -> DFA:
+    """The paper's DFA baseline: no decomposition, full subset construction."""
+    patterns = compile_patterns(rules, parser_options)
+    return build_dfa(patterns, state_budget=state_budget)
+
+
+def compile_nfa(
+    rules: Sequence[str] | Sequence[Pattern],
+    parser_options: ParserOptions | None = None,
+) -> NFA:
+    """The paper's NFA baseline: compact, slow, never explodes."""
+    patterns = compile_patterns(rules, parser_options)
+    return build_nfa(patterns)

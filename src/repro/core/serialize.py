@@ -1,0 +1,100 @@
+"""Serialisation of compiled MFAs.
+
+An MFA bundle is the DFA blob (see :mod:`repro.automata.serialize`) plus a
+JSON filter table.  The rule compiler runs offline; the data plane loads
+bundles — so the format is versioned, deterministic, and refuses anything
+it does not recognise.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO
+
+from ..automata.serialize import dumps_dfa, loads_dfa
+from .filters import NONE, FilterAction, FilterProgram
+from .mfa import MFA
+
+__all__ = ["dumps_mfa", "loads_mfa", "save_mfa", "load_mfa", "program_to_json", "program_from_json"]
+
+_MAGIC = b"MFABDL1\n"
+
+
+def program_to_json(program: FilterProgram) -> dict:
+    """The filter table as a JSON-safe dict."""
+    return {
+        "width": program.width,
+        "n_registers": program.n_registers,
+        "final_ids": sorted(program.final_ids),
+        "actions": {
+            str(match_id): {
+                "test": action.test,
+                "set": action.set,
+                "clear": action.clear,
+                "report": action.report,
+                "record": action.record,
+                "distance": list(action.distance) if action.distance else None,
+            }
+            for match_id, action in sorted(program.actions.items())
+        },
+    }
+
+
+def program_from_json(blob: dict) -> FilterProgram:
+    actions = {}
+    for match_id, fields in blob["actions"].items():
+        distance = fields.get("distance")
+        actions[int(match_id)] = FilterAction(
+            test=fields.get("test", NONE),
+            set=fields.get("set", NONE),
+            clear=fields.get("clear", NONE),
+            report=fields.get("report", NONE),
+            record=fields.get("record", NONE),
+            distance=tuple(distance) if distance else None,
+        )
+    return FilterProgram(
+        actions=actions,
+        width=blob["width"],
+        n_registers=blob["n_registers"],
+        final_ids=frozenset(blob["final_ids"]),
+    )
+
+
+def dumps_mfa(mfa: MFA) -> bytes:
+    """Serialise an MFA (DFA table + filter program) to bytes."""
+    program_bytes = json.dumps(
+        program_to_json(mfa.program), separators=(",", ":"), sort_keys=True
+    ).encode()
+    dfa_bytes = dumps_dfa(mfa.dfa)
+    return (
+        _MAGIC
+        + struct.pack("<II", len(program_bytes), len(dfa_bytes))
+        + program_bytes
+        + dfa_bytes
+    )
+
+
+def loads_mfa(blob: bytes) -> MFA:
+    """Deserialise an MFA bundle (provenance/stats are not preserved)."""
+    if not blob.startswith(_MAGIC):
+        raise ValueError("not a serialised MFA bundle (bad magic)")
+    offset = len(_MAGIC)
+    program_len, dfa_len = struct.unpack_from("<II", blob, offset)
+    offset += 8
+    program_bytes = blob[offset : offset + program_len]
+    offset += program_len
+    dfa_bytes = blob[offset : offset + dfa_len]
+    if len(program_bytes) != program_len or len(dfa_bytes) != dfa_len:
+        raise ValueError("truncated MFA bundle")
+    program = program_from_json(json.loads(program_bytes))
+    dfa = loads_dfa(dfa_bytes)
+    return MFA(dfa, program)
+
+
+def save_mfa(mfa: MFA, stream: BinaryIO) -> None:
+    stream.write(dumps_mfa(mfa))
+
+
+def load_mfa(stream: BinaryIO) -> MFA:
+    return loads_mfa(stream.read())

@@ -1,0 +1,455 @@
+"""Regex splitting: Algorithm 1 of the paper (``RegexSplit`` / ``Decomp``).
+
+A pattern whose top level looks like ``.*A.*B`` (dot-star), ``.*A[^X]*B``
+(almost-dot-star) or — our implementation of the paper's future-work
+extension — ``.*A.{n,m}B`` (counted gap) is rewritten into independent
+components plus filter actions:
+
+=====================  ============================================  =========================================
+ shape                  components                                    filter actions
+=====================  ============================================  =========================================
+ ``.*A.*B{{n}}``        ``.*A{{n'}} | .*B{{n}}``                      n': Set i;  n: Test i to <n's effect>
+ ``.*A[^X]*B{{n}}``     ``.*A{{n'}} | .*[X]{{n''}} | .*B{{n}}``       n': Set i;  n'': Clear i;  n: Test i ...
+ ``.*A.{g,h}B{{n}}``    ``.*A{{n'}} | .*B{{n}}``                      n': Record r;  n: Dist r in [|B|+g,|B|+h]
+=====================  ============================================  =========================================
+
+Splitting proceeds right-to-left over the pattern's top-level separators;
+the left remainder (which may still contain separators) is pushed back and
+decomposed again, so chains like ``.*A.*B.*C`` yield merged bytecodes
+("Test i to Set j") exactly as the paper describes.  When a split's safety
+conditions fail the splitter falls back one separator at a time and, in the
+worst case, compiles the pattern intact — correctness is never traded for
+compression (paper §I-D, challenge three).
+
+Safety conditions enforced here:
+
+* both sides of a split must be non-nullable;
+* dot-star / almost-dot-star: the strengthened no-overlap test of
+  :mod:`repro.core.overlap`;
+* almost-dot-star additionally: ``X`` must be smaller than the
+  ``max_class_size`` threshold (the paper's 128 rule), must not intersect
+  the alphabet of B, and must not intersect the last-character class of A;
+* counted gap: B must have a fixed length that, plus the gap bound, fits
+  the filter's offset window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from ..regex import ast
+from ..regex.analysis import alphabet, last_class, max_length, min_length
+from ..regex.ast import Alt, ClassNode, Node, Pattern, Repeat
+from ..regex.charclass import CharClass
+from ..regex.simplify import simplify
+from .filters import NONE, WINDOW_BITS, FilterAction, FilterProgram
+from .overlap import segments_overlap
+
+__all__ = ["SplitterOptions", "SplitStats", "SplitResult", "split_patterns"]
+
+
+@dataclass(frozen=True, slots=True)
+class SplitterOptions:
+    """Knobs for the decomposition pass.
+
+    ``max_class_size`` is the paper's threshold: almost-dot-star is applied
+    only when ``|X| < max_class_size`` (default 128, §IV-B).
+    ``coalesce_clear_runs`` rewrites the clear component ``.*[X]`` into
+    ``.*[X]+[^X]`` — the paper's mitigation for hostile runs of X bytes.
+    ``explode_alternations`` splits a top-level alternation into that many
+    separate same-report patterns before decomposing (0 disables).
+
+    ``offset_overlap_rescue`` implements the paper's second future-work
+    idea: when the overlap test refuses a dot-star split but B has a fixed
+    length, the split is performed anyway with an *offset register* in
+    place of the bit — B confirms only when some recorded A ended at least
+    |B| bytes back, i.e. strictly before B began, so overlapping raw
+    matches filter correctly.  Off by default (the paper's evaluated
+    construction does not include it).
+    """
+
+    max_class_size: int = 128
+    enable_dot_star: bool = True
+    enable_almost_dot_star: bool = True
+    enable_counted_gaps: bool = True
+    coalesce_clear_runs: bool = False
+    explode_alternations: int = 8
+    offset_overlap_rescue: bool = False
+
+
+@dataclass(slots=True)
+class SplitStats:
+    """Counters describing what the splitter did to a rule set."""
+
+    n_patterns: int = 0
+    n_dot_star: int = 0
+    n_almost_dot_star: int = 0
+    n_counted: int = 0
+    n_refused_overlap: int = 0
+    n_refused_class: int = 0
+    n_refused_nullable: int = 0
+    n_refused_counted: int = 0
+    n_offset_rescues: int = 0
+    n_intact: int = 0
+
+
+@dataclass(slots=True)
+class SplitResult:
+    """Everything the DFA builder and filter engine need after splitting."""
+
+    components: list[Pattern]
+    program: FilterProgram
+    component_ids: dict[int, list[int]]
+    stats: SplitStats
+
+    @property
+    def width(self) -> int:
+        return self.program.width
+
+
+# A separator found at the top level of a concatenation.
+@dataclass(frozen=True, slots=True)
+class _Separator:
+    index: int
+    kind: str                     # "dot" | "almost" | "counted"
+    x_class: Optional[CharClass]  # for "almost": the negated class X
+    gap: Optional[tuple[int, int]]  # for "counted": (lo, hi)
+
+
+class _IdAllocator:
+    def __init__(self, start: int):
+        self._next = start
+
+    def fresh(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+
+def split_patterns(
+    patterns: Sequence[Pattern],
+    options: SplitterOptions | None = None,
+) -> SplitResult:
+    """Decompose a rule set; returns components plus the filter program."""
+    options = options or SplitterOptions()
+    stats = SplitStats(n_patterns=len(patterns))
+    final_ids = frozenset(p.match_id for p in patterns)
+    alloc = _IdAllocator(max(final_ids, default=0) + 1)
+
+    actions: dict[int, FilterAction] = {}
+    components: list[Pattern] = []
+    component_ids: dict[int, list[int]] = {p.match_id: [] for p in patterns}
+    bits_used = 0
+    regs_used = 0
+
+    stack: list[tuple[Pattern, int]] = []
+    for pattern in patterns:
+        for piece in _normalise(pattern, alloc, actions, options):
+            stack.append((piece, pattern.match_id))
+
+    while stack:
+        pattern, origin = stack.pop()
+        split = _find_split(pattern, options, stats)
+        if split is None:
+            components.append(pattern)
+            component_ids[origin].append(pattern.match_id)
+            continue
+
+        separator, a_node, b_node = split
+        inherited = actions.get(pattern.match_id, FilterAction(report=pattern.match_id))
+        new_id = alloc.fresh()
+
+        if separator.kind == "counted":
+            register = regs_used
+            regs_used += 1
+            gap_lo, gap_hi = separator.gap  # type: ignore[misc]
+            b_len = min_length(b_node)  # fixed length, checked by _find_split
+            actions[new_id] = FilterAction(
+                test=inherited.test,
+                distance=inherited.distance,
+                record=register,
+            )
+            actions[pattern.match_id] = replace(
+                inherited,
+                test=NONE,
+                distance=(
+                    register,
+                    b_len + gap_lo,
+                    None if gap_hi is None else b_len + gap_hi,
+                ),
+            )
+            stats.n_counted += 1
+        else:
+            bit = bits_used
+            bits_used += 1
+            actions[new_id] = FilterAction(
+                test=inherited.test,
+                distance=inherited.distance,
+                set=bit,
+            )
+            actions[pattern.match_id] = replace(inherited, test=bit, distance=None)
+            if separator.kind == "almost":
+                clear_id = alloc.fresh()
+                actions[clear_id] = FilterAction(clear=bit)
+                clear_root = _clear_component(separator.x_class, options)
+                components.append(Pattern(clear_root, match_id=clear_id))
+                component_ids[origin].append(clear_id)
+                stats.n_almost_dot_star += 1
+            else:
+                stats.n_dot_star += 1
+
+        a_side = Pattern(
+            a_node,
+            match_id=new_id,
+            anchored=pattern.anchored,
+            source=pattern.source,
+        )
+        b_side = Pattern(
+            b_node,
+            match_id=pattern.match_id,
+            anchored=False,
+            end_anchored=pattern.end_anchored,
+            source=pattern.source,
+        )
+        stack.append((a_side, origin))
+        stack.append((b_side, origin))
+
+    # Pure pass-through final actions are represented implicitly by the
+    # engine; drop them to keep the table at its paper size.
+    actions = {
+        match_id: action
+        for match_id, action in actions.items()
+        if not (
+            action.report == match_id
+            and action.test == NONE
+            and action.distance is None
+            and action.set == NONE
+            and action.clear == NONE
+            and action.record == NONE
+        )
+    }
+    stats.n_intact = sum(
+        1 for ids in component_ids.values() if len(ids) == 1
+    )
+
+    program = FilterProgram(
+        actions=actions,
+        width=bits_used,
+        n_registers=regs_used,
+        final_ids=final_ids,
+    )
+    return SplitResult(
+        components=components,
+        program=program,
+        component_ids=component_ids,
+        stats=stats,
+    )
+
+
+# -- normalisation -----------------------------------------------------------
+
+
+def _normalise(
+    pattern: Pattern,
+    alloc: _IdAllocator,
+    actions: dict[int, FilterAction],
+    options: SplitterOptions,
+) -> list[Pattern]:
+    """Simplify, strip redundant leading ``.*``, explode alternations."""
+    root = simplify(pattern.root)
+    parts = _top_parts(root)
+    # An unanchored pattern beginning with a dot-star is just unanchored;
+    # a leading dot-star also neutralises an anchor.
+    anchored = pattern.anchored
+    while parts and _is_dot_star(parts[0]):
+        parts = parts[1:]
+        anchored = False
+    root = ast.concat(parts)
+    base = Pattern(
+        root,
+        match_id=pattern.match_id,
+        anchored=anchored,
+        end_anchored=pattern.end_anchored,
+        source=pattern.source,
+    )
+    limit = options.explode_alternations
+    if (
+        isinstance(root, Alt)
+        and 0 < len(root.options) <= limit
+        and any(_contains_separator(o) for o in root.options)
+    ):
+        pieces = []
+        for option in root.options:
+            piece_id = alloc.fresh()
+            actions[piece_id] = FilterAction(report=pattern.match_id)
+            pieces.append(
+                Pattern(
+                    simplify(option),
+                    match_id=piece_id,
+                    anchored=anchored,
+                    end_anchored=pattern.end_anchored,
+                    source=pattern.source,
+                )
+            )
+        return pieces
+    return [base]
+
+
+def _top_parts(root: Node) -> tuple[Node, ...]:
+    """Top-level concat parts with min-repeats of partial classes unrolled.
+
+    ``C{n,}`` becomes ``C...C C*`` (and ``C+`` becomes ``C C*``) for
+    *partial* classes so the separator scan sees the star.  Full-alphabet
+    repeats (``.{n,}``, ``.+``) are left intact: they classify as open
+    counted-gap separators, because folding a ``.`` into a neighbouring
+    segment always fails the overlap test (a trailing ``.`` makes every
+    byte a possible segment suffix).
+    """
+    if isinstance(root, ast.Concat):
+        parts = root.parts
+    elif isinstance(root, ast.Empty):
+        parts = ()
+    else:
+        parts = (root,)
+    unrolled: list[Node] = []
+    for part in parts:
+        if (
+            isinstance(part, Repeat)
+            and isinstance(part.child, ClassNode)
+            and not part.child.cls.is_full()
+            and part.max is None
+            and 0 < part.min <= 16
+        ):
+            unrolled.extend([part.child] * part.min)
+            unrolled.append(ast.star(part.child))
+        else:
+            unrolled.append(part)
+    return tuple(unrolled)
+
+
+def _is_dot_star(node: Node) -> bool:
+    return (
+        isinstance(node, Repeat)
+        and node.min == 0
+        and node.max is None
+        and isinstance(node.child, ClassNode)
+        and node.child.cls.is_full()
+    )
+
+
+def _contains_separator(node: Node) -> bool:
+    parts = _top_parts(node)
+    return any(_classify(part, SplitterOptions()) is not None for part in parts)
+
+
+# -- separator discovery ------------------------------------------------------
+
+
+def _classify(part: Node, options: SplitterOptions) -> Optional[tuple[str, object]]:
+    """Is this top-level part a separator?  Returns (kind, payload)."""
+    if not isinstance(part, Repeat) or not isinstance(part.child, ClassNode):
+        return None
+    klass = part.child.cls
+    if part.min == 0 and part.max is None:
+        if klass.is_full():
+            return ("dot", None)
+        x_class = ~klass
+        if 0 < len(x_class) < options.max_class_size:
+            return ("almost", x_class)
+        return None
+    if klass.is_full():
+        # ``.{n,m}`` -> bounded window; ``.{n,}`` / ``.+`` -> open window.
+        return ("counted", (part.min, part.max))
+    return None
+
+
+def _find_split(
+    pattern: Pattern,
+    options: SplitterOptions,
+    stats: SplitStats,
+) -> Optional[tuple[_Separator, Node, Node]]:
+    """Find the rightmost separator that splits safely, if any."""
+    parts = _top_parts(pattern.root)
+    for index in range(len(parts) - 1, -1, -1):
+        classified = _classify(parts[index], options)
+        if classified is None:
+            continue
+        kind, payload = classified
+        if kind == "dot" and not options.enable_dot_star:
+            continue
+        if kind == "almost" and not options.enable_almost_dot_star:
+            continue
+        if kind == "counted" and not options.enable_counted_gaps:
+            continue
+        a_node = ast.concat(list(parts[:index]))
+        b_node = ast.concat(list(parts[index + 1 :]))
+        separator = _Separator(
+            index=index,
+            kind=kind,
+            x_class=payload if kind == "almost" else None,
+            gap=payload if kind == "counted" else None,
+        )
+        if _split_is_safe(separator, a_node, b_node, options, stats):
+            return separator, a_node, b_node
+        if (
+            kind == "dot"
+            and options.offset_overlap_rescue
+            and options.enable_counted_gaps
+            and min_length(a_node) > 0
+        ):
+            # Future-work rescue: re-express ``.*A.*B`` as an open counted
+            # gap ``.*A.{0,}B`` — the offset register demands A end at least
+            # |B| bytes before B's end (i.e. strictly before B begins), so
+            # overlapping raw matches filter correctly without the overlap
+            # precondition.  Needs a fixed-length B, checked by the counted
+            # safety rules.
+            rescue = _Separator(index=index, kind="counted", x_class=None, gap=(0, None))
+            if _split_is_safe(rescue, a_node, b_node, options, stats):
+                stats.n_offset_rescues += 1
+                return rescue, a_node, b_node
+    return None
+
+
+def _split_is_safe(
+    separator: _Separator,
+    a_node: Node,
+    b_node: Node,
+    options: SplitterOptions,
+    stats: SplitStats,
+) -> bool:
+    if min_length(a_node) == 0 or min_length(b_node) == 0:
+        stats.n_refused_nullable += 1
+        return False
+    if separator.kind == "counted":
+        gap_lo, gap_hi = separator.gap  # type: ignore[misc]
+        b_min, b_max = min_length(b_node), max_length(b_node)
+        if b_max is None or b_min != b_max:
+            stats.n_refused_counted += 1
+            return False
+        upper = gap_lo if gap_hi is None else gap_hi
+        if b_min + upper >= WINDOW_BITS:
+            stats.n_refused_counted += 1
+            return False
+        # Positions disambiguate completely for an exact window, so no
+        # overlap condition is needed (see tests/core/test_counted_gaps.py).
+        return True
+    if separator.kind == "almost":
+        x_class = separator.x_class
+        assert x_class is not None
+        if x_class.overlaps(alphabet(b_node)) or x_class.overlaps(last_class(a_node)):
+            stats.n_refused_class += 1
+            return False
+    if segments_overlap(a_node, b_node):
+        stats.n_refused_overlap += 1
+        return False
+    return True
+
+
+def _clear_component(x_class: Optional[CharClass], options: SplitterOptions) -> Node:
+    """The ``.*[X]`` clear pattern, optionally with the paper's mitigation
+    rewrite ``.*[X]+[^X]`` that fires once per run of X bytes."""
+    assert x_class is not None
+    if options.coalesce_clear_runs:
+        return ast.concat([ast.plus(ClassNode(x_class)), ClassNode(~x_class)])
+    return ClassNode(x_class)

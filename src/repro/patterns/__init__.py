@@ -1,0 +1,24 @@
+"""Pattern sets and rule-file front ends."""
+
+from .rulesets import RULESETS, RuleSet, ruleset, ruleset_names
+from .snortlike import (
+    SnortParseError,
+    SnortRule,
+    parse_rule,
+    parse_rules,
+    parse_rules_restoring,
+    rules_to_patterns,
+)
+
+__all__ = [
+    "RULESETS",
+    "RuleSet",
+    "ruleset",
+    "ruleset_names",
+    "SnortParseError",
+    "SnortRule",
+    "parse_rule",
+    "parse_rules",
+    "parse_rules_restoring",
+    "rules_to_patterns",
+]

@@ -1,0 +1,325 @@
+"""The seven pattern sets of the paper's evaluation (Table V).
+
+The paper's sets are: B217p (Bro, 224 regexes, mostly unanchored string
+matches plus a few dot-stars and some very short patterns), C7p/C8/C10
+(proprietary vendor sets, 8–11 regexes using dot-star and almost-dot-star
+heavily, often several per pattern) and S24/S31p/S34 (Snort-derived,
+24–40 regexes mixing almost-dot-star, long strings and anchored heads —
+the anchoring is what keeps their plain DFAs buildable).
+
+The vendor sets are proprietary and the exact Snort/Bro extracts are not
+bundled here, so each set is *re-synthesized* to the published structural
+recipe: same regex count, same anchoring mix, same dot-star /
+almost-dot-star density, comparable literal lengths.  Hand-written
+security-flavoured patterns form each set's core; deterministic filler
+patterns (seeded per set) bring the counts up.  State-explosion behaviour —
+the property every experiment measures — depends only on this structure.
+
+Absolute state counts are scaled down roughly 2–4x from the paper's (the
+reproduction's subset construction runs in interpreted Python; see
+EXPERIMENTS.md for paper-vs-measured tables); the *ratios* between the
+columns of Table V are the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.rng import make_rng
+
+__all__ = ["RuleSet", "RULESETS", "ruleset", "ruleset_names"]
+
+
+@dataclass(frozen=True, slots=True)
+class RuleSet:
+    """A named pattern set with its provenance notes."""
+
+    name: str
+    description: str
+    rules: tuple[str, ...]
+    dfa_constructible: bool = True
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+_CONSONANT = "bcdfghklmnprstvwz"
+_VOWEL = "aeiou"
+
+
+def _filler_word(rng, length: int) -> str:
+    """A pronounceable pseudo-token (distinct across sets via the RNG)."""
+    out = []
+    for i in range(length):
+        out.append(rng.choice(_CONSONANT if i % 2 == 0 else _VOWEL))
+    return "".join(out)
+
+
+# -- C sets: vendor-style, dot-star heavy -------------------------------------
+
+
+def _build_c7p() -> RuleSet:
+    """11 regexes, every one a dot-star pattern, several with three
+    segments: the DFA blow-up poster child (paper: 295 NFA states vs
+    244,366 DFA states vs 104 MFA states)."""
+    rng = make_rng(7, "c7p")
+    rules = [
+        ".*cmd\\.exe.*system",
+        ".*union.*passwd",
+        ".*/bin/sh.*root",
+        ".*%u9090.*call",
+        ".*script.*alert",
+        ".*admin\\.p.*shell",
+        ".*EHLO .*vrfy",
+        ".*quote site",
+        ".*jmp .*ret",
+    ]
+    for _ in range(2):
+        a = _filler_word(rng, 4)
+        b = _filler_word(rng, 4)
+        rules.append(f".*{a}.*{b}")
+    return RuleSet(
+        "C7p",
+        "vendor-style, 11 regexes, all multi-segment dot-star (DFA huge)",
+        tuple(rules),
+    )
+
+
+def _build_c8() -> RuleSet:
+    """8 regexes with moderate dot-star use (paper DFA 3,786 states)."""
+    rules = (
+        ".*GET /cgi-bin/.*\\.\\./",
+        ".*POST /login.*passwd=",
+        ".*%c0%af[^\\n]*system32",
+        ".*USER anonymous.*PASS ",
+        ".*\\x90\\x90\\x90\\x90",
+        ".*SITE EXEC[^\\n]*%p",
+        ".*boundary=--",
+        ".*MAIL FROM:.*RCPT TO:",
+    )
+    return RuleSet("C8", "vendor-style, 8 regexes, mixed dot-star", rules)
+
+
+def _build_c10() -> RuleSet:
+    """10 cleanly decomposable regexes, one dot-star each (paper MFA = 81
+    states against DFA = 19,508: the best-case compression)."""
+    rng = make_rng(10, "c10")
+    rules = [
+        ".*select .*where ",
+        ".*jmp esp.*ret",
+        ".*document\\.wr.*unescape",
+        ".*wget htt.*chmod ",
+        ".*open\\(.*O_CREAT",
+        ".*sledge.*\\x90\\x25",
+        ".*%6e%63%20",
+        ".*rhosts\\+\\+",
+    ]
+    for _ in range(2):
+        a = _filler_word(rng, 5)
+        b = _filler_word(rng, 5)
+        rules.append(f".*{a}.*{b}")
+    return RuleSet("C10", "vendor-style, 10 dot-star regexes", tuple(rules))
+
+
+# -- S sets: Snort-style, anchored heads + almost-dot-star --------------------
+
+# Anchored literal rules: cheap for a DFA — their distinct fixed heads make
+# them mutually exclusive, exactly why the paper calls anchored matching
+# "much easier".
+_S_ANCHORED = (
+    "^GET /scripts/\\.\\.%c1%1c/",
+    "^HEAD /cgi-bin/phf\\?",
+    "^SSH-1\\.",
+    "^OPTIONS \\* HTTP",
+    "^SITE CHMOD 777",
+    "^RETR \\.\\./\\.\\./",
+    "^EXPN root",
+    "^DEBUG\\r\\n",
+    "^VRFY decode",
+    "^PORT 127,0,0,1",
+    "^CEL \\x90\\x90",
+    "^LIST \\.\\./",
+    "^STAT -A",
+    "^MKD AAAA",
+)
+
+# Anchored almost-dot-star rules: one line-window each, still cheap.
+_S_ANCHORED_ADS = (
+    "^POST /_vti_bin/[^\\n]*%00",
+    "^USER [^\\n]*%x%x",
+    "^CONNECT [^\\n]*:25",
+    "^PUT /[^\\n]*\\.asa",
+)
+
+# Unanchored long strings: Aho-Corasick-like, additive.
+_S_STRINGS = (
+    ".*xp_cmdshell",
+    ".*/etc/shadow",
+    ".*AAAAAAAAAAAAAAAA",
+    ".*uid=0\\(root\\)",
+    ".*\\|/bin/id\\|",
+    ".*<iframe src=",
+    ".*%255c%255c",
+    ".*\\x04\\x01\\x00P",
+)
+
+# The explosive minority: unanchored almost-dot-star / dot-star rules,
+# each a multiplicative dimension for the plain DFA and a decomposition
+# target for the MFA.
+_S_UNANCHORED_ADS = (
+    ".*name=[^\\n]*<script",
+    ".*cmd=[^\\n]*;cat ",
+    ".*\\.ida\\?[^\\n]*NNNN",
+    ".*Content-Disposition:[^\\n]*\\.scr",
+    ".*href=[^\\n]*javascript:",
+)
+_S_UNANCHORED_DS = (
+    ".*wget .*chmod ",
+    ".*SELECT.*UNION",
+    ".*passwd .*setuid",
+)
+
+
+def _snort_fillers(seed_name: str, count: int) -> list[str]:
+    """Cheap fillers only (anchored literals and plain strings): the
+    explosive shapes are budgeted explicitly per set above."""
+    rng = make_rng(31, seed_name)
+    fillers = []
+    for i in range(count):
+        kind = i % 3
+        word = _filler_word(rng, rng.randrange(5, 9))
+        tail = _filler_word(rng, rng.randrange(4, 7))
+        if kind == 0:
+            fillers.append(f"^GET /{word}/{tail}\\.cgi")
+        elif kind == 1:
+            fillers.append(f"^POST /{word} HTTP")
+        else:
+            fillers.append(f".*{word}{tail}")
+    return fillers
+
+
+def _build_s24() -> RuleSet:
+    rules = (
+        _S_ANCHORED[:10]
+        + _S_ANCHORED_ADS[:1]
+        + _S_STRINGS[:6]
+        + _S_UNANCHORED_ADS[:3]
+        + _S_UNANCHORED_DS[:1]
+        + tuple(_snort_fillers("s24", 3))
+    )
+    return RuleSet("S24", "Snort-style, 24 regexes, anchored + almost-dot-star", rules)
+
+
+def _build_s31p() -> RuleSet:
+    rules = (
+        _S_ANCHORED
+        + _S_ANCHORED_ADS[:2]
+        + _S_STRINGS
+        + _S_UNANCHORED_ADS[:4]
+        + _S_UNANCHORED_DS[:1]
+        + tuple(_snort_fillers("s31p", 11))
+    )
+    return RuleSet("S31p", "Snort-style, 40 regexes (restored p-variant)", rules)
+
+
+def _build_s34() -> RuleSet:
+    rules = (
+        _S_ANCHORED[:13]
+        + _S_ANCHORED_ADS[:1]
+        + _S_STRINGS
+        + _S_UNANCHORED_ADS[:3]
+        + _S_UNANCHORED_DS[:1]
+        + tuple(_snort_fillers("s34", 8))
+    )
+    return RuleSet("S34", "Snort-style, 34 regexes, string-heavy", rules)
+
+
+# -- B set: Bro-style, many strings + a few dot-stars -------------------------
+
+# Literal byte strings with regex metacharacters escaped (these are
+# Bro-style *string* matches, not regexes: "?", "+", "." and parentheses
+# are payload bytes).
+_B_STRINGS = (
+    "wu-2\\.6\\.0", "PASS ddd@", "CWD ~root", "SITE EXEC", "0wn3d", "r00t",
+    "/c\\+dir", "cmd\\.exe", "default\\.ida", "boot\\.ini", "msadcs\\.dll",
+    "awstats\\.pl", "formmail", "phf\\?Qalias", "test-cgi", "xterm -display",
+    "TERM=vt100", "uid=0\\(root\\)", "/etc/passwd", "/etc/shadow", "id;uname",
+)
+
+
+def _build_b217p() -> RuleSet:
+    """224 regexes: mostly unanchored strings with some very short patterns
+    plus enough multi-dot-star rules that plain DFA construction explodes
+    (the paper could not build B217p as a DFA at all)."""
+    rng = make_rng(217, "b217p")
+    rules: list[str] = list(_B_STRINGS)
+    # Very short patterns: the cause of the paper's huge NFA active sets.
+    rules += ["ls", "id", "su", "sh -i"]
+    # String fillers of realistic lengths.
+    while len(rules) < 208:
+        length = rng.randrange(5, 14)
+        rules.append(_filler_word(rng, length))
+    # The explosive minority: multi-dot-star rules.
+    while len(rules) < 224:
+        a = _filler_word(rng, 4)
+        b = _filler_word(rng, 4)
+        c = _filler_word(rng, 4)
+        if len(rules) % 2:
+            rules.append(f".*{a}.*{b}.*{c}")
+        else:
+            rules.append(f".*{a}.*{b}")
+    return RuleSet(
+        "B217p",
+        "Bro-style, 224 regexes, strings + dot-star minority (DFA infeasible)",
+        tuple(rules),
+        dfa_constructible=False,
+    )
+
+
+def _base_variant(p_set: RuleSet, base_name: str, n_restored: int) -> RuleSet:
+    """The paper's 'p' sets restore commented-out rules from the originals
+    (C7, S31, B217); the base variant is the p set minus the restored
+    minority — here modelled as the final ``n_restored`` rules."""
+    return RuleSet(
+        base_name,
+        f"{p_set.description} (without the {n_restored} restored rules)",
+        p_set.rules[: len(p_set.rules) - n_restored],
+        dfa_constructible=True,
+    )
+
+
+_B217P = _build_b217p()
+_C7P = _build_c7p()
+_S31P = _build_s31p()
+
+RULESETS: dict[str, RuleSet] = {
+    rs.name: rs
+    for rs in (
+        _B217P,
+        _base_variant(_B217P, "B217", 7),
+        _C7P,
+        _base_variant(_C7P, "C7", 4),
+        _build_c8(),
+        _build_c10(),
+        _build_s24(),
+        _S31P,
+        _base_variant(_S31P, "S31", 9),
+        _build_s34(),
+    )
+}
+
+
+def ruleset(name: str) -> RuleSet:
+    """Look up a pattern set by its paper name (e.g. ``"C7p"``)."""
+    try:
+        return RULESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown rule set {name!r}; have {sorted(RULESETS)}") from None
+
+
+def ruleset_names() -> list[str]:
+    """The seven evaluated sets, in paper order: B first, then C, then S.
+
+    The base (non-p) variants B217/C7/S31 also exist in :data:`RULESETS`
+    but are not part of the published evaluation matrix."""
+    return ["B217p", "C7p", "C8", "C10", "S24", "S31p", "S34"]

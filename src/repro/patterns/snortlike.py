@@ -1,0 +1,304 @@
+"""Snort-style rule file front end.
+
+The paper's S-pattern sets are extracted from Snort rules, whose matching
+payload lives in ``content:"..."`` and ``pcre:"/.../flags"`` options. This
+module parses that rule syntax (the subset relevant to payload inspection)
+so real-world rule files can feed the MFA compiler directly:
+
+* ``content:"bytes"`` with ``|41 42|`` hex spans and the ``nocase``,
+  ``depth:N`` and ``offset:N`` modifiers;
+* ``pcre:"/body/flags"`` with ``i`` and ``s`` flags;
+* multiple contents per rule combine in order with ``.*`` gaps — precisely
+  the dot-star shape match filtering decomposes;
+* ``msg`` and ``sid`` are carried through for alert attribution.
+
+Everything else in the rule (header, flow options, thresholds) is parsed
+but ignored for matching purposes.
+"""
+
+from __future__ import annotations
+
+import re as _stdre
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..regex.lexer import RegexSyntaxError
+
+__all__ = ["SnortRule", "SnortParseError", "parse_rule", "parse_rules", "rules_to_patterns"]
+
+_METACHARS = set("\\.^$*+?()[]{}|/")
+
+
+class SnortParseError(ValueError):
+    """Malformed Snort-style rule text."""
+
+
+@dataclass(frozen=True, slots=True)
+class ContentOption:
+    """One ``content`` option with its position modifiers."""
+
+    data: bytes
+    nocase: bool = False
+    depth: Optional[int] = None
+    offset: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SnortRule:
+    """A parsed rule, reduced to what payload matching needs."""
+
+    action: str
+    header: str
+    msg: str
+    sid: Optional[int]
+    contents: tuple[ContentOption, ...]
+    pcre: Optional[str]          # "/body/flags" as written
+    raw: str = field(compare=False, default="")
+
+    def to_pattern_text(self) -> str:
+        """The rule's payload condition as one pattern in our syntax.
+
+        Contents chain with ``.*`` gaps (content B is searched after
+        content A, the Snort semantics without ``distance/within``); a
+        ``pcre`` option, when present, is appended the same way.  A content
+        with ``offset:0 depth:len`` pins to the payload start (``^``).
+        """
+        parts: list[str] = []
+        prefix = ""
+        for index, content in enumerate(self.contents):
+            escaped = _escape_bytes(content.data, content.nocase)
+            if index == 0 and (content.offset > 0 or content.depth is not None):
+                prefix, escaped = _position_window(content, escaped)
+            parts.append(escaped)
+        if self.pcre is not None:
+            parts.append(_pcre_body(self.pcre))
+        if not parts:
+            raise SnortParseError(f"rule has no payload condition: {self.raw!r}")
+        return prefix + ".*".join(parts)
+
+
+def _position_window(content: "ContentOption", escaped: str) -> tuple[str, str]:
+    """Translate ``offset``/``depth`` on the leading content into an
+    anchored positional window.
+
+    Snort semantics: the content must *begin* within
+    ``[offset, offset + depth - len]`` of the payload start (``depth``
+    counts bytes searched from ``offset``... historically from the payload
+    start; we use the common from-offset reading).  Expressed as a pattern:
+    ``^.{lo,hi}CONTENT``.
+    """
+    length = len(content.data)
+    lo = content.offset
+    if content.depth is None:
+        return (f"^.{{{lo},}}" if lo else "^"), escaped
+    hi = content.offset + content.depth - length
+    if hi < lo:
+        raise SnortParseError(
+            f"depth {content.depth} cannot fit content of length {length}"
+        )
+    if lo == hi == 0:
+        return "^", escaped
+    if lo == hi:
+        return f"^.{{{lo}}}", escaped
+    return f"^.{{{lo},{hi}}}", escaped
+
+
+def _escape_bytes(data: bytes, nocase: bool) -> str:
+    out: list[str] = []
+    for byte in data:
+        ch = chr(byte)
+        if nocase and ch.isalpha() and ch.isascii():
+            out.append(f"[{ch.lower()}{ch.upper()}]")
+        elif ch in _METACHARS:
+            out.append("\\" + ch)
+        elif 0x20 <= byte < 0x7F:
+            out.append(ch)
+        else:
+            out.append(f"\\x{byte:02x}")
+    return "".join(out)
+
+
+def _pcre_body(pcre: str) -> str:
+    """Strip the /.../ wrapper; honour only the flags our parser supports."""
+    if not pcre.startswith("/"):
+        raise SnortParseError(f"pcre option must start with '/': {pcre!r}")
+    end = pcre.rfind("/")
+    if end <= 0:
+        raise SnortParseError(f"unterminated pcre option: {pcre!r}")
+    body, flags = pcre[1:end], pcre[end + 1 :]
+    unsupported = set(flags) - set("ism")
+    if unsupported:
+        raise SnortParseError(f"unsupported pcre flags {sorted(unsupported)} in {pcre!r}")
+    if "i" in flags:
+        body = f"/{body}/i"          # our parser's slash syntax
+        return f"(?:{_reparse_slash(body)})"
+    return f"(?:{body})"
+
+
+def _reparse_slash(slashed: str) -> str:
+    """Expand /body/i into case-folded text via our own parser/printer."""
+    from ..regex.parser import parse
+    from ..regex.printer import pattern_to_text
+
+    return pattern_to_text(parse(slashed))
+
+
+def _decode_content(text: str) -> bytes:
+    """Snort content syntax: literal text with |41 42| hex spans."""
+    out = bytearray()
+    in_hex = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "|":
+            in_hex = not in_hex
+            i += 1
+            continue
+        if in_hex:
+            if ch.isspace():
+                i += 1
+                continue
+            pair = text[i : i + 2]
+            try:
+                out.append(int(pair, 16))
+            except ValueError:
+                raise SnortParseError(f"bad hex span near {pair!r} in {text!r}") from None
+            i += 2
+            continue
+        if ch == "\\" and i + 1 < len(text):
+            out.append(ord(text[i + 1]))
+            i += 2
+            continue
+        out.append(ord(ch))
+        i += 1
+    if in_hex:
+        raise SnortParseError(f"unterminated hex span in {text!r}")
+    return bytes(out)
+
+
+_OPTION_RE = _stdre.compile(r'\s*(?P<key>[a-z_]+)\s*(?::\s*(?P<value>"(?:\\.|[^"])*"|[^;]*))?;')
+
+
+def parse_rule(line: str) -> SnortRule:
+    """Parse one rule line (``action header ( options )``)."""
+    line = line.strip()
+    open_paren = line.find("(")
+    if open_paren < 0 or not line.endswith(")"):
+        raise SnortParseError(f"rule has no option body: {line!r}")
+    head = line[:open_paren].split()
+    if not head:
+        raise SnortParseError(f"rule has no header: {line!r}")
+    action, header = head[0], " ".join(head[1:])
+
+    body = line[open_paren + 1 : -1]
+    msg = ""
+    sid: Optional[int] = None
+    pcre: Optional[str] = None
+    contents: list[ContentOption] = []
+    pending: Optional[dict] = None
+
+    def flush() -> None:
+        nonlocal pending
+        if pending is not None:
+            contents.append(ContentOption(**pending))
+            pending = None
+
+    position = 0
+    while position < len(body):
+        match = _OPTION_RE.match(body, position)
+        if match is None:
+            if body[position:].strip():
+                raise SnortParseError(f"cannot parse options near {body[position:]!r}")
+            break
+        position = match.end()
+        key = match.group("key")
+        value = (match.group("value") or "").strip()
+        if value.startswith('"') and value.endswith('"'):
+            value = value[1:-1]
+        if key == "msg":
+            msg = value
+        elif key == "sid":
+            sid = int(value)
+        elif key == "content":
+            flush()
+            pending = {"data": _decode_content(value)}
+        elif key == "nocase":
+            if pending is None:
+                raise SnortParseError("nocase with no preceding content")
+            pending["nocase"] = True
+        elif key == "depth":
+            if pending is None:
+                raise SnortParseError("depth with no preceding content")
+            pending["depth"] = int(value)
+        elif key == "offset":
+            if pending is None:
+                raise SnortParseError("offset with no preceding content")
+            pending["offset"] = int(value)
+        elif key == "pcre":
+            pcre = value
+        # every other option (flow, classtype, rev, ...) is non-payload
+    flush()
+
+    return SnortRule(
+        action=action,
+        header=header,
+        msg=msg,
+        sid=sid,
+        contents=tuple(contents),
+        pcre=pcre,
+        raw=line,
+    )
+
+
+def parse_rules(text: str) -> list[SnortRule]:
+    """Parse a rule file: one rule per line, ``#`` comments and blanks
+    skipped.  Lines starting with ``#`` followed by a rule action are the
+    "commented-out" rules the paper's p-variants restore; they are skipped
+    here (use :func:`parse_rules_restoring` to include them)."""
+    rules = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        rules.append(parse_rule(stripped))
+    return rules
+
+
+def parse_rules_restoring(text: str) -> list[SnortRule]:
+    """Like :func:`parse_rules` but also restores commented-out rules —
+    how the paper built its B217p/C7p/S31p "p" pattern-set variants."""
+    rules = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            candidate = stripped.lstrip("# ")
+            if not candidate.split("(")[0].strip().split():
+                continue
+            first = candidate.split()[0]
+            if first not in ("alert", "log", "pass", "drop", "reject"):
+                continue
+            stripped = candidate
+        rules.append(parse_rule(stripped))
+    return rules
+
+
+def rules_to_patterns(rules: Iterable[SnortRule]):
+    """Compile parsed rules into :class:`~repro.regex.ast.Pattern` objects,
+    match-ids taken from ``sid`` (or assigned sequentially)."""
+    from ..regex.parser import parse
+
+    patterns = []
+    next_id = 1
+    for rule in rules:
+        match_id = rule.sid if rule.sid is not None else next_id
+        next_id = max(next_id, match_id) + 1
+        try:
+            pattern = parse(rule.to_pattern_text(), match_id=match_id)
+        except RegexSyntaxError as exc:
+            raise SnortParseError(
+                f"rule sid={rule.sid} compiles to invalid pattern: {exc}"
+            ) from exc
+        patterns.append(pattern)
+    return patterns

@@ -1,0 +1,21 @@
+"""Regex frontend: parsing, AST, character classes and structural analysis."""
+
+from .ast import Pattern
+from .charclass import CharClass
+from .lexer import RegexSyntaxError
+from .parser import ParserOptions, parse, parse_many
+from .printer import pattern_to_text, to_text
+from .simplify import simplify, simplify_pattern
+
+__all__ = [
+    "Pattern",
+    "CharClass",
+    "RegexSyntaxError",
+    "ParserOptions",
+    "parse",
+    "parse_many",
+    "pattern_to_text",
+    "to_text",
+    "simplify",
+    "simplify_pattern",
+]

@@ -1,0 +1,242 @@
+"""Pure-AST structural analyses used by the regex splitter.
+
+These answer the questions the paper's de-composition safety conditions ask
+of sub-expressions:
+
+* :func:`first_class` / :func:`last_class` — which bytes can begin / end a
+  word of the language (``last_class`` drives the "characters of X must not
+  be in final positions of A" condition of almost-dot-star).
+* :func:`alphabet` — every byte that can appear anywhere in a word (drives
+  the "characters of X cannot appear in B" condition).
+* :func:`exact_strings` — enumerate the language when it is small and
+  finite (used for fast-path overlap checks and for tests).
+* :func:`min_length` — shortest word length; a zero-min segment cannot be
+  split off safely.
+
+The language-level suffix/prefix overlap test needs automata and lives in
+:mod:`repro.core.overlap`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .ast import Alt, ClassNode, Concat, Empty, Node, Repeat
+from .charclass import CharClass
+
+__all__ = [
+    "first_class",
+    "last_class",
+    "alphabet",
+    "min_length",
+    "max_length",
+    "exact_strings",
+    "is_literal_string",
+    "literal_bytes",
+]
+
+
+def first_class(node: Node) -> CharClass:
+    """Bytes that can be the first byte of a non-empty word of ``node``."""
+    if isinstance(node, Empty):
+        return CharClass.empty()
+    if isinstance(node, ClassNode):
+        return node.cls
+    if isinstance(node, Alt):
+        result = CharClass.empty()
+        for option in node.options:
+            result |= first_class(option)
+        return result
+    if isinstance(node, Concat):
+        result = CharClass.empty()
+        for part in node.parts:
+            result |= first_class(part)
+            if not part.matches_empty():
+                break
+        return result
+    if isinstance(node, Repeat):
+        return first_class(node.child) if node.max != 0 else CharClass.empty()
+    raise TypeError(f"unknown node type: {type(node).__name__}")
+
+
+def last_class(node: Node) -> CharClass:
+    """Bytes that can be the last byte of a non-empty word of ``node``."""
+    if isinstance(node, Empty):
+        return CharClass.empty()
+    if isinstance(node, ClassNode):
+        return node.cls
+    if isinstance(node, Alt):
+        result = CharClass.empty()
+        for option in node.options:
+            result |= last_class(option)
+        return result
+    if isinstance(node, Concat):
+        result = CharClass.empty()
+        for part in reversed(node.parts):
+            result |= last_class(part)
+            if not part.matches_empty():
+                break
+        return result
+    if isinstance(node, Repeat):
+        return last_class(node.child) if node.max != 0 else CharClass.empty()
+    raise TypeError(f"unknown node type: {type(node).__name__}")
+
+
+def alphabet(node: Node) -> CharClass:
+    """Every byte that can occur anywhere in some word of ``node``."""
+    if isinstance(node, Empty):
+        return CharClass.empty()
+    if isinstance(node, ClassNode):
+        return node.cls
+    if isinstance(node, (Alt, Concat)):
+        children = node.options if isinstance(node, Alt) else node.parts
+        result = CharClass.empty()
+        for child in children:
+            result |= alphabet(child)
+        return result
+    if isinstance(node, Repeat):
+        return alphabet(node.child) if node.max != 0 else CharClass.empty()
+    raise TypeError(f"unknown node type: {type(node).__name__}")
+
+
+def min_length(node: Node) -> int:
+    """Length of the shortest word in the language."""
+    if isinstance(node, Empty):
+        return 0
+    if isinstance(node, ClassNode):
+        return 1
+    if isinstance(node, Alt):
+        return min(min_length(o) for o in node.options)
+    if isinstance(node, Concat):
+        return sum(min_length(p) for p in node.parts)
+    if isinstance(node, Repeat):
+        return node.min * min_length(node.child)
+    raise TypeError(f"unknown node type: {type(node).__name__}")
+
+
+def max_length(node: Node) -> Optional[int]:
+    """Length of the longest word, or ``None`` when unbounded."""
+    if isinstance(node, Empty):
+        return 0
+    if isinstance(node, ClassNode):
+        return 1
+    if isinstance(node, Alt):
+        lengths = [max_length(o) for o in node.options]
+        if any(length is None for length in lengths):
+            return None
+        return max(lengths)  # type: ignore[type-var]
+    if isinstance(node, Concat):
+        total = 0
+        for part in node.parts:
+            length = max_length(part)
+            if length is None:
+                return None
+            total += length
+        return total
+    if isinstance(node, Repeat):
+        if node.max == 0:
+            return 0
+        if node.max is None:
+            return None if max_length(node.child) != 0 else 0
+        length = max_length(node.child)
+        return None if length is None else node.max * length
+    raise TypeError(f"unknown node type: {type(node).__name__}")
+
+
+def exact_strings(node: Node, limit: int = 64) -> Optional[list[bytes]]:
+    """Enumerate the full language if it has at most ``limit`` strings.
+
+    Returns ``None`` when the language is infinite or larger than ``limit``.
+    """
+    out: list[bytes] = []
+    for word in _enumerate(node, limit + 1):
+        out.append(word)
+        if len(out) > limit:
+            return None
+    return out
+
+
+def _enumerate(node: Node, limit: int) -> Iterator[bytes]:
+    if isinstance(node, Empty):
+        yield b""
+        return
+    if isinstance(node, ClassNode):
+        if len(node.cls) >= limit:
+            # Caller will overflow anyway; yield up to limit members.
+            for i, b in enumerate(node.cls):
+                if i >= limit:
+                    return
+                yield bytes((b,))
+            return
+        for b in node.cls:
+            yield bytes((b,))
+        return
+    if isinstance(node, Alt):
+        count = 0
+        for option in node.options:
+            for word in _enumerate(option, limit - count):
+                yield word
+                count += 1
+                if count >= limit:
+                    return
+        return
+    if isinstance(node, Concat):
+        yield from _enumerate_concat(node.parts, limit)
+        return
+    if isinstance(node, Repeat):
+        if node.max is None:
+            # Infinite language unless the child only matches empty.
+            if min_length(node.child) == 0 and max_length(node.child) == 0:
+                yield b""
+                return
+            # Signal "too many" by yielding limit sentinel words.
+            for word in _enumerate_concat((node.child,) * max(node.min, 1), limit):
+                yield word
+            yield from (b"" for _ in range(limit))  # force overflow
+            return
+        count = 0
+        for n in range(node.min, node.max + 1):
+            parts = (node.child,) * n
+            for word in _enumerate_concat(parts, limit - count):
+                yield word
+                count += 1
+                if count >= limit:
+                    return
+        return
+    raise TypeError(f"unknown node type: {type(node).__name__}")
+
+
+def _enumerate_concat(parts: tuple[Node, ...], limit: int) -> Iterator[bytes]:
+    if not parts:
+        yield b""
+        return
+    count = 0
+    for head in _enumerate(parts[0], limit):
+        for tail in _enumerate_concat(parts[1:], limit - count):
+            yield head + tail
+            count += 1
+            if count >= limit:
+                return
+
+
+def is_literal_string(node: Node) -> bool:
+    """True when the node matches exactly one string."""
+    if isinstance(node, Empty):
+        return True
+    if isinstance(node, ClassNode):
+        return len(node.cls) == 1
+    if isinstance(node, Concat):
+        return all(is_literal_string(p) for p in node.parts)
+    if isinstance(node, Repeat):
+        return node.max == node.min and is_literal_string(node.child)
+    return False
+
+
+def literal_bytes(node: Node) -> Optional[bytes]:
+    """The single string matched by a literal node, or ``None``."""
+    if not is_literal_string(node):
+        return None
+    words = exact_strings(node, limit=1)
+    if words is None or len(words) != 1:
+        return None
+    return words[0]

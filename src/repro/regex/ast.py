@@ -1,0 +1,237 @@
+"""Abstract syntax tree for the supported regex subset.
+
+The tree is deliberately small: every leaf is a :class:`ClassNode` (a single
+byte is just a singleton class), and the only combinators are concatenation,
+alternation and bounded/unbounded repetition.  Anchoring (``^`` / ``$``) is
+not represented inside the tree — it is a property of the whole pattern and
+lives on :class:`Pattern` — which keeps every structural algorithm (NFA
+construction, splitting, analysis) free of anchor special cases.
+
+All nodes are immutable; helpers like :func:`concat` and :func:`alternate`
+normalise as they build (flattening nested concats/alts, dropping ``Empty``
+units) so the splitter can pattern-match on a canonical shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .charclass import CharClass
+
+__all__ = [
+    "Node",
+    "Empty",
+    "ClassNode",
+    "Concat",
+    "Alt",
+    "Repeat",
+    "Pattern",
+    "EMPTY",
+    "literal",
+    "string",
+    "concat",
+    "alternate",
+    "star",
+    "plus",
+    "optional",
+    "repeat",
+    "dot_star",
+    "node_size",
+]
+
+
+class Node:
+    """Base class for all regex AST nodes."""
+
+    __slots__ = ()
+
+    def matches_empty(self) -> bool:
+        """True when the empty string is in the node's language."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Empty(Node):
+    """The regex matching exactly the empty string."""
+
+    def matches_empty(self) -> bool:
+        return True
+
+
+EMPTY = Empty()
+
+
+@dataclass(frozen=True, slots=True)
+class ClassNode(Node):
+    """A single input byte drawn from a character class."""
+
+    cls: CharClass
+
+    def __post_init__(self) -> None:
+        if not self.cls:
+            raise ValueError("a ClassNode over the empty class matches nothing")
+
+    def matches_empty(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Node):
+    """Concatenation of two or more sub-expressions."""
+
+    parts: tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("Concat needs at least two parts; use concat()")
+
+    def matches_empty(self) -> bool:
+        return all(p.matches_empty() for p in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Alt(Node):
+    """Alternation between two or more sub-expressions."""
+
+    options: tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 2:
+            raise ValueError("Alt needs at least two options; use alternate()")
+
+    def matches_empty(self) -> bool:
+        return any(o.matches_empty() for o in self.options)
+
+
+@dataclass(frozen=True, slots=True)
+class Repeat(Node):
+    """``child{min,max}`` with ``max=None`` meaning unbounded."""
+
+    child: Node
+    min: int
+    max: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.min < 0:
+            raise ValueError("Repeat.min must be >= 0")
+        if self.max is not None and self.max < self.min:
+            raise ValueError("Repeat.max must be >= Repeat.min")
+
+    def matches_empty(self) -> bool:
+        return self.min == 0 or self.child.matches_empty()
+
+
+# -- construction helpers with normalisation -------------------------------
+
+
+def literal(byte: int) -> ClassNode:
+    """A node matching exactly one byte value."""
+    return ClassNode(CharClass.single(byte))
+
+
+def string(text: str | bytes) -> Node:
+    """A node matching the literal byte string ``text``."""
+    if isinstance(text, str):
+        text = text.encode("latin-1")
+    return concat([literal(b) for b in text])
+
+
+def concat(parts: Sequence[Node]) -> Node:
+    """Concatenate, flattening nested Concats and dropping Empty units."""
+    flat: list[Node] = []
+    for part in parts:
+        if isinstance(part, Empty):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def alternate(options: Sequence[Node]) -> Node:
+    """Alternate, flattening nested Alts and de-duplicating options."""
+    flat: list[Node] = []
+    seen: set[Node] = set()
+    for option in options:
+        subs = option.options if isinstance(option, Alt) else (option,)
+        for sub in subs:
+            if sub not in seen:
+                seen.add(sub)
+                flat.append(sub)
+    if not flat:
+        raise ValueError("alternate() of zero options")
+    if len(flat) == 1:
+        return flat[0]
+    return Alt(tuple(flat))
+
+
+def star(child: Node) -> Node:
+    return repeat(child, 0, None)
+
+
+def plus(child: Node) -> Node:
+    return repeat(child, 1, None)
+
+
+def optional(child: Node) -> Node:
+    return repeat(child, 0, 1)
+
+
+def repeat(child: Node, lo: int, hi: Optional[int]) -> Node:
+    """Build ``child{lo,hi}`` with light normalisation."""
+    if isinstance(child, Empty):
+        return EMPTY
+    if lo == 1 and hi == 1:
+        return child
+    if isinstance(child, Repeat) and child.min == 0 and child.max is None:
+        # (x*)* == x*, (x*){a,b} == x* when it may repeat at all
+        if hi is None or hi >= 1:
+            return child
+    return Repeat(child, lo, hi)
+
+
+def dot_star(dot: CharClass | None = None) -> Node:
+    """The ubiquitous ``.*`` (DOTALL by default, per common DPI semantics)."""
+    return star(ClassNode(dot if dot is not None else CharClass.full()))
+
+
+def node_size(node: Node) -> int:
+    """Number of AST nodes — a cheap complexity measure used in reporting."""
+    if isinstance(node, (Empty, ClassNode)):
+        return 1
+    if isinstance(node, Concat):
+        return 1 + sum(node_size(p) for p in node.parts)
+    if isinstance(node, Alt):
+        return 1 + sum(node_size(o) for o in node.options)
+    if isinstance(node, Repeat):
+        return 1 + node_size(node.child)
+    raise TypeError(f"unknown node type: {type(node).__name__}")
+
+
+@dataclass(frozen=True, slots=True)
+class Pattern:
+    """A complete security pattern: AST plus anchoring and identity.
+
+    ``match_id`` is the identifier reported when the pattern matches, the
+    ``{{n}}`` annotation of the paper.  ``anchored`` corresponds to a leading
+    ``^``: the pattern must match starting at the first payload byte.
+    ``end_anchored`` corresponds to a trailing ``$``.
+    """
+
+    root: Node
+    match_id: int = 1
+    anchored: bool = False
+    end_anchored: bool = False
+    source: str = field(default="", compare=False)
+
+    def with_id(self, match_id: int) -> "Pattern":
+        return Pattern(self.root, match_id, self.anchored, self.end_anchored, self.source)
+
+    def with_root(self, root: Node) -> "Pattern":
+        return Pattern(root, self.match_id, self.anchored, self.end_anchored, self.source)

@@ -1,0 +1,199 @@
+"""Character classes over the byte alphabet.
+
+DPI engines operate on raw packet bytes, so the alphabet here is always the
+256 byte values.  A :class:`CharClass` is an immutable set of byte values
+with set-algebra operations and the queries the regex splitter needs (size,
+membership, overlap with another class).
+
+The implementation stores the set as a 256-bit integer bitmap, which makes
+union/intersection/complement single integer operations and keeps hashing
+and equality cheap — classes are used as dict keys throughout automaton
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+ALPHABET_SIZE = 256
+_FULL_MASK = (1 << ALPHABET_SIZE) - 1
+
+__all__ = ["ALPHABET_SIZE", "CharClass"]
+
+
+class CharClass:
+    """An immutable set of byte values (0..255) backed by a bitmap."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bytes_or_bits: Iterable[int] | int = 0):
+        """Build a class from an iterable of byte values or a raw bitmap.
+
+        Passing an ``int`` treats it as the bitmap directly; anything else is
+        iterated for byte values.
+        """
+        if isinstance(bytes_or_bits, int):
+            bits = bytes_or_bits
+            if bits < 0 or bits > _FULL_MASK:
+                raise ValueError("bitmap out of range for a 256-bit class")
+        else:
+            bits = 0
+            for value in bytes_or_bits:
+                if not 0 <= value < ALPHABET_SIZE:
+                    raise ValueError(f"byte value out of range: {value!r}")
+                bits |= 1 << value
+        object.__setattr__(self, "_bits", bits)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("CharClass is immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "CharClass":
+        """The empty class (matches nothing)."""
+        return _EMPTY
+
+    @classmethod
+    def full(cls) -> "CharClass":
+        """The class of all 256 byte values."""
+        return _FULL
+
+    @classmethod
+    def of(cls, text: str | bytes) -> "CharClass":
+        """Class containing every byte of ``text`` (str is latin-1 encoded)."""
+        if isinstance(text, str):
+            text = text.encode("latin-1")
+        return cls(iter(text))
+
+    @classmethod
+    def single(cls, value: int) -> "CharClass":
+        """Class containing exactly one byte value."""
+        return cls((value,))
+
+    @classmethod
+    def range(cls, lo: int, hi: int) -> "CharClass":
+        """Class of the inclusive byte range ``lo..hi``."""
+        if not (0 <= lo <= hi < ALPHABET_SIZE):
+            raise ValueError(f"invalid range {lo}-{hi}")
+        bits = ((1 << (hi - lo + 1)) - 1) << lo
+        return cls(bits)
+
+    # -- set algebra -------------------------------------------------------
+
+    def union(self, other: "CharClass") -> "CharClass":
+        return CharClass(self._bits | other._bits)
+
+    def intersect(self, other: "CharClass") -> "CharClass":
+        return CharClass(self._bits & other._bits)
+
+    def difference(self, other: "CharClass") -> "CharClass":
+        return CharClass(self._bits & ~other._bits & _FULL_MASK)
+
+    def complement(self) -> "CharClass":
+        return CharClass(~self._bits & _FULL_MASK)
+
+    __or__ = union
+    __and__ = intersect
+    __sub__ = difference
+    __invert__ = complement
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        """The raw 256-bit bitmap."""
+        return self._bits
+
+    def __contains__(self, value: int) -> bool:
+        return bool(self._bits >> value & 1)
+
+    def __len__(self) -> int:
+        return self._bits.bit_count()
+
+    def __bool__(self) -> bool:
+        return self._bits != 0
+
+    def __iter__(self) -> Iterator[int]:
+        bits = self._bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    def overlaps(self, other: "CharClass") -> bool:
+        """True when the two classes share at least one byte value."""
+        return bool(self._bits & other._bits)
+
+    def is_full(self) -> bool:
+        return self._bits == _FULL_MASK
+
+    def min_byte(self) -> int:
+        """Smallest member; raises ``ValueError`` on the empty class."""
+        if not self._bits:
+            raise ValueError("empty CharClass has no minimum")
+        return (self._bits & -self._bits).bit_length() - 1
+
+    def sample(self) -> int:
+        """A deterministic representative member (the smallest)."""
+        return self.min_byte()
+
+    def ranges(self) -> list[tuple[int, int]]:
+        """The class as a sorted list of inclusive (lo, hi) byte ranges."""
+        out: list[tuple[int, int]] = []
+        start = None
+        prev = None
+        for b in self:
+            if start is None:
+                start = prev = b
+            elif b == prev + 1:
+                prev = b
+            else:
+                out.append((start, prev))
+                start = prev = b
+        if start is not None:
+            out.append((start, prev))
+        return out
+
+    # -- dunder plumbing ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CharClass) and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash(self._bits)
+
+    def __repr__(self) -> str:
+        if self.is_full():
+            return "CharClass.full()"
+        if not self:
+            return "CharClass.empty()"
+        if len(self) > 128:
+            return f"CharClass(~{(~self)!r})"
+        parts = []
+        for lo, hi in self.ranges():
+            if lo == hi:
+                parts.append(_show_byte(lo))
+            else:
+                parts.append(f"{_show_byte(lo)}-{_show_byte(hi)}")
+        return f"CharClass[{''.join(parts)}]"
+
+
+def _show_byte(b: int) -> str:
+    if 0x20 < b < 0x7F and chr(b) not in "[]-\\^":
+        return chr(b)
+    return f"\\x{b:02x}"
+
+
+_EMPTY = CharClass(0)
+_FULL = CharClass(_FULL_MASK)
+
+# Named classes used by the lexer for escape sequences.
+DIGITS = CharClass.range(ord("0"), ord("9"))
+WORD = (
+    CharClass.range(ord("a"), ord("z"))
+    | CharClass.range(ord("A"), ord("Z"))
+    | DIGITS
+    | CharClass.single(ord("_"))
+)
+SPACE = CharClass.of(" \t\n\r\x0b\x0c")

@@ -1,0 +1,63 @@
+"""Light AST normalisation passes.
+
+Run before splitting and automaton construction so that structurally equal
+patterns compare equal and the splitter's shape-matching sees a canonical
+tree.  All passes are language-preserving; the property tests check each
+rewritten tree against the original via the NFA engine.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .ast import Alt, ClassNode, Concat, Empty, Node, Pattern, Repeat
+
+__all__ = ["simplify", "simplify_pattern"]
+
+
+def simplify(node: Node) -> Node:
+    """Return a normalised, language-equal tree."""
+    if isinstance(node, (Empty, ClassNode)):
+        return node
+    if isinstance(node, Concat):
+        return ast.concat([simplify(p) for p in node.parts])
+    if isinstance(node, Alt):
+        return _simplify_alt(node)
+    if isinstance(node, Repeat):
+        return _simplify_repeat(node)
+    raise TypeError(f"unknown node type: {type(node).__name__}")
+
+
+def simplify_pattern(pattern: Pattern) -> Pattern:
+    return pattern.with_root(simplify(pattern.root))
+
+
+def _simplify_alt(node: Alt) -> Node:
+    options = [simplify(o) for o in node.options]
+    # Merge single-byte alternatives into one character class: a|b|[cd] -> [a-d]
+    classes = [o for o in options if isinstance(o, ClassNode)]
+    if len(classes) >= 2:
+        merged = classes[0].cls
+        for other in classes[1:]:
+            merged |= other.cls
+        rest = [o for o in options if not isinstance(o, ClassNode)]
+        options = [ClassNode(merged), *rest]
+    return ast.alternate(options)
+
+
+def _simplify_repeat(node: Repeat) -> Node:
+    child = simplify(node.child)
+    lo, hi = node.min, node.max
+    if isinstance(child, Repeat):
+        # x{a,}{c,} and friends collapse when either inner or outer is a pure
+        # star/plus shape; keep the general case nested (rare and harmless).
+        if child.min == 0 and child.max is None:
+            # (x*){lo,hi}: if it may repeat at least once the result is x*;
+            # {0,0} degenerates to Empty.
+            if hi == 0:
+                return ast.EMPTY
+            return child
+        if child.min == 1 and child.max is None and hi is None and lo >= 1:
+            return ast.repeat(child.child, lo, None)
+    if hi == 0:
+        return ast.EMPTY
+    return ast.repeat(child, lo, hi)

@@ -1,0 +1,31 @@
+"""Traffic substrate: flows, pcap I/O, and synthetic trace generation."""
+
+from .becchi import DIFFICULTIES, SyntheticTrace, generate_payload, generate_trace
+from .corpora import PROFILES, TraceProfile, build_corpus, corpus_packets
+from .flows import FiveTuple, Flow, FlowAssembler, FlowMatch, Packet, dispatch_flows
+from .pcap import PcapError, decode_frame, encode_packet, read_pcap, write_pcap
+from .replay import ReplayStats, replay
+
+__all__ = [
+    "DIFFICULTIES",
+    "SyntheticTrace",
+    "generate_payload",
+    "generate_trace",
+    "PROFILES",
+    "TraceProfile",
+    "build_corpus",
+    "corpus_packets",
+    "FiveTuple",
+    "Flow",
+    "FlowAssembler",
+    "FlowMatch",
+    "Packet",
+    "dispatch_flows",
+    "PcapError",
+    "decode_frame",
+    "encode_packet",
+    "read_pcap",
+    "write_pcap",
+    "ReplayStats",
+    "replay",
+]

@@ -1,0 +1,181 @@
+"""Protocol payload synthesizers (HTTP, SMTP, telnet-style, binary).
+
+The real-life corpora the paper uses (DARPA 1998, CDX 2009, Nitroba) are
+dominated by plaintext application sessions of exactly these protocols.
+The synthesizers below produce protocol-shaped byte streams — believable
+header/body structure, line discipline, realistic byte-value mix — that
+drive matching engines through the same state regions real captures do.
+All content is deterministic in the RNG handed in.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "http_request",
+    "http_response",
+    "http_session",
+    "smtp_session",
+    "telnet_session",
+    "dns_query",
+    "dns_response",
+    "binary_blob",
+]
+
+_PATHS = (
+    "/", "/index.html", "/login", "/cgi-bin/status", "/images/logo.gif",
+    "/api/v1/users", "/search", "/docs/manual.pdf", "/news/today",
+    "/static/app.js", "/favicon.ico", "/upload", "/admin/panel",
+)
+_HOSTS = (
+    "www.example.com", "mail.campus.edu", "intranet.corp.local",
+    "files.example.org", "news.example.net",
+)
+_AGENTS = (
+    "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)",
+    "Mozilla/5.0 (X11; Linux i686) Gecko/20040616",
+    "Wget/1.9.1",
+    "curl/7.12.0",
+)
+_WORDS = (
+    "the quick brown fox jumps over a lazy dog and then naps under warm sun "
+    "network packets flow through routers toward distant hosts carrying data "
+    "students submit reports while servers log every request for later audit"
+).split()
+
+
+def _text(rng: random.Random, n_words: int) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(n_words))
+
+
+def http_request(rng: random.Random, body: bytes = b"") -> bytes:
+    """One HTTP/1.1 request with plausible headers."""
+    method = rng.choice(("GET", "GET", "GET", "POST", "HEAD"))
+    path = rng.choice(_PATHS)
+    lines = [
+        f"{method} {path} HTTP/1.1",
+        f"Host: {rng.choice(_HOSTS)}",
+        f"User-Agent: {rng.choice(_AGENTS)}",
+        "Accept: */*",
+        "Connection: keep-alive",
+    ]
+    if method == "POST" or body:
+        lines.append(f"Content-Length: {len(body)}")
+        lines.append("Content-Type: application/x-www-form-urlencoded")
+    head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+    return head + body
+
+
+def http_response(rng: random.Random, body: bytes | None = None) -> bytes:
+    """One HTTP/1.1 response with an HTML-ish body."""
+    if body is None:
+        title = _text(rng, 3)
+        paragraphs = "".join(
+            f"<p>{_text(rng, rng.randrange(8, 30))}</p>" for _ in range(rng.randrange(1, 6))
+        )
+        body = (
+            f"<html><head><title>{title}</title></head><body>{paragraphs}</body></html>"
+        ).encode("latin-1")
+    status = rng.choice(("200 OK", "200 OK", "200 OK", "404 Not Found", "302 Found"))
+    head = (
+        f"HTTP/1.1 {status}\r\n"
+        f"Server: Apache/1.3.27 (Unix)\r\n"
+        f"Content-Type: text/html\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+def http_session(rng: random.Random, n_exchanges: int | None = None) -> tuple[bytes, bytes]:
+    """A full session: (client-to-server bytes, server-to-client bytes)."""
+    if n_exchanges is None:
+        n_exchanges = rng.randrange(1, 5)
+    c2s = b"".join(http_request(rng) for _ in range(n_exchanges))
+    s2c = b"".join(http_response(rng) for _ in range(n_exchanges))
+    return c2s, s2c
+
+
+def smtp_session(rng: random.Random) -> tuple[bytes, bytes]:
+    """An SMTP exchange with a short message body."""
+    sender = f"user{rng.randrange(100)}@{rng.choice(_HOSTS)}"
+    rcpt = f"user{rng.randrange(100)}@{rng.choice(_HOSTS)}"
+    body = "\r\n".join(_text(rng, rng.randrange(6, 14)) for _ in range(rng.randrange(2, 8)))
+    c2s = (
+        f"HELO client.example.com\r\n"
+        f"MAIL FROM:<{sender}>\r\n"
+        f"RCPT TO:<{rcpt}>\r\n"
+        "DATA\r\n"
+        f"Subject: {_text(rng, 4)}\r\n\r\n{body}\r\n.\r\n"
+        "QUIT\r\n"
+    ).encode("latin-1")
+    s2c = (
+        "220 mail.campus.edu ESMTP Sendmail 8.12.10\r\n"
+        "250 mail.campus.edu Hello\r\n"
+        "250 2.1.0 Sender ok\r\n"
+        "250 2.1.5 Recipient ok\r\n"
+        "354 Enter mail, end with '.' on a line by itself\r\n"
+        "250 2.0.0 Message accepted for delivery\r\n"
+        "221 2.0.0 closing connection\r\n"
+    ).encode("latin-1")
+    return c2s, s2c
+
+
+def telnet_session(rng: random.Random) -> tuple[bytes, bytes]:
+    """An interactive shell-ish exchange (DARPA-era traffic staple)."""
+    commands = ["ls -la", "pwd", "cat /etc/motd", "ps aux", "who", "uname -a", "df -k"]
+    chosen = [rng.choice(commands) for _ in range(rng.randrange(2, 7))]
+    c2s = ("".join(c + "\r\n" for c in chosen)).encode("latin-1")
+    outputs = []
+    for command in chosen:
+        outputs.append(f"$ {command}\r\n{_text(rng, rng.randrange(5, 20))}\r\n")
+    s2c = ("login: guest\r\nPassword:\r\nLast login: Mon Jul  6 09:00\r\n" + "".join(outputs)).encode(
+        "latin-1"
+    )
+    return c2s, s2c
+
+
+def binary_blob(rng: random.Random, length: int) -> bytes:
+    """Uniform random bytes — compressed/encrypted-looking filler."""
+    return bytes(rng.randrange(256) for _ in range(length))
+
+
+_DNS_NAMES = (
+    "www.example.com", "mail.campus.edu", "cdn.example.net",
+    "api.example.org", "ns1.example.com", "time.example.gov",
+)
+
+
+def _encode_qname(name: str) -> bytes:
+    out = bytearray()
+    for label in name.split("."):
+        out.append(len(label))
+        out.extend(label.encode("ascii"))
+    out.append(0)
+    return bytes(out)
+
+
+def dns_query(rng: random.Random) -> bytes:
+    """A well-formed DNS query message (UDP payload)."""
+    txid = rng.randrange(0x10000)
+    header = txid.to_bytes(2, "big") + b"\x01\x00" + b"\x00\x01" + b"\x00\x00" * 3
+    question = _encode_qname(rng.choice(_DNS_NAMES)) + b"\x00\x01\x00\x01"  # A, IN
+    return header + question
+
+
+def dns_response(rng: random.Random, query: bytes | None = None) -> bytes:
+    """A matching A-record answer for ``query`` (or a fresh one)."""
+    if query is None:
+        query = dns_query(rng)
+    txid = query[:2]
+    question = query[12:]
+    header = txid + b"\x81\x80" + b"\x00\x01\x00\x01" + b"\x00\x00" * 2
+    answer = (
+        b"\xc0\x0c"                 # name: pointer to the question
+        + b"\x00\x01\x00\x01"      # A, IN
+        + (300).to_bytes(4, "big")     # TTL
+        + b"\x00\x04"
+        + bytes(rng.randrange(1, 255) for _ in range(4))
+    )
+    return header + question + answer

@@ -1,0 +1,191 @@
+"""Minimal libpcap file reader/writer with Ethernet/IPv4/TCP/UDP framing.
+
+The paper evaluates on raw ``.pcap`` captures (DARPA, CDX, Nitroba).  Those
+corpora are not redistributable here, so the harness *writes* synthetic
+captures in the genuine classic-pcap format and reads them back through
+this decoder — exercising the same file → packet → flow pipeline a real
+deployment uses.  Only what DPI needs is implemented: classic pcap
+(magic ``0xa1b2c3d4``, microsecond timestamps), Ethernet II, IPv4 without
+options handling beyond the header length field, TCP and UDP.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Iterator
+
+from .flows import FiveTuple, Packet, PROTO_TCP, PROTO_UDP
+
+__all__ = ["PcapError", "write_pcap", "read_pcap", "encode_packet", "decode_frame"]
+
+_PCAP_MAGIC = 0xA1B2C3D4
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+_ETH_HEADER = struct.Struct("!6s6sH")
+_IPV4_HEADER = struct.Struct("!BBHHHBBH4s4s")
+_TCP_HEADER = struct.Struct("!HHIIBBHHH")
+_UDP_HEADER = struct.Struct("!HHHH")
+
+_ETHERTYPE_IPV4 = 0x0800
+_LINKTYPE_ETHERNET = 1
+
+
+class PcapError(ValueError):
+    """Malformed capture file."""
+
+
+def _checksum(data: bytes) -> int:
+    """RFC 1071 internet checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def _ip_bytes(dotted: str) -> bytes:
+    parts = [int(p) for p in dotted.split(".")]
+    if len(parts) != 4 or any(not 0 <= p <= 255 for p in parts):
+        raise ValueError(f"bad IPv4 address: {dotted!r}")
+    return bytes(parts)
+
+
+def _ip_str(raw: bytes) -> str:
+    return ".".join(str(b) for b in raw)
+
+
+def encode_packet(packet: Packet) -> bytes:
+    """Frame one packet as Ethernet/IPv4/TCP-or-UDP bytes."""
+    key = packet.key
+    if key.proto == PROTO_TCP:
+        l4 = _TCP_HEADER.pack(
+            key.src_port,
+            key.dst_port,
+            packet.seq,
+            0,              # ack
+            5 << 4,         # data offset: 5 words
+            0x18,           # PSH|ACK
+            65535,          # window
+            0,              # checksum (filled below)
+            0,              # urgent
+        )
+    elif key.proto == PROTO_UDP:
+        l4 = _UDP_HEADER.pack(
+            key.src_port, key.dst_port, _UDP_HEADER.size + len(packet.payload), 0
+        )
+    else:
+        raise ValueError(f"unsupported protocol {key.proto}")
+
+    total_len = _IPV4_HEADER.size + len(l4) + len(packet.payload)
+    src = _ip_bytes(key.src_ip)
+    dst = _ip_bytes(key.dst_ip)
+    ip = _IPV4_HEADER.pack(
+        0x45, 0, total_len, 0, 0, 64, key.proto, 0, src, dst
+    )
+    ip = ip[:10] + struct.pack("!H", _checksum(ip)) + ip[12:]
+
+    # Transport checksum over the IPv4 pseudo-header.
+    pseudo = src + dst + struct.pack("!BBH", 0, key.proto, len(l4) + len(packet.payload))
+    csum = _checksum(pseudo + l4 + packet.payload)
+    if key.proto == PROTO_TCP:
+        l4 = l4[:16] + struct.pack("!H", csum) + l4[18:]
+    else:
+        l4 = l4[:6] + struct.pack("!H", csum)
+
+    eth = _ETH_HEADER.pack(b"\x02" * 6, b"\x04" * 6, _ETHERTYPE_IPV4)
+    return eth + ip + l4 + packet.payload
+
+
+def decode_frame(frame: bytes) -> Packet | None:
+    """Decode an Ethernet frame; returns None for non-IPv4/TCP/UDP frames."""
+    if len(frame) < _ETH_HEADER.size:
+        return None
+    _dst, _src, ethertype = _ETH_HEADER.unpack_from(frame)
+    if ethertype != _ETHERTYPE_IPV4:
+        return None
+    offset = _ETH_HEADER.size
+    if len(frame) < offset + _IPV4_HEADER.size:
+        return None
+    (
+        ver_ihl,
+        _tos,
+        total_len,
+        _ident,
+        _flags,
+        _ttl,
+        proto,
+        _csum,
+        src,
+        dst,
+    ) = _IPV4_HEADER.unpack_from(frame, offset)
+    if ver_ihl >> 4 != 4:
+        return None
+    ihl = (ver_ihl & 0xF) * 4
+    l4_offset = offset + ihl
+    end = offset + total_len
+    if end > len(frame):
+        end = len(frame)
+    seq = 0
+    if proto == PROTO_TCP:
+        if len(frame) < l4_offset + _TCP_HEADER.size:
+            return None
+        fields = _TCP_HEADER.unpack_from(frame, l4_offset)
+        src_port, dst_port, seq = fields[0], fields[1], fields[2]
+        data_offset = (fields[4] >> 4) * 4
+        payload = frame[l4_offset + data_offset : end]
+    elif proto == PROTO_UDP:
+        if len(frame) < l4_offset + _UDP_HEADER.size:
+            return None
+        src_port, dst_port, _length, _csum2 = _UDP_HEADER.unpack_from(frame, l4_offset)
+        payload = frame[l4_offset + _UDP_HEADER.size : end]
+    else:
+        return None
+    key = FiveTuple(proto, _ip_str(src), src_port, _ip_str(dst), dst_port)
+    return Packet(key=key, payload=payload, seq=seq)
+
+
+def write_pcap(stream: BinaryIO, packets: Iterable[Packet], snaplen: int = 65535) -> int:
+    """Write packets as a classic pcap capture; returns packet count."""
+    stream.write(_GLOBAL_HEADER.pack(_PCAP_MAGIC, 2, 4, 0, 0, snaplen, _LINKTYPE_ETHERNET))
+    count = 0
+    for packet in packets:
+        frame = encode_packet(packet)
+        ts_sec = int(packet.timestamp)
+        ts_usec = int((packet.timestamp - ts_sec) * 1e6)
+        stream.write(_RECORD_HEADER.pack(ts_sec, ts_usec, len(frame), len(frame)))
+        stream.write(frame)
+        count += 1
+    return count
+
+
+def read_pcap(stream: BinaryIO) -> Iterator[Packet]:
+    """Read a classic pcap capture, yielding decodable packets."""
+    header = stream.read(_GLOBAL_HEADER.size)
+    if len(header) < _GLOBAL_HEADER.size:
+        raise PcapError("truncated pcap global header")
+    magic = struct.unpack_from("<I", header)[0]
+    if magic != _PCAP_MAGIC:
+        raise PcapError(f"unsupported pcap magic {magic:#x}")
+    linktype = _GLOBAL_HEADER.unpack(header)[6]
+    if linktype != _LINKTYPE_ETHERNET:
+        raise PcapError(f"unsupported linktype {linktype}")
+    while True:
+        record = stream.read(_RECORD_HEADER.size)
+        if not record:
+            return
+        if len(record) < _RECORD_HEADER.size:
+            raise PcapError("truncated pcap record header")
+        ts_sec, ts_usec, incl_len, _orig_len = _RECORD_HEADER.unpack(record)
+        frame = stream.read(incl_len)
+        if len(frame) < incl_len:
+            raise PcapError("truncated pcap frame")
+        packet = decode_frame(frame)
+        if packet is not None:
+            yield Packet(
+                key=packet.key,
+                payload=packet.payload,
+                seq=packet.seq,
+                timestamp=ts_sec + ts_usec / 1e6,
+            )

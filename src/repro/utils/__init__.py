@@ -1,0 +1,13 @@
+"""Shared utilities: deterministic RNG streams and timing."""
+
+from .rng import choose_byte_from_bits, make_rng
+from .timing import CYCLES_PER_NS, Stopwatch, cycles_per_byte, time_call
+
+__all__ = [
+    "choose_byte_from_bits",
+    "make_rng",
+    "CYCLES_PER_NS",
+    "Stopwatch",
+    "cycles_per_byte",
+    "time_call",
+]

@@ -1,0 +1,35 @@
+"""Deterministic randomness helpers.
+
+Every synthetic artefact in this reproduction (pattern sets, traces,
+generated flows) must be reproducible run-to-run, so randomness is always
+drawn from a :class:`random.Random` seeded through :func:`make_rng` with a
+purpose string — different consumers get decorrelated streams without any
+global state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["make_rng", "choose_byte_from_bits"]
+
+
+def make_rng(seed: int, purpose: str = "") -> random.Random:
+    """A private RNG stream for (seed, purpose)."""
+    digest = hashlib.sha256(f"{seed}:{purpose}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def choose_byte_from_bits(bits: int, rng: random.Random) -> int:
+    """Uniformly choose a set bit index from a 256-bit class bitmap."""
+    count = bits.bit_count()
+    if count == 0:
+        raise ValueError("empty class bitmap")
+    index = rng.randrange(count)
+    while True:
+        low = bits & -bits
+        if index == 0:
+            return low.bit_length() - 1
+        bits ^= low
+        index -= 1

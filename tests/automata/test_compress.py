@@ -1,0 +1,87 @@
+"""Default-transition compression tests."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.compress import compress_dfa
+from repro.automata.dfa import build_dfa
+from repro.regex import parse_many
+from repro.regex.ast import Pattern
+
+from ..regex.test_parser import node_trees
+from .test_nfa import small_inputs
+
+RULES = [".*attack.*vector", ".*xp_cmdshell", "^GET /a", ".*ab[^\\n]*cd"]
+
+
+@pytest.fixture(scope="module")
+def dfa():
+    return build_dfa(parse_many(RULES))
+
+
+class TestCompression:
+    def test_equivalent_matching(self, dfa):
+        compressed = compress_dfa(dfa)
+        for data in (b"attack .. vector", b"xp_cmdshell", b"GET /a", b"ab..cd", b"zz"):
+            assert compressed.run(data) == dfa.run(data)
+
+    def test_memory_reduced(self, dfa):
+        compressed = compress_dfa(dfa)
+        assert compressed.memory_bytes() < dfa.memory_bytes() / 3
+
+    def test_state_count_preserved(self, dfa):
+        assert compress_dfa(dfa).n_states == dfa.n_states
+
+    def test_next_state_agrees(self, dfa):
+        compressed = compress_dfa(dfa)
+        for q in range(0, dfa.n_states, 7):
+            for byte in (0, ord("a"), ord("\n"), 255):
+                assert compressed.next_state(q, byte) == dfa.rows[q][byte]
+
+    def test_scan_agrees(self, dfa):
+        compressed = compress_dfa(dfa)
+        data = b"attack xp vector GET /a zz"
+        assert compressed.scan(data) == dfa.scan(data)
+
+    def test_chain_depth_bounded(self, dfa):
+        max_depth = 3
+        compressed = compress_dfa(dfa, max_depth=max_depth)
+        parent = compressed.parent
+        for q in range(compressed.n_states):
+            hops = 0
+            current = q
+            while parent[current] >= 0:
+                current = parent[current]
+                hops += 1
+            assert hops <= max_depth
+
+    def test_no_cycles(self, dfa):
+        compressed = compress_dfa(dfa)
+        parent = compressed.parent
+        for q in range(compressed.n_states):
+            seen = set()
+            current = q
+            while parent[current] >= 0:
+                assert current not in seen
+                seen.add(current)
+                current = parent[current]
+
+    def test_roots_have_dense_rows(self, dfa):
+        compressed = compress_dfa(dfa)
+        for q in range(compressed.n_states):
+            if compressed.parent[q] < 0:
+                assert compressed.root_index[q] >= 0
+                row = compressed.root_rows[compressed.root_index[q]]
+                assert len(row) == 256
+
+    def test_rejects_bad_window(self, dfa):
+        with pytest.raises(ValueError):
+            compress_dfa(dfa, window=0)
+
+
+@given(node_trees, small_inputs)
+@settings(max_examples=40, deadline=None)
+def test_compression_is_lossless(tree, data):
+    dfa = build_dfa([Pattern(tree, match_id=1)], state_budget=20_000)
+    compressed = compress_dfa(dfa)
+    assert compressed.run(data) == dfa.run(data)

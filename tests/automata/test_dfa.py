@@ -1,0 +1,115 @@
+"""DFA subset-construction and execution tests."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.dfa import DfaExplosionError, alphabet_groups, build_dfa
+from repro.automata.nfa import build_nfa
+from repro.regex import parse, parse_many
+from repro.regex.ast import Pattern
+
+from ..regex.test_parser import node_trees
+from .test_nfa import end_positions, small_inputs
+
+
+class TestAlphabetGroups:
+    def test_single_literal_gives_two_groups(self):
+        nfa = build_nfa([parse("^a")])
+        group_of_byte, reps = alphabet_groups(nfa)
+        assert len(reps) == 2
+        assert group_of_byte[ord("a")] != group_of_byte[ord("b")]
+
+    def test_groups_partition(self):
+        nfa = build_nfa(parse_many(["[a-f]x", "q"]))
+        group_of_byte, reps = alphabet_groups(nfa)
+        assert sorted(set(group_of_byte)) == list(range(len(reps)))
+        # Representatives live in their own group.
+        for group, rep in enumerate(reps):
+            assert group_of_byte[rep] == group
+
+    def test_equivalent_bytes_grouped(self):
+        nfa = build_nfa([parse("^[a-c]z")])
+        group_of_byte, _ = alphabet_groups(nfa)
+        assert group_of_byte[ord("a")] == group_of_byte[ord("b")] == group_of_byte[ord("c")]
+        assert group_of_byte[ord("z")] != group_of_byte[ord("a")]
+
+
+class TestConstruction:
+    def test_matches_nfa_counts(self):
+        patterns = parse_many(["abc", "a[xy]c"])
+        dfa = build_dfa(patterns)
+        assert dfa.n_states > 1
+        assert dfa.start == 0
+
+    def test_state_budget(self):
+        rules = [f".*{a}{b}.*{c}{d}" for a in "ab" for b in "cd" for c in "ef" for d in "gh"]
+        with pytest.raises(DfaExplosionError) as info:
+            build_dfa(parse_many(rules), state_budget=50)
+        assert info.value.budget == 50
+        assert "50" in str(info.value)
+
+    def test_time_budget(self):
+        rules = [f".*w{a}{b}x.*y{b}{a}z" for a in "abcd" for b in "efgh"]
+        with pytest.raises(DfaExplosionError) as info:
+            build_dfa(parse_many(rules), time_budget=0.0)
+        assert info.value.reason == "seconds"
+
+    def test_decision_sets_multi_match(self):
+        dfa = build_dfa(parse_many(["ab", "b"]))
+        events = sorted(dfa.run(b"ab"))
+        assert [(m.pos, m.match_id) for m in events] == [(1, 1), (1, 2)]
+
+    def test_final_states(self):
+        dfa = build_dfa(parse_many(["xy"]))
+        finals = dfa.final_states()
+        assert len(finals) >= 1
+        assert all(dfa.accepts[q] for q in finals)
+
+
+class TestExecution:
+    def test_scan_reaches_same_state_as_run(self):
+        dfa = build_dfa(parse_many(["abc"]))
+        data = b"zabcz"
+        state = dfa.start
+        for byte in data:
+            state = dfa.rows[state][byte]
+        assert dfa.scan(data) == state
+
+    def test_scan_resumable(self):
+        dfa = build_dfa(parse_many(["abcd"]))
+        middle = dfa.scan(b"zab")
+        assert dfa.scan(b"cd", state=middle) == dfa.scan(b"zabcd")
+
+    def test_end_anchored(self):
+        dfa = build_dfa([parse("ab$")])
+        assert end_positions(dfa, b"abab") == [3]
+        assert end_positions(dfa, b"abc") == []
+
+    def test_empty_input(self):
+        dfa = build_dfa([parse("a")])
+        assert dfa.run(b"") == []
+
+    def test_memory_accounting(self):
+        dfa = build_dfa(parse_many(["abc"]))
+        # 256 4-byte entries + decision offset per state, plus decisions.
+        assert dfa.memory_bytes() >= dfa.n_states * 1028
+
+
+@given(node_trees, small_inputs)
+@settings(max_examples=100, deadline=None)
+def test_dfa_equals_nfa(tree, data):
+    """Subset construction preserves the match stream exactly."""
+    patterns = [Pattern(tree, match_id=1)]
+    nfa = build_nfa(patterns)
+    dfa = build_dfa(patterns, state_budget=20_000)
+    assert sorted(dfa.run(data)) == sorted(nfa.run(data))
+
+
+@given(small_inputs)
+@settings(max_examples=50, deadline=None)
+def test_multi_pattern_dfa_equals_nfa(data):
+    """Multi-pattern union with distinct ids survives determinisation."""
+    patterns = parse_many(["ab", "b[ac]", "a.*c", "^x"])
+    nfa = build_nfa(patterns)
+    dfa = build_dfa(patterns)
+    assert sorted(dfa.run(data)) == sorted(nfa.run(data))

@@ -1,0 +1,68 @@
+"""DOT export tests."""
+
+import pytest
+
+from repro.automata.dfa import build_dfa
+from repro.automata.dot import dfa_to_dot, nfa_to_dot
+from repro.automata.nfa import build_nfa
+from repro.regex import parse_many
+
+
+class TestNfaDot:
+    def test_structure(self):
+        nfa = build_nfa(parse_many(["^ab"]))
+        dot = nfa_to_dot(nfa)
+        assert dot.startswith("digraph nfa {")
+        assert dot.rstrip().endswith("}")
+        assert "doublecircle" in dot
+        assert '"a"' in dot and '"b"' in dot
+
+    def test_accepting_labels(self):
+        nfa = build_nfa(parse_many(["^x", "^y"]))
+        dot = nfa_to_dot(nfa)
+        assert 'xlabel="1"' in dot and 'xlabel="2"' in dot
+
+    def test_class_edge_labels(self):
+        nfa = build_nfa(parse_many(["^[ab]z"]))
+        dot = nfa_to_dot(nfa)
+        assert "[ab]" in dot
+
+    def test_parallel_edges_merged(self):
+        from repro.automata.nfa import NFA
+
+        nfa = NFA(
+            transitions=[
+                [(1 << ord("a"), 1), (1 << ord("b"), 1)],
+                [],
+            ],
+            initial=(0,),
+            accepts=[(), (1,)],
+            accepts_end=[(), ()],
+        )
+        dot = nfa_to_dot(nfa)
+        assert dot.count("0 -> 1") == 1
+        assert "[ab]" in dot
+
+
+class TestDfaDot:
+    def test_structure(self):
+        dfa = build_dfa(parse_many(["^abc"]))
+        dot = dfa_to_dot(dfa)
+        assert "digraph dfa {" in dot
+        assert "doublecircle" in dot
+
+    def test_dead_state_omitted(self):
+        dfa = build_dfa(parse_many(["^abc"]))
+        dot = dfa_to_dot(dfa)
+        # The dead sink would otherwise add an edge from every state.
+        assert dot.count("->") < dfa.n_states * 3
+
+    def test_size_guard(self):
+        dfa = build_dfa(parse_many([".*abcdef.*ghijkl"]))
+        with pytest.raises(ValueError, match="max_states"):
+            dfa_to_dot(dfa, max_states=10)
+
+    def test_quotes_escaped(self):
+        dfa = build_dfa(parse_many(['^"x']))
+        dot = dfa_to_dot(dfa)
+        assert '\\"' in dot

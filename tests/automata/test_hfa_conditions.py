@@ -1,0 +1,69 @@
+"""Targeted tests of H-FA conditional-entry compilation.
+
+States whose decision sets test several history bits force the H-FA to
+enumerate condition combinations (one entry per relevant history value) —
+the structural reason its transitions are larger and slower to select.
+"""
+
+from repro.automata.dfa import build_dfa
+from repro.automata.hfa import HfaEntry, build_hfa
+from repro.regex import parse_many
+
+# Two chained rules whose tails end on the same literal, producing DFA
+# states that decide for both patterns' guarded ids at once.
+RULES = [".*aa.*zz", ".*bb.*zz"]
+
+
+def test_shared_tail_state_enumerates_combinations():
+    hfa = build_hfa(parse_many(RULES))
+    # Find a cell with more than two entries: it must test two bits,
+    # giving 4 condition alternatives.
+    multi = [
+        entries
+        for row in hfa.cells
+        for entries in row
+        if len(entries) == 4
+    ]
+    assert multi, "expected a 2-bit decision state"
+    entries = multi[0]
+    masks = {e.cond_mask for e in entries}
+    values = sorted(e.cond_value for e in entries)
+    assert len(masks) == 1                      # same bits tested
+    mask = masks.pop()
+    assert bin(mask).count("1") == 2            # two history bits
+    assert len(set(values)) == 4                # all four combinations
+
+    # Exactly one entry applies for any history value (mutual exclusion).
+    for history in range(4):
+        applicable = [
+            e for e in entries if history_value(history, mask) & mask == e.cond_value
+        ]
+        assert len(applicable) == 1
+
+
+def history_value(index: int, mask: int) -> int:
+    """Spread a combination index over the set bits of ``mask``."""
+    value = 0
+    bit_positions = [i for i in range(mask.bit_length()) if mask >> i & 1]
+    for offset, position in enumerate(bit_positions):
+        if index >> offset & 1:
+            value |= 1 << position
+    return value
+
+
+def test_reports_depend_on_history():
+    hfa = build_hfa(parse_many(RULES))
+    dfa = build_dfa(parse_many(RULES))
+    # Only the pattern whose first segment occurred may report.
+    assert sorted(m.match_id for m in hfa.run(b"aa..zz")) == [1]
+    assert sorted(m.match_id for m in hfa.run(b"bb..zz")) == [2]
+    assert sorted(m.match_id for m in hfa.run(b"aabb..zz")) == [1, 2]
+    assert hfa.run(b"zz") == []
+    for data in (b"aa..zz", b"bb..zz", b"aabb..zz", b"zz"):
+        assert sorted(hfa.run(data)) == sorted(dfa.run(data))
+
+
+def test_entry_dataclass_fields():
+    entry = HfaEntry(0b11, 0b01, 7, 0b100, 0, (3,))
+    assert entry.next_state == 7
+    assert entry.reports == (3,)

@@ -1,0 +1,105 @@
+"""HFA and XFA baseline engines: equivalence and cost-model structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import build_dfa
+from repro.automata.hfa import build_hfa
+from repro.automata.xfa import build_xfa
+from repro.regex import parse_many
+
+RULES = [
+    ".*vi.*emacs",
+    ".*bsd.*gnu",
+    ".*abc.*mm?o.*xyz",
+    ".*name=[^\\n]*<script",
+    "plain-string",
+    "^GET /index",
+]
+
+inputs = st.lists(
+    st.sampled_from(list(b"visemacbsdgnu xyz<script=\nGET/indexplain-strgmo")),
+    max_size=60,
+).map(bytes)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return build_dfa(parse_many(RULES))
+
+
+@pytest.fixture(scope="module")
+def hfa():
+    return build_hfa(parse_many(RULES))
+
+
+@pytest.fixture(scope="module")
+def xfa():
+    return build_xfa(parse_many(RULES))
+
+
+class TestHfa:
+    def test_paper_example(self, hfa, reference):
+        data = b"vi.emacs.gnu.bsd.gnu.abc.mo.xyz"
+        assert sorted(hfa.run(data)) == sorted(reference.run(data))
+
+    def test_width_counts_history_bits(self, hfa):
+        assert hfa.width >= 4  # one bit per decomposition point
+
+    def test_unconditional_cells_single_entry(self, hfa):
+        # Cells entering plain states carry exactly one unconditional entry.
+        entries = hfa.cells[hfa.start][ord("q")]
+        assert len(entries) == 1
+        assert entries[0].cond_mask == 0
+
+    def test_memory_model_is_wide(self, hfa, reference):
+        # 32-byte entries make the HFA image far bigger than a 4-byte/cell DFA
+        # of the same state count would be.
+        assert hfa.memory_bytes() > hfa.n_states * 256 * 16
+
+    def test_scan_agrees_with_run_endstate(self, hfa):
+        data = b"vi.emacs.bsd.gnu"
+        assert hfa.scan(data) == hfa.scan(data)  # deterministic
+        hfa.run(data)  # runs without error and leaves no shared state
+
+    @given(inputs)
+    @settings(max_examples=80, deadline=None)
+    def test_equivalence(self, hfa, reference, data):
+        assert sorted(hfa.run(data)) == sorted(reference.run(data))
+
+
+class TestXfa:
+    def test_paper_example(self, xfa, reference):
+        data = b"vi.emacs.gnu.bsd.gnu.abc.mo.xyz"
+        assert sorted(xfa.run(data)) == sorted(reference.run(data))
+
+    def test_programs_attached_to_deciding_states(self, xfa):
+        instrumented = [q for q, program in enumerate(xfa.programs) if program]
+        assert instrumented
+        # Non-deciding states carry no instructions.
+        assert not xfa.programs[xfa.dfa.start]
+
+    def test_memory_includes_instructions(self, xfa):
+        assert xfa.memory_bytes() > xfa.dfa.memory_bytes()
+
+    def test_scan_executes_updates_without_reporting(self, xfa):
+        assert isinstance(xfa.scan(b"vi.emacs"), int)
+
+    @given(inputs)
+    @settings(max_examples=80, deadline=None)
+    def test_equivalence(self, xfa, reference, data):
+        assert sorted(xfa.run(data)) == sorted(reference.run(data))
+
+
+def test_hfa_and_xfa_share_component_state_space():
+    """Both baselines build on the splitter's component DFA, so their state
+    counts match each other and stay far below the plain DFA's on
+    dot-star-heavy rules."""
+    rules = [".*aaxx.*bbyy", ".*cczz.*ddww", ".*eevv.*ffuu"]
+    patterns = parse_many(rules)
+    hfa = build_hfa(patterns)
+    xfa = build_xfa(patterns)
+    dfa = build_dfa(patterns)
+    assert hfa.n_states == xfa.n_states
+    assert hfa.n_states < dfa.n_states / 2

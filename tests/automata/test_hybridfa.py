@@ -1,0 +1,86 @@
+"""Hybrid-FA baseline: equivalence and border behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import build_dfa
+from repro.automata.hybridfa import build_hybrid_fa
+from repro.regex import parse, parse_many
+
+RULES = [
+    ".*alpha.*omega",
+    ".*abc[^\\n]*xyz",
+    ".*start.{1,4}end0",
+    "^GET /index",
+    "plain",
+]
+
+_inputs = st.lists(
+    st.sampled_from(list(b"alphomegbcxyzstarend01GET /inplai\n.")), max_size=70
+).map(bytes)
+
+
+@pytest.fixture(scope="module")
+def hybrid():
+    return build_hybrid_fa(parse_many(RULES))
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return build_dfa(parse_many(RULES))
+
+
+class TestConstruction:
+    def test_borders_found(self, hybrid):
+        # Three separator rules -> three tails; the others stay head-only.
+        assert hybrid.n_tails == 3
+        kinds = [kind for kind, _ in hybrid.head_actions.values()]
+        assert kinds.count("direct") == 2
+        assert kinds.count("activate") == 3
+
+    def test_head_far_smaller_than_full_dfa(self):
+        # All-explosive rules: the head avoids the product blow-up.
+        rules = [f".*w{c}x.*x{c}w" for c in "abcdef"]
+        hybrid = build_hybrid_fa(parse_many(rules))
+        full = build_dfa(parse_many(rules))
+        assert hybrid.head.n_states < full.n_states / 10
+
+    def test_overlapping_segments_need_no_conditions(self):
+        # The MFA refuses .*abc.*bcd; the hybrid-FA needs no such guard.
+        hybrid = build_hybrid_fa(parse_many([".*abc.*bcd"]))
+        assert hybrid.n_tails == 1
+        reference = build_dfa(parse_many([".*abc.*bcd"]))
+        for data in (b"abcd", b"abcbcd", b"abc.bcd", b"abcabcd"):
+            assert sorted(hybrid.run(data)) == sorted(reference.run(data)), data
+
+    def test_end_anchor_rejected(self):
+        with pytest.raises(ValueError, match="end-anchored"):
+            build_hybrid_fa([parse(".*aa.*bb$")])
+
+
+class TestMatching:
+    def test_example(self, hybrid, reference):
+        data = b"GET /index alpha abc 1 xyz omega start 12 end0 plain"
+        assert sorted(hybrid.run(data)) == sorted(reference.run(data))
+
+    def test_tail_dies_on_clear_class(self, hybrid, reference):
+        data = b"abc\nxyz"      # newline kills the [^\n]* tail
+        assert sorted(hybrid.run(data)) == sorted(reference.run(data)) == []
+
+    def test_tail_activity_tracks_traffic(self, hybrid):
+        cold = hybrid.mean_active_tail_states(b"." * 400)
+        hot = hybrid.mean_active_tail_states(b"alpha abc start " * 25)
+        assert cold == 0.0
+        assert hot > 0.5
+
+    def test_repeated_activations_bounded(self, hybrid):
+        # Activating the same tail many times cannot grow beyond its NFA.
+        data = b"alpha " * 200 + b"omega"
+        events = hybrid.run(data)
+        assert events and events[-1].match_id == 1
+
+    @given(_inputs)
+    @settings(max_examples=100, deadline=None)
+    def test_equivalence(self, hybrid, reference, data):
+        assert sorted(hybrid.run(data)) == sorted(reference.run(data))

@@ -1,0 +1,67 @@
+"""Multiple-DFA baseline tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import build_dfa
+from repro.automata.mdfa import build_mdfa
+from repro.regex import parse_many
+
+# Five mutually explosive dot-star rules plus strings (combined DFA ~1.3k
+# states; a 200-state group budget forces a split).
+RULES = [
+    ".*aaxx.*bbyy", ".*ccww.*ddzz", ".*eexq.*ffpq",
+    ".*ggrr.*hhss", ".*iitt.*jjuu", "plainone", "plaintwo",
+]
+
+_inputs = st.lists(st.sampled_from(list(b"abcdefwxyzpq plainotw.")), max_size=60).map(bytes)
+
+
+@pytest.fixture(scope="module")
+def mdfa():
+    return build_mdfa(parse_many(RULES), group_state_budget=200)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return build_dfa(parse_many(RULES))
+
+
+class TestGrouping:
+    def test_explosive_rules_separated(self, mdfa):
+        # A 200-state budget cannot hold all five dot-star rules together.
+        assert mdfa.n_groups >= 2
+        for members in mdfa.group_patterns:
+            dot_star_members = [m for m in members if m <= 5]
+            assert len(dot_star_members) < 5
+
+    def test_every_pattern_assigned_once(self, mdfa):
+        assigned = sorted(m for members in mdfa.group_patterns for m in members)
+        assert assigned == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_groups_respect_budget(self, mdfa):
+        for dfa in mdfa.groups:
+            assert dfa.n_states <= 200
+
+    def test_total_memory_below_combined_dfa(self, mdfa, reference):
+        assert mdfa.memory_bytes() < reference.memory_bytes() / 4
+
+    def test_generous_budget_gives_one_group(self):
+        mdfa = build_mdfa(parse_many(["aa", "bb", "cc"]), group_state_budget=5_000)
+        assert mdfa.n_groups == 1
+
+
+class TestMatching:
+    def test_paper_example(self, mdfa, reference):
+        data = b"aaxx..bbyy plainone ccww!ddzz ggrr-hhss iitt jjuu"
+        assert mdfa.run(data) == sorted(reference.run(data))
+
+    def test_scan_returns_group_states(self, mdfa):
+        states = mdfa.scan(b"whatever")
+        assert len(states) == mdfa.n_groups
+
+    @given(_inputs)
+    @settings(max_examples=60, deadline=None)
+    def test_equivalence(self, mdfa, reference, data):
+        assert mdfa.run(data) == sorted(reference.run(data))

@@ -1,0 +1,55 @@
+"""Cross-engine memory-model consistency checks (Fig. 2's foundations)."""
+
+import pytest
+
+from repro.automata import (
+    build_dfa,
+    build_hfa,
+    build_nfa,
+    build_xfa,
+)
+from repro.core import compile_mfa
+from repro.regex import parse_many
+
+RULES = [".*alpha.*omega", ".*abc[^\\n]*xyz", "^GET /index", "plainstring"]
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    return parse_many(RULES)
+
+
+class TestModelInvariants:
+    def test_dfa_dominated_by_dense_table(self, patterns):
+        dfa = build_dfa(patterns)
+        assert dfa.memory_bytes() >= dfa.n_states * 1028
+        assert dfa.memory_bytes() < dfa.n_states * 1100
+
+    def test_nfa_linear_in_edges(self, patterns):
+        nfa = build_nfa(patterns)
+        base = 8 * nfa.n_states + 8 * nfa.n_transitions
+        assert base < nfa.memory_bytes() < base + 40 * len(nfa.distinct_classes()) + 4000
+
+    def test_hfa_entries_dominate(self, patterns):
+        hfa = build_hfa(patterns)
+        n_entries = sum(len(cell) for row in hfa.cells for cell in row)
+        assert hfa.memory_bytes() >= 32 * n_entries
+
+    def test_xfa_adds_instructions_to_dfa(self, patterns):
+        xfa = build_xfa(patterns)
+        assert xfa.memory_bytes() > xfa.dfa.memory_bytes()
+        n_instructions = sum(len(p) for p in xfa.programs)
+        assert n_instructions > 0
+
+    def test_mfa_filter_share_small(self, patterns):
+        mfa = compile_mfa(list(patterns))
+        assert 0 < mfa.filter_bytes() < 0.05 * mfa.memory_bytes()
+
+    def test_ordering_for_decomposable_rules(self, patterns):
+        nfa = build_nfa(patterns)
+        dfa = build_dfa(patterns)
+        hfa = build_hfa(patterns)
+        mfa = compile_mfa(list(patterns))
+        assert nfa.memory_bytes() < mfa.memory_bytes()
+        assert mfa.memory_bytes() < hfa.memory_bytes()
+        assert mfa.memory_bytes() < dfa.memory_bytes()

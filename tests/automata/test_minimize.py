@@ -1,0 +1,62 @@
+"""Hopcroft minimization tests."""
+
+from hypothesis import given, settings
+
+from repro.automata.dfa import build_dfa
+from repro.automata.minimize import minimize_dfa
+from repro.regex import parse, parse_many
+from repro.regex.ast import Pattern
+
+from ..regex.test_parser import node_trees
+from .test_nfa import small_inputs
+
+
+class TestMinimization:
+    def test_redundant_alternatives_collapse(self):
+        # a|a and equivalent branches produce duplicate states pre-minimisation.
+        dfa = build_dfa(parse_many(["abc|abd"]))
+        minimized = minimize_dfa(dfa)
+        assert minimized.n_states <= dfa.n_states
+
+    def test_known_minimal_size(self):
+        # ^(?:a|b)c has the minimal machine: start, after-[ab], accept, dead.
+        dfa = minimize_dfa(build_dfa([parse("^[ab]c")]))
+        assert dfa.n_states == 4
+
+    def test_decision_sets_preserved(self):
+        patterns = parse_many(["ab", "b"])
+        dfa = build_dfa(patterns)
+        minimized = minimize_dfa(dfa)
+        assert sorted(minimized.run(b"zabz")) == sorted(dfa.run(b"zabz"))
+
+    def test_does_not_merge_different_ids(self):
+        # Two distinct accepting decisions must stay distinct.
+        patterns = parse_many(["^ax", "^bx"])
+        minimized = minimize_dfa(build_dfa(patterns))
+        assert sorted(m.match_id for m in minimized.run(b"ax")) == [1]
+        assert sorted(m.match_id for m in minimized.run(b"bx")) == [2]
+
+    def test_idempotent(self):
+        dfa = build_dfa(parse_many(["a.*b", "cd"]))
+        once = minimize_dfa(dfa)
+        twice = minimize_dfa(once)
+        assert twice.n_states == once.n_states
+
+    def test_start_state_is_zero(self):
+        minimized = minimize_dfa(build_dfa(parse_many(["xyz"])))
+        assert minimized.start == 0
+
+    def test_end_anchored_preserved(self):
+        dfa = build_dfa([parse("ab$")])
+        minimized = minimize_dfa(dfa)
+        assert sorted(minimized.run(b"abab")) == sorted(dfa.run(b"abab"))
+
+
+@given(node_trees, small_inputs)
+@settings(max_examples=60, deadline=None)
+def test_minimized_dfa_equivalent(tree, data):
+    """Minimization never changes the match stream."""
+    dfa = build_dfa([Pattern(tree, match_id=1)], state_budget=20_000)
+    minimized = minimize_dfa(dfa)
+    assert minimized.n_states <= dfa.n_states
+    assert sorted(minimized.run(data)) == sorted(dfa.run(data))

@@ -1,0 +1,126 @@
+"""NFA construction and simulation tests, including a Python-re oracle."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.nfa import MatchEvent, build_nfa
+from repro.regex import parse, parse_many
+from repro.regex.ast import Pattern
+from repro.regex.printer import to_text
+
+from ..regex.test_parser import node_trees
+
+
+def end_positions(engine, data, match_id=1):
+    return sorted({m.pos for m in engine.run(data) if m.match_id == match_id})
+
+
+def re_end_positions(pattern_text, data, anchored=False):
+    """Ground truth via Python's re: position p matches iff some substring
+    ending at p (starting at 0 when anchored) matches the pattern."""
+    prefix = b"" if anchored else b"(?s:.*)"
+    compiled = re.compile(prefix + b"(?:" + pattern_text.encode("latin-1") + b")\\Z", re.DOTALL)
+    return [p for p in range(len(data)) if compiled.match(data[: p + 1])]
+
+
+class TestConstruction:
+    def test_single_literal(self):
+        nfa = build_nfa(parse_many(["abc"]))
+        # Near-Glushkov: start + dot-star position + 3 literal positions.
+        assert nfa.n_states == 5
+
+    def test_anchored_has_no_self_loop(self):
+        loose = build_nfa([parse("abc")])
+        anchored = build_nfa([parse("^abc")])
+        start_bits_loose = len(loose.transitions[0])
+        start_bits_anchored = len(anchored.transitions[0])
+        assert start_bits_loose >= start_bits_anchored
+
+    def test_union_assigns_all_ids(self):
+        nfa = build_nfa(parse_many(["ab", "cd"]))
+        ids = {m for accepts in nfa.accepts for m in accepts}
+        assert ids == {1, 2}
+
+    def test_counted_repeat_expansion(self):
+        nfa = build_nfa([parse("^a{3,5}")])
+        assert end_positions(nfa, b"aaaaaa") == [2, 3, 4]
+
+    def test_distinct_classes(self):
+        nfa = build_nfa([parse("^[ab][ab]x")])
+        assert len(nfa.distinct_classes()) == 2
+
+    def test_memory_bytes_positive_and_monotone(self):
+        small = build_nfa(parse_many(["ab"]))
+        large = build_nfa(parse_many(["ab", "cdef", "g[hi]j"]))
+        assert 0 < small.memory_bytes() < large.memory_bytes()
+
+
+class TestMatching:
+    def test_overlapping_matches_all_reported(self):
+        nfa = build_nfa([parse("aa")])
+        assert end_positions(nfa, b"aaaa") == [1, 2, 3]
+
+    def test_multi_pattern_ids(self):
+        nfa = build_nfa(parse_many(["ab", "b"]))
+        events = sorted(nfa.run(b"ab"))
+        assert events == [MatchEvent(1, 1), MatchEvent(1, 2)]
+
+    def test_anchored_only_at_start(self):
+        nfa = build_nfa([parse("^ab")])
+        assert end_positions(nfa, b"abab") == [1]
+
+    def test_end_anchored_only_at_end(self):
+        nfa = build_nfa([parse("ab$")])
+        assert end_positions(nfa, b"abab") == [3]
+        assert end_positions(nfa, b"abc") == []
+
+    def test_empty_input(self):
+        nfa = build_nfa([parse("a")])
+        assert nfa.run(b"") == []
+
+    def test_alternation(self):
+        nfa = build_nfa([parse("cat|dog")])
+        assert end_positions(nfa, b"catdog") == [2, 5]
+
+    def test_dot_star_pattern(self):
+        nfa = build_nfa([parse(".*ab.*cd")])
+        assert end_positions(nfa, b"ab..cd..cd") == [5, 9]
+
+    @pytest.mark.parametrize(
+        "pattern,data",
+        [
+            ("a.*bc", b"xxabcdefxabcdxcdef"),
+            ("[a-f]+x", b"abcxfxgx"),
+            ("(ab|cd)e?f", b"abefcdfxabf"),
+            ("a{2,4}b", b"aaaaabab"),
+            ("x[^y]*z", b"xabczyxz"),
+            ("(a|ab)(c|bc)", b"abcabc"),
+        ],
+    )
+    def test_against_re(self, pattern, data):
+        nfa = build_nfa([parse(pattern)])
+        assert end_positions(nfa, data) == re_end_positions(pattern, data)
+
+    def test_count_active_on_flood(self):
+        nfa = build_nfa([parse("aaaa")])
+        flood = b"a" * 50
+        calm = b"z" * 50
+        assert nfa.count_active(flood) > nfa.count_active(calm)
+
+
+small_inputs = st.lists(st.sampled_from(list(b"abcxyz\n")), max_size=40).map(bytes)
+
+
+@given(node_trees, small_inputs)
+@settings(max_examples=150, deadline=None)
+def test_nfa_matches_python_re(tree, data):
+    """Randomised oracle: our NFA and Python's re agree on every end
+    position, for both anchored and unanchored interpretations."""
+    text = to_text(tree)
+    unanchored = build_nfa([Pattern(tree, match_id=1)])
+    assert end_positions(unanchored, data) == re_end_positions(text, data)
+    anchored = build_nfa([Pattern(tree, match_id=1, anchored=True)])
+    assert end_positions(anchored, data) == re_end_positions(text, data, anchored=True)

@@ -1,0 +1,46 @@
+"""Serialisation round-trip tests."""
+
+import io
+
+import pytest
+
+from repro.automata.dfa import build_dfa
+from repro.automata.serialize import dumps_dfa, load_dfa, loads_dfa, save_dfa
+from repro.regex import parse, parse_many
+
+
+@pytest.fixture
+def dfa():
+    return build_dfa(parse_many(["a.*b", "cd", "x[yz]$"]))
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip(self, dfa):
+        restored = loads_dfa(dumps_dfa(dfa))
+        assert restored.n_states == dfa.n_states
+        assert restored.start == dfa.start
+        assert restored.accepts == dfa.accepts
+        assert restored.accepts_end == dfa.accepts_end
+        data = b"zab cd xz xy"
+        assert restored.run(data) == dfa.run(data)
+
+    def test_stream_round_trip(self, dfa):
+        buffer = io.BytesIO()
+        save_dfa(dfa, buffer)
+        buffer.seek(0)
+        restored = load_dfa(buffer)
+        assert restored.run(b"acdb") == dfa.run(b"acdb")
+
+    def test_deterministic(self, dfa):
+        assert dumps_dfa(dfa) == dumps_dfa(build_dfa(parse_many(["a.*b", "cd", "x[yz]$"])))
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            loads_dfa(b"NOTADFA!" + b"\x00" * 64)
+
+    def test_truncated_table(self, dfa):
+        blob = dumps_dfa(dfa)
+        with pytest.raises(ValueError, match="truncated"):
+            loads_dfa(blob[:-16])

@@ -1,0 +1,67 @@
+"""Streaming interface parity for the HFA/XFA baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import build_hfa, build_xfa
+from repro.regex import parse_many
+from repro.traffic.flows import FiveTuple, Packet, PROTO_TCP, dispatch_flows
+
+RULES = [".*alpha.*omega", ".*abc[^\\n]*xyz", "^GET /x", "plain"]
+
+_inputs = st.lists(st.sampled_from(list(b"alphomegbcxyzGET /plain\n.")), max_size=60).map(bytes)
+
+
+@pytest.fixture(scope="module", params=["hfa", "xfa"])
+def engine(request):
+    patterns = parse_many(RULES)
+    return build_hfa(patterns) if request.param == "hfa" else build_xfa(patterns)
+
+
+class TestStreamingParity:
+    def test_feed_whole_equals_run(self, engine):
+        data = b"GET /x alpha abc . xyz omega plain"
+        context = engine.new_context()
+        streamed = list(engine.feed(context, data)) + list(engine.finish(context))
+        assert sorted(streamed) == sorted(engine.run(data))
+
+    @pytest.mark.parametrize("chunk", [1, 3, 8])
+    def test_chunked(self, engine, chunk):
+        data = b"alpha abc 1 xyz omega GET /x"
+        context = engine.new_context()
+        events = []
+        for offset in range(0, len(data), chunk):
+            events.extend(engine.feed(context, data[offset : offset + chunk]))
+        assert sorted(events) == sorted(engine.run(data))
+
+    def test_offsets_flow_absolute(self, engine):
+        context = engine.new_context()
+        list(engine.feed(context, b"." * 64))
+        events = list(engine.feed(context, b"plain"))
+        assert events and all(event.pos >= 64 for event in events)
+
+    def test_contexts_isolated(self, engine):
+        hot = engine.new_context()
+        cold = engine.new_context()
+        list(engine.feed(hot, b"alpha "))
+        assert list(engine.feed(cold, b"omega")) == []
+        assert list(engine.feed(hot, b"omega"))
+
+    def test_dispatch_flows_accepts_baselines(self, engine):
+        key = FiveTuple(PROTO_TCP, "10.0.0.1", 1, "10.0.0.2", 80)
+        packets = [
+            Packet(key=key, payload=b"alpha ", seq=0),
+            Packet(key=key, payload=b"omega", seq=6),
+        ]
+        matches = list(dispatch_flows(engine, packets))
+        assert [m.event.match_id for m in matches] == [1]
+
+    @given(_inputs, st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_chunking_property(self, engine, data, chunk):
+        context = engine.new_context()
+        events = []
+        for offset in range(0, len(data), chunk):
+            events.extend(engine.feed(context, data[offset : offset + chunk]))
+        assert sorted(events) == sorted(engine.run(data))

@@ -1,0 +1,60 @@
+"""Streaming parity for the DFA and NFA engines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import build_dfa, build_nfa
+from repro.regex import parse_many
+
+RULES = [".*alpha.*omega", "^GET /x", "plain", ".*tail$"]
+
+_inputs = st.lists(st.sampled_from(list(b"alphomegGET /xplaintail.")), max_size=60).map(bytes)
+
+
+@pytest.fixture(scope="module", params=["dfa", "nfa"])
+def engine(request):
+    patterns = parse_many(RULES)
+    return build_dfa(patterns) if request.param == "dfa" else build_nfa(patterns)
+
+
+class TestStreamingParity:
+    def test_whole_feed(self, engine):
+        data = b"GET /x plain alpha .. omega tail"
+        context = engine.new_context()
+        events = list(engine.feed(context, data)) + list(engine.finish(context))
+        assert sorted(events) == sorted(engine.run(data))
+
+    @pytest.mark.parametrize("chunk", [1, 4, 9])
+    def test_chunked(self, engine, chunk):
+        data = b"plain alpha GET /x omega tail"
+        context = engine.new_context()
+        events = []
+        for offset in range(0, len(data), chunk):
+            events.extend(engine.feed(context, data[offset : offset + chunk]))
+        events.extend(engine.finish(context))
+        assert sorted(events) == sorted(engine.run(data))
+
+    def test_end_anchor_through_finish(self, engine):
+        context = engine.new_context()
+        events = list(engine.feed(context, b"xx tail"))
+        assert all(event.match_id != 4 for event in events)
+        final = list(engine.finish(context))
+        assert [event.match_id for event in final] == [4]
+
+    def test_contexts_isolated(self, engine):
+        hot = engine.new_context()
+        cold = engine.new_context()
+        list(engine.feed(hot, b"alpha "))
+        assert list(engine.feed(cold, b"omega")) == []
+        assert [e.match_id for e in engine.feed(hot, b"omega")] == [1]
+
+    @given(_inputs, st.integers(1, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_chunking_property(self, engine, data, chunk):
+        context = engine.new_context()
+        events = []
+        for offset in range(0, len(data), chunk):
+            events.extend(engine.feed(context, data[offset : offset + chunk]))
+        events.extend(engine.finish(context))
+        assert sorted(events) == sorted(engine.run(data))

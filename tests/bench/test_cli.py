@@ -1,0 +1,66 @@
+"""CLI smoke tests (cheap commands only; figures run in benchmarks/)."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+class TestCli:
+    def test_compile_small_set(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["compile", "C8"]) == 0
+        out = capsys.readouterr().out
+        assert "mfa:" in out and "states" in out
+        assert "splits:" in out
+
+    def test_compile_requires_set(self):
+        with pytest.raises(SystemExit):
+            main(["compile"])
+
+    def test_compile_unknown_set(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "nope"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_table5_writes_results(self, capsys, monkeypatch, tmp_path):
+        # table5 requires DFA builds for every set; keep it fast by slashing
+        # the budgets so the explosive sets fail quickly (the table handles
+        # failures as "-").
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "STATE_BUDGET", 6000)
+        monkeypatch.setattr(harness, "DFA_TIME_BUDGET", 3.0)
+        harness.build_engine.cache_clear()
+        try:
+            assert main(["table5"]) == 0
+            assert (tmp_path / "table5.txt").exists()
+            out = capsys.readouterr().out
+            assert "B217p" in out
+        finally:
+            harness.build_engine.cache_clear()
+
+
+class TestScanCommand:
+    def test_scan_capture(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        from repro.bench.harness import patterns_for
+        from repro.traffic import TraceProfile, build_corpus
+
+        paths = build_corpus(
+            tmp_path,
+            list(patterns_for("C8")),
+            profiles=(TraceProfile("t", 5000, (0.6, 0.2, 0.1, 0.1), 0.4),),
+            seed=5,
+        )
+        assert main(["scan", "C8", str(paths["t"])]) == 0
+        out = capsys.readouterr().out
+        assert "packets decoded" in out
+        assert "alerts" in out
+
+    def test_scan_needs_pcap(self):
+        with pytest.raises(SystemExit):
+            main(["scan", "C8"])

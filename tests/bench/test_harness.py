@@ -1,0 +1,70 @@
+"""Benchmark-harness tests (cheap paths only; big builds live in benchmarks/)."""
+
+import pytest
+
+from repro.bench import harness
+from repro.bench.harness import (
+    BuildResult,
+    build_engine,
+    measure_run_cpb,
+    patterns_for,
+    write_table,
+)
+
+
+class TestPatternCache:
+    def test_patterns_cached(self):
+        assert patterns_for("C8") is patterns_for("C8")
+
+    def test_ids_sequential(self):
+        patterns = patterns_for("C8")
+        assert [p.match_id for p in patterns] == list(range(1, len(patterns) + 1))
+
+
+class TestBuildEngine:
+    def test_build_and_cache(self):
+        first = build_engine("C8", "mfa")
+        second = build_engine("C8", "mfa")
+        assert first is second
+        assert first.ok and first.seconds > 0
+        assert first.engine.n_states > 0
+
+    def test_nfa_always_succeeds(self):
+        result = build_engine("C8", "nfa")
+        assert result.ok and result.error is None
+
+    def test_result_fields(self):
+        result = BuildResult("X", "nfa", None, 1.0, error="boom")
+        assert not result.ok
+
+
+class TestMeasurement:
+    def test_cpb_positive(self):
+        result = build_engine("C8", "mfa")
+        cpb = measure_run_cpb(result.engine, (b"hello world" * 100,))
+        assert cpb > 0
+
+    def test_cpb_empty_payloads(self):
+        result = build_engine("C8", "mfa")
+        assert measure_run_cpb(result.engine, ()) == 0.0
+
+    def test_repeats_scale_total(self):
+        result = build_engine("C8", "mfa")
+        payload = (b"x" * 2000,)
+        once = measure_run_cpb(result.engine, payload, repeats=1)
+        thrice = measure_run_cpb(result.engine, payload, repeats=3)
+        # Same order of magnitude: per-byte cost is repeat-invariant.
+        assert 0.2 < once / thrice < 5
+
+
+class TestResults:
+    def test_write_table(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = write_table("demo.txt", ["row one", "row two"])
+        assert path.read_text() == "row one\nrow two\n"
+        assert "row one" in capsys.readouterr().out
+
+    def test_synthetic_payload_cached_and_sized(self):
+        payload = harness.synthetic_payload("C8", None, length=3000)
+        assert len(payload) == 3000
+        assert harness.synthetic_payload("C8", None, length=3000) is payload

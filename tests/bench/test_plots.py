@@ -1,0 +1,55 @@
+"""ASCII chart renderer tests."""
+
+from repro.bench.plots import bar_chart, line_chart
+
+
+class TestBarChart:
+    SERIES = {
+        "C7p": {"nfa": 0.01, "dfa": 20.7, "mfa": 0.04},
+        "B217p": {"nfa": 0.02, "dfa": None, "mfa": 6.1},
+    }
+
+    def test_groups_and_bars(self):
+        lines = bar_chart(self.SERIES, unit="s")
+        text = "\n".join(lines)
+        assert "C7p" in text and "B217p" in text
+        assert "(failed)" in text            # the missing DFA bar
+        assert "log scale" in text
+
+    def test_bar_lengths_ordered(self):
+        lines = bar_chart(self.SERIES, unit="s")
+        dfa_line = next(l for l in lines if "dfa" in l and "20.7" in l)
+        nfa_line = next(l for l in lines if l.strip().startswith("nfa") and "0.01" in l)
+        assert dfa_line.count("#") > nfa_line.count("#")
+
+    def test_empty(self):
+        assert bar_chart({"x": {"y": None}}) == ["(no data)"]
+
+
+class TestLineChart:
+    def test_series_markers_present(self):
+        lines = line_chart(
+            {"dfa": [20, 25, 30], "nfa": [130, 200, 300]},
+            x_labels=["rand", "0.55", "0.95"],
+            unit="CpB",
+        )
+        text = "\n".join(lines)
+        assert "D=dfa" in text and "N=nfa" in text
+        assert text.count("D") >= 3  # marker plotted per x position
+        assert "rand" in text and "0.95" in text
+
+    def test_higher_values_plot_higher(self):
+        lines = line_chart(
+            {"lo": [10, 10], "hi": [1000, 1000]},
+            x_labels=["a", "b"],
+        )
+        hi_row = next(i for i, l in enumerate(lines) if "H" in l and "=" not in l)
+        lo_row = next(i for i, l in enumerate(lines) if "L" in l and "=" not in l)
+        assert hi_row < lo_row
+
+    def test_none_values_skipped(self):
+        lines = line_chart({"x": [None, 5.0]}, x_labels=["a", "b"])
+        assert any("X" in l for l in lines)
+
+    def test_empty(self):
+        assert line_chart({"x": [None]}, x_labels=["a"]) == ["(no data)"]

@@ -1,0 +1,34 @@
+"""Explosion-law sweep unit tests (small sizes only)."""
+
+from repro.bench.sweep import ExplosionPoint, explosion_rows, explosion_sweep
+
+
+class TestSweep:
+    def test_points_monotone(self):
+        points = explosion_sweep(max_rules=4, state_budget=50_000, time_budget=20.0)
+        assert [p.n_rules for p in points] == [1, 2, 3, 4]
+        dfa_states = [p.dfa_states for p in points]
+        assert all(a < b for a, b in zip(dfa_states, dfa_states[1:]))
+        mfa_states = [p.mfa_states for p in points]
+        assert all(a < b for a, b in zip(mfa_states, mfa_states[1:]))
+
+    def test_ratio(self):
+        point = ExplosionPoint(3, 1000, 1.0, 50, 0.1)
+        assert point.ratio == 20
+        assert ExplosionPoint(3, None, 1.0, 50, 0.1).ratio is None
+
+    def test_budget_stops_sweep(self):
+        points = explosion_sweep(max_rules=8, state_budget=120, time_budget=20.0)
+        assert points[-1].dfa_states is None
+        assert len(points) < 8  # stopped at the first failure
+
+    def test_rows_render(self):
+        points = [
+            ExplosionPoint(1, 15, 0.01, 10, 0.01),
+            ExplosionPoint(2, 53, 0.02, 18, 0.01),
+            ExplosionPoint(3, None, 30.0, 25, 0.01),
+        ]
+        rows = explosion_rows(points)
+        body = "\n".join(rows)
+        assert "fail" in body
+        assert "3.53" in body  # growth factor 53/15

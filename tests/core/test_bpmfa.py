@@ -1,0 +1,129 @@
+"""Bit-parallel MFA: equivalence with the DFA-backed MFA and the oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.shiftand import build_shift_and, linearize
+from repro.core import compile_dfa, compile_mfa
+from repro.core.bpmfa import build_bp_mfa
+from repro.regex import parse, parse_many
+
+LINEAR_RULES = [".*alpha.*omega", ".*abc[^\\n]*xyz", "^GET /index", "plain"]
+
+_inputs = st.lists(st.sampled_from(list(b"alphomegbcxyzGET /indplain\n.")), max_size=70).map(
+    bytes
+)
+
+
+class TestLinearize:
+    def test_string(self):
+        classes = linearize(parse("abc").root)
+        assert [len(c) for c in classes] == [1, 1, 1]
+
+    def test_classes_and_repeats(self):
+        classes = linearize(parse("[ab]x{3}").root)
+        assert len(classes) == 4
+
+    def test_alternation_rejected(self):
+        assert linearize(parse("ab|cd").root) is None
+
+    def test_star_rejected(self):
+        assert linearize(parse("ab*").root) is None
+
+    def test_optional_rejected(self):
+        assert linearize(parse("ab?").root) is None
+
+    def test_empty(self):
+        assert linearize(parse("").root) == []
+
+
+class TestShiftAnd:
+    def test_single_pattern(self):
+        matcher = build_shift_and(parse_many(["abc"]))
+        assert [(m.pos, m.match_id) for m in matcher.run(b"zabcabc")] == [(3, 1), (6, 1)]
+
+    def test_overlapping_matches(self):
+        matcher = build_shift_and(parse_many(["aa"]))
+        assert [m.pos for m in matcher.run(b"aaaa")] == [1, 2, 3]
+
+    def test_multi_pattern_no_bleed(self):
+        # Without padding bits, "ab"'s final bit would bleed into "cd"'s
+        # first position; with them the streams stay independent.
+        matcher = build_shift_and(parse_many(["ab", "cd"]))
+        assert [(m.pos, m.match_id) for m in matcher.run(b"abcd")] == [(1, 1), (3, 2)]
+        assert [(m.pos, m.match_id) for m in matcher.run(b"abd")] == [(1, 1)]
+
+    def test_anchored_only_at_start(self):
+        matcher = build_shift_and([parse("^ab")])
+        assert [m.pos for m in matcher.run(b"abab")] == [1]
+
+    def test_classes(self):
+        matcher = build_shift_and(parse_many(["[0-9]{3}x"]))
+        assert [m.pos for m in matcher.run(b"123x12x")] == [3]
+
+    def test_nonlinear_raises(self):
+        with pytest.raises(ValueError, match="not linear"):
+            build_shift_and(parse_many(["a|b"]))
+
+    def test_end_anchor_raises(self):
+        with pytest.raises(ValueError, match="end-anchored"):
+            build_shift_and([parse("ab$")])
+
+    def test_memory_tiny(self):
+        matcher = build_shift_and(parse_many(["abcdef", "ghijkl", "m{4}"]))
+        assert matcher.memory_bytes() < 2048
+
+    @given(_inputs)
+    @settings(max_examples=80, deadline=None)
+    def test_equals_dfa(self, data):
+        rules = ["alpha", "^GET ", "ab[cd]e"]
+        matcher = build_shift_and(parse_many(rules))
+        dfa = compile_dfa(rules)
+        assert sorted(matcher.run(data)) == sorted(dfa.run(data))
+
+
+class TestBitParallelMFA:
+    def test_equals_dfa_mfa(self):
+        bp = build_bp_mfa(parse_many(LINEAR_RULES))
+        mfa = compile_mfa(LINEAR_RULES)
+        data = b"GET /index alpha abc . xyz omega plain\nalpha"
+        assert sorted(bp.run(data)) == sorted(mfa.run(data))
+
+    def test_streaming(self):
+        bp = build_bp_mfa(parse_many(LINEAR_RULES))
+        data = b"alpha abc 1 xyz omega"
+        context = bp.new_context()
+        events = []
+        for i in range(0, len(data), 5):
+            events.extend(bp.feed(context, data[i : i + 5]))
+        assert sorted(events) == sorted(bp.run(data))
+
+    def test_memory_far_below_dfa_mfa(self):
+        bp = build_bp_mfa(parse_many(LINEAR_RULES))
+        mfa = compile_mfa(LINEAR_RULES)
+        assert bp.memory_bytes() < mfa.memory_bytes() / 10
+
+    def test_nonlinear_component_raises(self):
+        with pytest.raises(ValueError, match="not linear"):
+            build_bp_mfa(parse_many([".*a(?:bb|cc)d.*x"]))
+
+    def test_b217p_compiles_bit_parallel(self):
+        """The paper's hardest set is fully linear after decomposition
+        (with the offset rescue splitting the one overlap-refused rule)."""
+        from repro.bench.harness import patterns_for
+        from repro.core import SplitterOptions, compile_nfa
+
+        patterns = list(patterns_for("B217p"))
+        bp = build_bp_mfa(patterns, SplitterOptions(offset_overlap_rescue=True))
+        assert bp.memory_bytes() < 200_000
+        data = b"wu-2.6.0 zz CWD ~root xterm -display"
+        expected = sorted(compile_nfa(patterns).run(data))
+        assert sorted(bp.run(data)) == expected
+
+    @given(_inputs)
+    @settings(max_examples=80, deadline=None)
+    def test_equivalence_property(self, data):
+        bp = build_bp_mfa(parse_many(LINEAR_RULES))
+        reference = compile_dfa(LINEAR_RULES)
+        assert sorted(bp.run(data)) == sorted(reference.run(data))

@@ -1,0 +1,47 @@
+"""Top-level compile API tests."""
+
+import pytest
+
+from repro.core import compile_dfa, compile_mfa, compile_nfa, compile_patterns
+from repro.core.splitter import SplitterOptions
+from repro.regex import ParserOptions, parse_many
+from repro.regex.ast import Pattern
+
+
+class TestCompilePatterns:
+    def test_from_text(self):
+        patterns = compile_patterns(["ab", "cd"])
+        assert [p.match_id for p in patterns] == [1, 2]
+
+    def test_pass_through_patterns(self):
+        originals = parse_many(["ab"])
+        assert compile_patterns(originals) == originals
+
+    def test_empty(self):
+        assert compile_patterns([]) == []
+
+    def test_parser_options_forwarded(self):
+        patterns = compile_patterns(["AB"], ParserOptions(ignore_case=True))
+        mfa_dfa = compile_dfa(patterns)
+        assert mfa_dfa.run(b"ab") and mfa_dfa.run(b"Ab") and mfa_dfa.run(b"AB")
+
+
+class TestEngines:
+    RULES = [".*aa.*bb", "plain"]
+    DATA = b"aa plain bb"
+
+    def test_all_engines_agree(self):
+        expected = sorted(compile_dfa(self.RULES).run(self.DATA))
+        assert sorted(compile_nfa(self.RULES).run(self.DATA)) == expected
+        assert sorted(compile_mfa(self.RULES).run(self.DATA)) == expected
+
+    def test_splitter_options_forwarded(self):
+        mfa = compile_mfa(self.RULES, splitter_options=SplitterOptions(enable_dot_star=False))
+        assert mfa.width == 0
+
+    def test_state_budget_forwarded(self):
+        from repro.automata.dfa import DfaExplosionError
+
+        explosive = [f".*a{c}x.*b{c}y" for c in "abcdefgh"]
+        with pytest.raises(DfaExplosionError):
+            compile_dfa(explosive, state_budget=100)

@@ -1,0 +1,37 @@
+"""Queue-decoupled matching (§III-B) equals lock-step matching."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compile_mfa
+
+RULES = [".*aa.*bb", ".*cc[^\\n]*dd", ".*ee.{1,4}ffq", "plain", ".*tail$"]
+
+_inputs = st.lists(st.sampled_from(list(b"abcdef\n platiq.")), max_size=80).map(bytes)
+
+
+def test_paper_example_decoupled():
+    mfa = compile_mfa([".*vi.*emacs", ".*bsd.*gnu", ".*abc.*mm?o.*xyz"])
+    data = b"vi.emacs.gnu.bsd.gnu.abc.mo.xyz"
+    assert sorted(mfa.run_decoupled(data)) == sorted(mfa.run(data))
+
+
+def test_decoupled_state_is_fresh_per_call():
+    mfa = compile_mfa([".*aa.*bb"])
+    assert mfa.run_decoupled(b"aabb") == mfa.run_decoupled(b"aabb")
+    # A call must not leak filter memory into the next.
+    assert mfa.run_decoupled(b"aa") == []
+    assert mfa.run_decoupled(b"bb") == []
+
+
+def test_end_anchored_through_queue():
+    mfa = compile_mfa([".*aa.*tail$"])
+    assert sorted(mfa.run_decoupled(b"aa..tail")) == sorted(mfa.run(b"aa..tail"))
+    assert mfa.run_decoupled(b"aa..tail.") == []
+
+
+@given(_inputs)
+@settings(max_examples=120, deadline=None)
+def test_decoupled_equals_lockstep(data):
+    mfa = compile_mfa(RULES)
+    assert sorted(mfa.run_decoupled(data)) == sorted(mfa.run(data))

@@ -1,0 +1,57 @@
+"""Determinism guarantees: identical inputs produce identical artefacts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compile_mfa, dumps_mfa, loads_mfa
+from repro.core.splitter import split_patterns
+from repro.regex import parse_many
+from repro.regex.printer import pattern_to_text
+
+RULES = [".*aa.*bb", ".*cc[^\\n]*dd", ".*ee.{1,3}ffq", "^GET /x", "plain"]
+
+
+class TestSplitterDeterminism:
+    def test_components_stable(self):
+        first = split_patterns(parse_many(RULES))
+        second = split_patterns(parse_many(RULES))
+        assert [pattern_to_text(c) for c in first.components] == [
+            pattern_to_text(c) for c in second.components
+        ]
+        assert [c.match_id for c in first.components] == [
+            c.match_id for c in second.components
+        ]
+
+    def test_program_stable(self):
+        first = split_patterns(parse_many(RULES)).program
+        second = split_patterns(parse_many(RULES)).program
+        assert first.actions == second.actions
+        assert first.width == second.width
+
+    def test_split_output_has_no_remaining_separators(self):
+        # Splitting is a fixpoint: re-splitting the components is a no-op.
+        result = split_patterns(parse_many(RULES))
+        resplit = split_patterns(result.components)
+        assert resplit.stats.n_dot_star == 0
+        assert resplit.stats.n_almost_dot_star == 0
+        assert resplit.stats.n_counted == 0
+        assert len(resplit.components) == len(result.components)
+
+
+class TestBundleDeterminism:
+    def test_bundle_bytes_stable(self):
+        assert dumps_mfa(compile_mfa(RULES)) == dumps_mfa(compile_mfa(RULES))
+
+
+@given(st.binary(max_size=60), st.integers(0, 200))
+@settings(max_examples=100, deadline=None)
+def test_corrupted_bundles_never_crash(noise, cut):
+    """Corrupting a serialised bundle raises cleanly or yields a loadable
+    (but possibly semantically different) machine — never a crash."""
+    blob = bytearray(dumps_mfa(compile_mfa(["ab", ".*cd.*ef"])))
+    position = cut % len(blob)
+    mutated = bytes(blob[:position]) + noise + bytes(blob[position + len(noise) :])
+    try:
+        loads_mfa(mutated)
+    except (ValueError, KeyError, TypeError):
+        pass

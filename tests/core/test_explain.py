@@ -1,0 +1,35 @@
+"""Compilation-report tests."""
+
+from repro.core import compile_mfa
+from repro.core.explain import explain, explain_lines
+
+
+def test_reports_cover_every_pattern():
+    mfa = compile_mfa([".*aa.*bb", "plain", ".*cc[^\\n]*dd"])
+    reports = {r.match_id: r for r in explain(mfa)}
+    assert set(reports) == {1, 2, 3}
+    assert reports[1].decomposed and reports[1].n_components == 2
+    assert not reports[2].decomposed
+    assert reports[3].n_components == 3  # set + clear + test components
+
+
+def test_component_texts():
+    mfa = compile_mfa([".*aa.*bb"])
+    (report,) = explain(mfa)
+    assert sorted(report.component_texts) == ["aa", "bb"]
+
+
+def test_lines_include_key_facts():
+    mfa = compile_mfa([".*aa.*bb", "plain"])
+    text = "\n".join(explain_lines(mfa))
+    assert "component DFA" in text
+    assert "1 dot-star" in text
+    assert "compiled intact" in text
+    assert "Test 0 to Match" in text
+
+
+def test_lines_for_undcomposable_set():
+    mfa = compile_mfa(["onlystrings", "more"])
+    text = "\n".join(explain_lines(mfa))
+    assert "0 dot-star" in text
+    assert "filter program" not in text

@@ -1,0 +1,220 @@
+"""Filter engine unit tests: bytecode semantics, merging, registers."""
+
+import pytest
+
+from repro.core.filters import (
+    NONE,
+    WINDOW_BITS,
+    FilterAction,
+    FilterEngine,
+    FilterProgram,
+    FilterState,
+)
+
+
+def program(actions, width=8, n_registers=0, final_ids=None):
+    return FilterProgram(
+        actions=actions,
+        width=width,
+        n_registers=n_registers,
+        final_ids=frozenset(final_ids if final_ids is not None else [1]),
+    )
+
+
+class TestActionValidation:
+    def test_set_and_clear_same_bit_rejected(self):
+        with pytest.raises(ValueError):
+            FilterAction(set=3, clear=3)
+
+    def test_set_and_clear_different_bits_ok(self):
+        FilterAction(set=3, clear=4)
+
+    def test_distance_window_bounds(self):
+        with pytest.raises(ValueError):
+            FilterAction(distance=(0, 10, WINDOW_BITS))
+        FilterAction(distance=(0, 10, WINDOW_BITS - 1))
+
+    def test_program_rejects_out_of_width_bits(self):
+        with pytest.raises(ValueError):
+            program({2: FilterAction(set=9)}, width=8)
+
+    def test_program_rejects_unknown_register(self):
+        with pytest.raises(ValueError):
+            program({2: FilterAction(record=0)}, n_registers=0)
+
+    def test_program_rejects_report_outside_final(self):
+        with pytest.raises(ValueError):
+            program({2: FilterAction(report=99)}, final_ids=[1])
+
+
+class TestBitSemantics:
+    def test_set_then_test(self):
+        engine = FilterEngine(
+            program({2: FilterAction(set=0), 1: FilterAction(test=0, report=1)})
+        )
+        state = engine.new_state()
+        assert engine.process(state, 0, 1) == NONE       # bit not yet set
+        assert engine.process(state, 1, 2) == NONE       # set never reports
+        assert engine.process(state, 2, 1) == 1          # now confirmed
+
+    def test_clear(self):
+        engine = FilterEngine(
+            program(
+                {
+                    2: FilterAction(set=0),
+                    3: FilterAction(clear=0),
+                    1: FilterAction(test=0, report=1),
+                }
+            )
+        )
+        state = engine.new_state()
+        engine.process(state, 0, 2)
+        engine.process(state, 1, 3)
+        assert engine.process(state, 2, 1) == NONE
+
+    def test_failed_test_has_no_effects(self):
+        engine = FilterEngine(
+            program({2: FilterAction(test=1, set=0), 1: FilterAction(test=0, report=1)})
+        )
+        state = engine.new_state()
+        engine.process(state, 0, 2)       # test bit 1 unset -> nothing happens
+        assert state.bits == 0
+        assert engine.process(state, 1, 1) == NONE
+
+    def test_merged_test_to_set(self):
+        # "Test bit 0 to set bit 1" — the chained dot-star bytecode.
+        engine = FilterEngine(
+            program(
+                {
+                    2: FilterAction(set=0),
+                    3: FilterAction(test=0, set=1),
+                    1: FilterAction(test=1, report=1),
+                }
+            )
+        )
+        state = engine.new_state()
+        assert engine.process(state, 0, 3) == NONE
+        assert state.bits == 0                      # guard failed: no set
+        engine.process(state, 1, 2)
+        engine.process(state, 2, 3)
+        assert state.bits == 0b11
+        assert engine.process(state, 3, 1) == 1
+
+    def test_unknown_final_id_passes_through(self):
+        engine = FilterEngine(program({}, final_ids=[7]))
+        state = engine.new_state()
+        assert engine.process(state, 0, 7) == 7
+
+    def test_unknown_non_final_id_dropped(self):
+        engine = FilterEngine(program({}, final_ids=[7]))
+        state = engine.new_state()
+        assert engine.process(state, 0, 8) == NONE
+
+
+class TestRegisters:
+    def make_engine(self, lo, hi):
+        return FilterEngine(
+            program(
+                {
+                    2: FilterAction(record=0),
+                    1: FilterAction(distance=(0, lo, hi), report=1),
+                },
+                n_registers=1,
+            )
+        )
+
+    def test_distance_in_window(self):
+        engine = self.make_engine(3, 5)
+        state = engine.new_state()
+        engine.process(state, 10, 2)
+        assert engine.process(state, 14, 1) == 1     # distance 4
+
+    def test_distance_too_small(self):
+        engine = self.make_engine(3, 5)
+        state = engine.new_state()
+        engine.process(state, 10, 2)
+        assert engine.process(state, 12, 1) == NONE  # distance 2
+
+    def test_distance_too_large(self):
+        engine = self.make_engine(3, 5)
+        state = engine.new_state()
+        engine.process(state, 10, 2)
+        assert engine.process(state, 16, 1) == NONE  # distance 6
+
+    def test_multiple_records_any_fits(self):
+        engine = self.make_engine(3, 3)
+        state = engine.new_state()
+        engine.process(state, 10, 2)
+        engine.process(state, 11, 2)
+        assert engine.process(state, 13, 1) == 1     # the pos-10 record fits
+
+    def test_record_ages_out_of_window(self):
+        engine = self.make_engine(1, WINDOW_BITS - 1)
+        state = engine.new_state()
+        engine.process(state, 0, 2)
+        assert engine.process(state, WINDOW_BITS + 5, 1) == NONE
+
+    def test_fresh_state_never_matches(self):
+        engine = self.make_engine(0, 10)
+        state = engine.new_state()
+        assert engine.process(state, 5, 1) == NONE
+
+
+class TestProgramOps:
+    def test_merge_shifts_bits_and_registers(self):
+        first = program({2: FilterAction(set=0)}, width=1, final_ids=[1])
+        second = FilterProgram(
+            actions={5: FilterAction(set=0, record=0)},
+            width=1,
+            n_registers=1,
+            final_ids=frozenset([4]),
+        )
+        merged = first.merged_with(second)
+        assert merged.width == 2
+        assert merged.n_registers == 1
+        assert merged.actions[5].set == 1          # shifted past first.width
+        assert merged.final_ids == {1, 4}
+
+    def test_merge_rejects_id_collision(self):
+        first = program({2: FilterAction(set=0)}, width=1)
+        with pytest.raises(ValueError):
+            first.merged_with(program({2: FilterAction(set=0)}, width=1))
+
+    def test_describe_matches_paper_style(self):
+        text = program(
+            {2: FilterAction(set=0), 1: FilterAction(test=0, report=1)}
+        ).describe()
+        assert text == ["1: Test 0 to Match", "2: Set 0"]
+
+    def test_memory_bytes_counts_actions(self):
+        small = program({2: FilterAction(set=0)})
+        big = program({2: FilterAction(set=0), 3: FilterAction(clear=0)})
+        assert 0 < small.memory_bytes() < big.memory_bytes()
+
+    def test_priorities(self):
+        prog = program(
+            {
+                2: FilterAction(set=0),
+                3: FilterAction(clear=0),
+                1: FilterAction(test=0, report=1),
+            }
+        )
+        assert prog.action_priority(3) == 0   # clear first
+        assert prog.action_priority(2) == 1   # then set
+        assert prog.action_priority(1) == 2   # then test/report
+        assert prog.action_priority(42) == 2  # unknown ids last
+
+    def test_state_clone_is_independent(self):
+        state = FilterState(1)
+        state.bits = 0b10
+        copy = state.clone()
+        copy.bits = 0
+        copy.registers[0] = (1, 5)
+        assert state.bits == 0b10
+        assert state.registers[0] == (0, -1)
+
+    def test_passthrough_program(self):
+        engine = FilterEngine(FilterProgram.passthrough([3, 4]))
+        state = engine.new_state()
+        assert engine.process(state, 0, 3) == 3
+        assert engine.process(state, 0, 5) == NONE

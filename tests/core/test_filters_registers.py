@@ -1,0 +1,138 @@
+"""Deep tests of the offset-register plane: sticky saturation, describe
+strings, merge shifting — the extension machinery beyond the paper's bits."""
+
+import pytest
+
+from repro.core.filters import (
+    NONE,
+    WINDOW_BITS,
+    FilterAction,
+    FilterEngine,
+    FilterProgram,
+)
+
+
+def engine_with(actions, n_registers=1, width=0, final_ids=(1,)):
+    return FilterEngine(
+        FilterProgram(
+            actions=actions,
+            width=width,
+            n_registers=n_registers,
+            final_ids=frozenset(final_ids),
+        )
+    )
+
+
+class TestOpenWindows:
+    def make(self, lo):
+        return engine_with(
+            {
+                2: FilterAction(record=0),
+                1: FilterAction(distance=(0, lo, None), report=1),
+            }
+        )
+
+    def test_open_window_lower_bound(self):
+        engine = self.make(5)
+        state = engine.new_state()
+        engine.process(state, 100, 2)
+        assert engine.process(state, 104, 1) == NONE     # distance 4 < 5
+        assert engine.process(state, 105, 1) == 1        # distance 5
+
+    def test_sticky_preserves_ancient_records(self):
+        engine = self.make(3)
+        state = engine.new_state()
+        engine.process(state, 0, 2)
+        # Age far past the window in two hops.
+        assert engine.process(state, WINDOW_BITS + 10, 1) == 1
+        assert state.sticky & 1
+        # Sticky persists indefinitely.
+        assert engine.process(state, 10 * WINDOW_BITS, 1) == 1
+
+    def test_sticky_not_set_inside_window(self):
+        engine = self.make(3)
+        state = engine.new_state()
+        engine.process(state, 0, 2)
+        engine.process(state, 10, 1)
+        assert not state.sticky
+
+    def test_sticky_does_not_satisfy_bounded_window(self):
+        engine = engine_with(
+            {
+                2: FilterAction(record=0),
+                1: FilterAction(distance=(0, 1, 50), report=1),
+            }
+        )
+        state = engine.new_state()
+        engine.process(state, 0, 2)
+        assert engine.process(state, WINDOW_BITS + 100, 1) == NONE
+
+    def test_partial_ageing_keeps_in_window_bits(self):
+        engine = self.make(1)
+        state = engine.new_state()
+        engine.process(state, 0, 2)       # record at 0
+        engine.process(state, 200, 2)     # record at 200; first aged 200
+        # At 300: first record (distance 300) saturated out; second at 100.
+        assert engine.process(state, 300, 1) == 1
+        assert state.sticky & 1           # the old record overflowed
+
+
+class TestValidationAndDescribe:
+    def test_open_window_validation(self):
+        FilterAction(distance=(0, WINDOW_BITS - 1, None))
+        with pytest.raises(ValueError):
+            FilterAction(distance=(0, WINDOW_BITS, None))
+
+    def test_describe_forms(self):
+        assert "Dist r0 in 4..9" in FilterAction(distance=(0, 4, 9), report=1).describe()
+        assert "Dist r0 in 4+" in FilterAction(distance=(0, 4, None), report=1).describe()
+        assert "Dist r0 in 4 " in FilterAction(distance=(0, 4, 4), report=1).describe() + " "
+        assert "Record r2" in FilterAction(record=2).describe()
+        assert FilterAction().describe() == "Nop"
+
+    def test_merge_shifts_distance_register(self):
+        first = FilterProgram(
+            actions={2: FilterAction(record=0)},
+            width=0,
+            n_registers=1,
+            final_ids=frozenset([9]),
+        )
+        second = FilterProgram(
+            actions={5: FilterAction(distance=(0, 3, None), report=4)},
+            width=0,
+            n_registers=1,
+            final_ids=frozenset([4]),
+        )
+        merged = first.merged_with(second)
+        assert merged.actions[5].distance == (1, 3, None)
+        assert merged.n_registers == 2
+
+
+class TestCombinedConditions:
+    def test_test_and_distance_both_required(self):
+        engine = engine_with(
+            {
+                2: FilterAction(record=0),
+                3: FilterAction(set=0),
+                1: FilterAction(test=0, distance=(0, 2, 10), report=1),
+            },
+            width=1,
+        )
+        state = engine.new_state()
+        engine.process(state, 0, 2)                      # record only
+        assert engine.process(state, 5, 1) == NONE       # bit unset
+        engine.process(state, 6, 3)                      # set bit
+        assert engine.process(state, 7, 1) == 1          # both hold
+
+    def test_failed_distance_blocks_effects(self):
+        engine = engine_with(
+            {
+                2: FilterAction(record=0),
+                1: FilterAction(distance=(0, 50, 60), set=0, report=1),
+            },
+            width=1,
+        )
+        state = engine.new_state()
+        engine.process(state, 0, 2)
+        assert engine.process(state, 5, 1) == NONE
+        assert state.bits == 0                           # set did not apply

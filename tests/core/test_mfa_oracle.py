@@ -1,0 +1,151 @@
+"""THE correctness property: the MFA's filtered stream equals the plain
+DFA of the original patterns, for randomly generated decomposable rules
+over a deliberately tiny alphabet (so segments overlap often and every
+safety condition gets exercised, including refusals)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SplitterOptions, build_mfa, verify_equivalence
+from repro.regex import parse, parse_many
+from repro.traffic import generate_trace
+
+# Tiny alphabet: overlaps and accidental matches are common.
+_words = st.text(alphabet="abc", min_size=1, max_size=4)
+_separators = st.sampled_from(
+    [".*", "[^x]*", "[^\\n]*", ".{1,4}", ".{0,2}", ".{3}", ".+", ".{2,}"]
+)
+
+
+@st.composite
+def decomposable_rule(draw):
+    n_segments = draw(st.integers(2, 4))
+    parts = [draw(_words)]
+    for _ in range(n_segments - 1):
+        parts.append(draw(_separators))
+        parts.append(draw(_words))
+    prefix = draw(st.sampled_from(["", ".*", "^"]))
+    return prefix + "".join(parts)
+
+
+_inputs = st.text(alphabet="abcx\n", max_size=60).map(lambda s: s.encode())
+
+
+@given(st.lists(decomposable_rule(), min_size=1, max_size=3), _inputs)
+@settings(max_examples=200, deadline=None)
+def test_mfa_equals_original_semantics(rules, data):
+    patterns = parse_many(rules)
+    report = verify_equivalence(patterns, data)
+    report.raise_on_mismatch()
+
+
+@given(st.lists(decomposable_rule(), min_size=1, max_size=3), _inputs)
+@settings(max_examples=60, deadline=None)
+def test_mfa_with_mitigation_equals_original(rules, data):
+    patterns = parse_many(rules)
+    mfa = build_mfa(patterns, SplitterOptions(coalesce_clear_runs=True))
+    verify_equivalence(patterns, data, mfa=mfa).raise_on_mismatch()
+
+
+@given(st.lists(decomposable_rule(), min_size=1, max_size=3), _inputs)
+@settings(max_examples=60, deadline=None)
+def test_hfa_and_xfa_equal_original_semantics(rules, data):
+    """The baselines built on the same decomposition (conditional
+    transitions for HFA, per-state programs for XFA) must also match the
+    plain-DFA semantics — including states where several history bits are
+    tested at once (HFA's condition-combination enumeration)."""
+    from repro.automata import build_dfa, build_hfa, build_xfa
+
+    patterns = parse_many(rules)
+    expected = sorted(build_dfa(patterns, state_budget=50_000).run(data))
+    assert sorted(build_hfa(patterns).run(data)) == expected
+    assert sorted(build_xfa(patterns).run(data)) == expected
+
+
+@given(decomposable_rule(), st.integers(0, 5))
+@settings(max_examples=40, deadline=None)
+def test_mfa_on_adversarial_traffic(rule, seed):
+    """Becchi-style traffic drags the automaton through deep, match-adjacent
+    states — the hardest inputs for filter correctness."""
+    patterns = parse_many([rule])
+    trace = generate_trace(patterns, 400, 0.85, seed=seed)
+    verify_equivalence(patterns, trace.payload).raise_on_mismatch()
+
+
+@pytest.mark.parametrize(
+    "rule,payload",
+    [
+        # The paper's own abc/bcd hazard (must be refused and still correct).
+        (".*abc.*bcd", b"abcd"),
+        (".*abc.*bcd", b"abcbcd"),
+        # Containment hazard the naive overlap test misses.
+        (".*b.*abc", b"abc"),
+        (".*b.*abc", b"b abc"),
+        (".*bc.*abc", b"abc"),
+        # Same-position completion hazard.
+        (".*bc.*c", b"abcc"),
+        # Clear fires inside what would be B's span if decomposed wrongly.
+        (".*ab[^c]*cab", b"abzcab"),
+        # X adjacent to A's final byte.
+        (".*ab\\n[^\\n]*yz", b"ab\nyz"),
+        # Counted gap at window edges.
+        (".*ab.{2}cd", b"ab12cd"),
+        (".*ab.{2}cd", b"ab1cd"),
+        (".*ab.{2}cd", b"ab123cd"),
+        (".*ab.{0,1}cd", b"abcd"),
+        # Multiple A candidates for one B.
+        (".*ab.{1,2}cd", b"abab1cd"),
+        (".*ab.+cd", b"abcd"),
+        (".*ab.+cd", b"abxcd"),
+    ],
+)
+def test_known_hazards(rule, payload):
+    patterns = parse_many([rule])
+    verify_equivalence(patterns, payload).raise_on_mismatch()
+
+
+def test_open_window_survives_long_gaps():
+    """Open-window records saturate into the sticky bit instead of aging
+    out: an A seen 1000 bytes ago still satisfies ``.+``."""
+    patterns = parse_many([".*needle.+tail0"])
+    payload = b"needle" + b"." * 1000 + b"tail0"
+    verify_equivalence(patterns, payload).raise_on_mismatch()
+    mfa = build_mfa(patterns)
+    assert len(mfa.run(payload)) == 1
+
+
+def test_flood_of_raw_events_filters_correctly():
+    """Tens of thousands of raw set/clear events, few confirmed matches."""
+    patterns = parse_many([".*ab[^z]*cd"])
+    payload = (b"ab" + b"." * 50 + b"z") * 200 + b"ab..cd"
+    verify_equivalence(patterns, payload).raise_on_mismatch()
+
+
+@given(st.lists(decomposable_rule(), min_size=1, max_size=2), _inputs)
+@settings(max_examples=40, deadline=None)
+def test_hybrid_fa_equals_original_semantics(rules, data):
+    """The hybrid-FA (head DFA + exact tail NFAs) needs no safety
+    conditions at all; random decomposable rules must still match the
+    plain-DFA stream, including the splitter-refused overlap shapes."""
+    from repro.automata.hybridfa import build_hybrid_fa
+    from repro.automata import build_dfa
+
+    patterns = parse_many(rules)
+    if any(p.end_anchored for p in patterns):
+        return
+    hybrid = build_hybrid_fa(patterns)
+    expected = sorted(build_dfa(patterns, state_budget=50_000).run(data))
+    assert sorted(hybrid.run(data)) == expected
+
+
+@given(st.lists(decomposable_rule(), min_size=1, max_size=2), _inputs)
+@settings(max_examples=30, deadline=None)
+def test_mdfa_equals_original_semantics(rules, data):
+    from repro.automata import build_dfa
+    from repro.automata.mdfa import build_mdfa
+
+    patterns = parse_many(rules)
+    mdfa = build_mdfa(patterns, group_state_budget=2_000)
+    expected = sorted(build_dfa(patterns, state_budget=50_000).run(data))
+    assert mdfa.run(data) == expected

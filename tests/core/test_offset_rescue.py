@@ -1,0 +1,79 @@
+"""Offset-register rescue for overlap-unsafe dot-star splits.
+
+The paper's conclusion suggests "tracking the offsets of previous matches
+and using this information to correctly filter matches even when the
+segments can overlap" — implemented here as ``offset_overlap_rescue``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SplitterOptions, build_mfa, verify_equivalence
+from repro.regex import parse_many
+
+RESCUE = SplitterOptions(offset_overlap_rescue=True)
+
+
+class TestRescue:
+    def test_paper_counterexample_decomposes_safely(self):
+        """.*abc.*bcd is refused by default but splits with a register."""
+        patterns = parse_many([".*abc.*bcd"])
+        default = build_mfa(patterns)
+        rescued = build_mfa(patterns, RESCUE)
+        assert default.stats().n_refused_overlap == 1
+        assert rescued.stats().n_offset_rescues == 1
+        assert rescued.program.n_registers == 1
+        # The exact hazard inputs from §IV-A:
+        for data in (b"abcd", b"abcbcd", b"abc.bcd", b"bcdabc", b"abcbcdbcd"):
+            verify_equivalence(patterns, data, mfa=rescued).raise_on_mismatch()
+
+    def test_containment_hazard(self):
+        patterns = parse_many([".*b.*abc"])
+        rescued = build_mfa(patterns, RESCUE)
+        assert rescued.stats().n_offset_rescues == 1
+        for data in (b"abc", b"b abc", b"babc", b"babcabc"):
+            verify_equivalence(patterns, data, mfa=rescued).raise_on_mismatch()
+
+    def test_rescue_requires_fixed_length_b(self):
+        # B = bc+d has variable length: no register can locate its start.
+        patterns = parse_many([".*abc.*bc+d"])
+        rescued = build_mfa(patterns, RESCUE)
+        assert rescued.stats().n_offset_rescues == 0
+        assert rescued.stats().n_refused_overlap >= 1
+
+    def test_rescue_off_by_default(self):
+        patterns = parse_many([".*abc.*bcd"])
+        assert build_mfa(patterns).stats().n_offset_rescues == 0
+
+    def test_safe_splits_still_use_bits(self):
+        # No overlap -> the ordinary bit decomposition is preferred.
+        patterns = parse_many([".*alpha.*omega"])
+        rescued = build_mfa(patterns, RESCUE)
+        assert rescued.stats().n_dot_star == 1
+        assert rescued.stats().n_offset_rescues == 0
+        assert rescued.program.n_registers == 0
+
+    def test_state_reduction(self):
+        # The rescue keeps the component DFA small where the default would
+        # have compiled the whole explosive pattern intact.
+        rules = [f".*w{c}x.*x{c}w" for c in "abcde"]  # every pair overlaps
+        patterns = parse_many(rules)
+        default = build_mfa(patterns)
+        rescued = build_mfa(patterns, RESCUE)
+        assert rescued.stats().n_offset_rescues == len(rules)
+        assert rescued.n_states < default.n_states / 2
+
+
+_words = st.text(alphabet="ab", min_size=1, max_size=3)
+_inputs = st.text(alphabet="ab", max_size=50).map(lambda s: s.encode())
+
+
+@given(_words, _words, _inputs)
+@settings(max_examples=150, deadline=None)
+def test_rescue_equivalence_property(a, b, data):
+    """Over a two-letter alphabet nearly every pair overlaps; the rescued
+    decomposition must still match the plain DFA exactly."""
+    patterns = parse_many([f".*{a}.*{b}"])
+    rescued = build_mfa(patterns, RESCUE)
+    verify_equivalence(patterns, data, mfa=rescued).raise_on_mismatch()

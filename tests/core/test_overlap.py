@@ -1,0 +1,74 @@
+"""Overlap safety-test cases, including the paper's and the corner the
+paper's literal wording misses."""
+
+import pytest
+
+from repro.core.overlap import segments_overlap, useful_states
+from repro.automata.nfa import build_nfa
+from repro.regex import parse
+
+
+def overlap(a_text, b_text):
+    return segments_overlap(parse(a_text).root, parse(b_text).root)
+
+
+class TestPaperCases:
+    def test_abc_bcd_overlaps(self):
+        # §IV-A's counterexample: suffix "bc" of A is a prefix of B.
+        assert overlap("abc", "bcd")
+
+    def test_disjoint_literals_safe(self):
+        assert not overlap("abc", "xyz")
+
+    def test_paper_table1_segments_safe(self):
+        assert not overlap("vi", "emacs")
+        assert not overlap("bsd", "gnu")
+        assert not overlap("abc", "mm?o")
+        assert not overlap("mm?o", "xyz")
+
+
+class TestContainmentCorner:
+    def test_word_of_a_inside_b(self):
+        # A = "b" fires inside B = "abc"; the naive suffix/prefix check
+        # passes but the decomposition would be wrong (see module docs).
+        assert overlap("b", "abc")
+
+    def test_whole_a_word_suffix_of_b(self):
+        assert overlap("bc", "abc")
+
+    def test_equal_words(self):
+        assert overlap("abc", "abc")
+
+
+class TestRegexLevel:
+    def test_class_overlap(self):
+        # suffix [0-9] of A can be a prefix of B = [5-8]x.
+        assert overlap("id[0-9]", "[5-8]x")
+
+    def test_class_disjoint(self):
+        assert not overlap("id[0-9]", "[a-f]x")
+
+    def test_alternation_any_branch(self):
+        assert overlap("foo|bar", "rfoo")   # "r" suffix of bar, prefix of rfoo
+        assert not overlap("foo|bar", "qux")
+
+    def test_star_tail(self):
+        # A = ab* has suffixes "b", "bb", ...; B starts with b.
+        assert overlap("ab*", "ba")
+
+    def test_optional_suffix(self):
+        assert overlap("ab?", "bz")     # choosing the b? suffix
+        assert overlap("ab?", "az")     # dropping it leaves suffix "a"
+
+    def test_empty_b_never_overlaps(self):
+        # Only non-empty witnesses count (the split refuses nullable B
+        # separately).
+        assert not overlap("abc", "(?:)")
+
+
+def test_useful_states_reaches_back():
+    nfa = build_nfa([parse("^ab")])
+    useful = useful_states(nfa)
+    accepting = {q for q in range(nfa.n_states) if nfa.accepts[q]}
+    assert accepting <= useful
+    assert 0 in useful  # the start can reach acceptance

@@ -1,0 +1,104 @@
+"""Exact reproduction of the paper's worked examples (Tables I–IV)."""
+
+from repro.core import compile_dfa, compile_mfa
+from repro.regex import parse_many
+from repro.regex.printer import pattern_to_text
+
+R1 = [".*vi.*emacs", ".*bsd.*gnu", ".*abc.*mm?o.*xyz"]
+R2 = ["emacs", "gnu", "xyz", "vi", "bsd", "abc", "mm?o"]
+INPUT = b"vi.emacs.gnu.bsd.gnu.abc.mo.xyz"
+
+
+class TestTable1:
+    def test_r1_explodes_relative_to_r2(self):
+        """Table I: R1 needs several times more DFA states than R2."""
+        dfa_r1 = compile_dfa(R1)
+        dfa_r2 = compile_dfa(R2)
+        assert dfa_r1.n_states > 3 * dfa_r2.n_states
+
+    def test_mfa_components_are_r2(self):
+        """The splitter decomposes R1 into exactly R2's seven segments."""
+        mfa = compile_mfa(R1)
+        components = sorted(pattern_to_text(c) for c in mfa.split.components)
+        assert components == sorted(R2)
+
+    def test_mfa_state_count_equals_r2_dfa(self):
+        assert compile_mfa(R1).n_states == compile_dfa(R2).n_states
+
+
+class TestTable2:
+    def test_r2_match_stream(self):
+        """Table II: R2's ids fire at the published positions.
+
+        With R2 numbered 1..7 as in the paper (emacs=1, gnu=2, xyz=3, vi=4,
+        bsd=5, abc=6, m?o=7), the stream is 4,1,2,5,2,6,7,3.
+        """
+        dfa = compile_dfa(R2)
+        stream = [m.match_id for m in sorted(dfa.run(INPUT))]
+        assert stream == [4, 1, 2, 5, 2, 6, 7, 3]
+
+    def test_r1_match_stream(self):
+        dfa = compile_dfa(R1)
+        assert [(m.pos, m.match_id) for m in sorted(dfa.run(INPUT))] == [
+            (7, 1), (19, 2), (30, 3),
+        ]
+
+
+class TestTable3:
+    def test_filter_program_shape(self):
+        """Table III: 7 actions — 3 sets, 1 chained test-to-set, 3 guarded
+        matches — over 4 memory bits."""
+        mfa = compile_mfa(R1)
+        program = mfa.program
+        assert mfa.width == 4
+        assert len(program.actions) == 7
+        lines = program.describe()
+        assert sum("Set" in line and "Test" not in line for line in lines) == 3
+        assert sum("Test" in line and "Set" in line for line in lines) == 1
+        assert sum(line.endswith("to Match") for line in lines) == 3
+
+    def test_stateful_filtering_is_required(self):
+        """The paper's point: match id 2 fires twice and only the second
+        occurrence survives — a stateless filter cannot do that."""
+        mfa = compile_mfa(R1)
+        raw = sorted(mfa.raw_matches(INPUT))
+        gnu_component = [m for m in raw if m.match_id == 2]
+        assert len(gnu_component) == 2
+        confirmed = sorted(mfa.run(INPUT))
+        assert [m for m in confirmed if m.match_id == 2] == [confirmed[1]]
+
+    def test_filtered_stream_matches_r1(self):
+        mfa = compile_mfa(R1)
+        assert sorted(mfa.run(INPUT)) == sorted(compile_dfa(R1).run(INPUT))
+
+
+class TestTable4:
+    RULE = ".*abc[^\\n]*xyz"
+    DATA = b"abc:\n:xyz\nabc:xyz\n"
+
+    def test_raw_event_sequence(self):
+        """Table IV: raw matches 1a 1b 1 1b 1a 1 (set/clear/test pattern)."""
+        mfa = compile_mfa([self.RULE])
+        program = mfa.program
+        kinds = []
+        for event in sorted(mfa.raw_matches(self.DATA)):
+            action = program.actions[event.match_id]
+            if action.set != -1:
+                kinds.append("S")
+            elif action.clear != -1:
+                kinds.append("C")
+            else:
+                kinds.append("T")
+        # The paper lists the first six events; the trailing newline fires a
+        # final (inconsequential) clear that Table IV omits.
+        assert kinds[:6] == ["S", "C", "T", "C", "S", "T"]
+        assert kinds[6:] == ["C"]
+
+    def test_only_final_line_matches(self):
+        mfa = compile_mfa([self.RULE])
+        confirmed = mfa.run(self.DATA)
+        assert [(m.pos, m.match_id) for m in confirmed] == [(16, 1)]
+
+    def test_equals_reference(self):
+        mfa = compile_mfa([self.RULE])
+        assert sorted(mfa.run(self.DATA)) == sorted(compile_dfa([self.RULE]).run(self.DATA))

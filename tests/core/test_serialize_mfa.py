@@ -1,0 +1,79 @@
+"""MFA bundle serialisation tests."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compile_mfa
+from repro.core.serialize import (
+    dumps_mfa,
+    load_mfa,
+    loads_mfa,
+    program_from_json,
+    program_to_json,
+    save_mfa,
+)
+
+RULES = [".*aa.*bb", ".*cc[^\\n]*dd", ".*ee.{1,4}ffq", "^GET /x", "plain"]
+
+
+@pytest.fixture(scope="module")
+def mfa():
+    return compile_mfa(RULES)
+
+
+class TestProgramJson:
+    def test_round_trip(self, mfa):
+        restored = program_from_json(program_to_json(mfa.program))
+        assert restored.actions == mfa.program.actions
+        assert restored.width == mfa.program.width
+        assert restored.n_registers == mfa.program.n_registers
+        assert restored.final_ids == mfa.program.final_ids
+
+    def test_json_is_plain_data(self, mfa):
+        import json
+
+        json.dumps(program_to_json(mfa.program))
+
+
+class TestBundle:
+    def test_round_trip_matching(self, mfa):
+        restored = loads_mfa(dumps_mfa(mfa))
+        for data in (b"aa.bb", b"cc x dd", b"ee12ffq", b"GET /x", b"plain", b"zzz"):
+            assert sorted(restored.run(data)) == sorted(mfa.run(data)), data
+
+    def test_streaming_works_after_load(self, mfa):
+        restored = loads_mfa(dumps_mfa(mfa))
+        context = restored.new_context()
+        events = list(restored.feed(context, b"aa."))
+        events += list(restored.feed(context, b"bb"))
+        assert sorted(events) == sorted(mfa.run(b"aa.bb"))
+
+    def test_stream_io(self, mfa, tmp_path):
+        path = tmp_path / "bundle.mfa"
+        with open(path, "wb") as stream:
+            save_mfa(mfa, stream)
+        with open(path, "rb") as stream:
+            restored = load_mfa(stream)
+        assert restored.n_states == mfa.n_states
+
+    def test_deterministic(self, mfa):
+        assert dumps_mfa(mfa) == dumps_mfa(compile_mfa(RULES))
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            loads_mfa(b"WRONG!!!" + b"\x00" * 32)
+
+    def test_truncated(self, mfa):
+        with pytest.raises(ValueError):
+            loads_mfa(dumps_mfa(mfa)[:-10])
+
+
+@given(st.lists(st.sampled_from(list(b"abcdef\n .")), max_size=50).map(bytes))
+@settings(max_examples=40, deadline=None)
+def test_restored_mfa_equivalent_property(data):
+    mfa = compile_mfa(RULES)
+    restored = loads_mfa(dumps_mfa(mfa))
+    assert sorted(restored.run(data)) == sorted(mfa.run(data))

@@ -1,0 +1,213 @@
+"""Regex splitter unit tests: every decomposition shape and every refusal."""
+
+import pytest
+
+from repro.core.filters import NONE
+from repro.core.splitter import SplitterOptions, split_patterns
+from repro.regex import parse, parse_many
+from repro.regex.printer import pattern_to_text
+
+
+def split(rules, **options):
+    return split_patterns(parse_many(rules), SplitterOptions(**options) if options else None)
+
+
+def component_texts(result):
+    return sorted(pattern_to_text(c) for c in result.components)
+
+
+class TestDotStar:
+    def test_basic_split(self):
+        result = split([".*alpha.*omega"])
+        assert component_texts(result) == ["alpha", "omega"]
+        assert result.width == 1
+        assert result.stats.n_dot_star == 1
+        # n': Set 0 ; n: Test 0 to Match
+        actions = result.program.actions
+        new_id = next(i for i in actions if i != 1)
+        assert actions[new_id].set == 0 and actions[new_id].report == NONE
+        assert actions[1].test == 0 and actions[1].report == 1
+
+    def test_chained_three_segments(self):
+        result = split([".*aa.*bb.*cc"])
+        assert component_texts(result) == ["aa", "bb", "cc"]
+        assert result.width == 2
+        described = "\n".join(result.program.describe())
+        assert "Test 0 to Set 1" in described or "Test 1 to Set 0" in described
+
+    def test_overlap_refused(self):
+        result = split([".*abc.*bcd"])
+        assert len(result.components) == 1
+        assert result.width == 0
+        assert result.stats.n_refused_overlap == 1
+
+    def test_partial_decomposition(self):
+        # abc/bcd overlap but xyz splits off fine.
+        result = split([".*abc.*bcd.*xyz"])
+        texts = component_texts(result)
+        assert "xyz" in texts
+        assert any("abc" in t and "bcd" in t for t in texts)
+        assert result.width == 1
+
+    def test_nullable_side_refused(self):
+        result = split([".*a?.*bcd"])
+        assert result.stats.n_refused_nullable >= 1
+        assert result.width == 0
+
+    def test_leading_dotstar_stripped(self):
+        result = split([".*.*abc.*xyz"])
+        assert component_texts(result) == ["abc", "xyz"]
+
+    def test_disabled(self):
+        result = split([".*alpha.*omega"], enable_dot_star=False)
+        assert len(result.components) == 1
+        assert result.width == 0
+
+    def test_dot_plus_becomes_open_counted_gap(self):
+        # ".+" cannot fold into a neighbouring segment (a trailing "."
+        # always overlaps); it splits as an open distance window instead.
+        result = split([".*alpha.+omega"])
+        assert result.stats.n_counted == 1
+        assert result.program.actions[1].distance == (0, 6, None)
+        assert component_texts(result) == ["alpha", "omega"]
+
+    def test_anchored_head_kept(self):
+        result = split(["^HEAD.*tail"])
+        anchored = [c for c in result.components if c.anchored]
+        unanchored = [c for c in result.components if not c.anchored]
+        assert len(anchored) == 1 and pattern_to_text(anchored[0]) == "^HEAD"
+        assert len(unanchored) == 1 and pattern_to_text(unanchored[0]) == "tail"
+
+
+class TestAlmostDotStar:
+    def test_basic_split(self):
+        result = split([".*abc[^\\n]*xyz"])
+        texts = component_texts(result)
+        assert texts == ["\\n", "abc", "xyz"]
+        assert result.width == 1
+        described = result.program.describe()
+        assert any("Clear 0" in line for line in described)
+
+    def test_x_in_b_refused(self):
+        # X = {n}; B contains a newline.
+        result = split([".*abc[^\\n]*x\\nz"])
+        assert result.stats.n_refused_class == 1
+        assert result.width == 0
+
+    def test_x_in_final_position_of_a_refused(self):
+        # A ends with \n which is in X.
+        result = split([".*abc\\n[^\\n]*xyz"])
+        assert result.stats.n_refused_class == 1
+
+    def test_x_in_middle_of_a_allowed(self):
+        result = split([".*ab\\ncd[^\\n]*xyz"])
+        assert result.stats.n_almost_dot_star == 1
+
+    def test_wide_class_threshold(self):
+        # [a-f]* has X = 250 bytes: past the 128 threshold, refuse.
+        result = split([".*abc[a-f]*xyz"])
+        assert result.width == 0
+        assert len(result.components) == 1
+
+    def test_threshold_configurable(self):
+        # With the threshold lifted, [a-f]* decomposes when its conditions
+        # hold: B within [a-f] (disjoint from X) and A's last byte too.
+        result = split([".*zzf[a-f]*cab"], max_class_size=256)
+        assert result.stats.n_almost_dot_star == 1
+
+    def test_coalesced_clear_component(self):
+        result = split([".*abc[^\\n]*xyz"], coalesce_clear_runs=True)
+        texts = component_texts(result)
+        assert any("\\n+" in t for t in texts)
+
+    def test_overlap_refused(self):
+        result = split([".*abc[^\\n]*bcd"])
+        assert result.stats.n_refused_overlap == 1
+
+
+class TestCountedGaps:
+    def test_basic(self):
+        result = split([".*start.{2,5}endx"])
+        assert result.stats.n_counted == 1
+        assert result.program.n_registers == 1
+        action = result.program.actions[1]
+        # |B| = 4, so the window is [4+2, 4+5].
+        assert action.distance == (0, 6, 9)
+
+    def test_exact_gap(self):
+        result = split([".*ab.{3}cd"])
+        assert result.program.actions[1].distance == (0, 5, 5)
+
+    def test_variable_b_refused(self):
+        result = split([".*start.{2,5}endx?"])
+        assert result.stats.n_refused_counted >= 1
+        assert result.stats.n_counted == 0
+
+    def test_huge_window_refused(self):
+        result = split([".*start.{2,500}endx"])
+        assert result.stats.n_counted == 0
+
+    def test_unbounded_min_gap_open_window(self):
+        # .{2,} splits as an open window: distance >= |B| + 2.
+        result = split([".*start.{2,}endx"])
+        assert result.stats.n_counted == 1
+        assert result.program.actions[1].distance == (0, 6, None)
+
+    def test_disabled(self):
+        result = split([".*start.{2,5}endx"], enable_counted_gaps=False)
+        assert result.stats.n_counted == 0
+        assert result.program.n_registers == 0
+
+    def test_optional_gap(self):
+        result = split([".*aa.?bbq"])
+        assert result.stats.n_counted == 1
+        assert result.program.actions[1].distance == (0, 3, 4)
+
+
+class TestMultiPattern:
+    def test_ids_unique_across_patterns(self):
+        result = split([".*aa.*bb", ".*cc.*dd"])
+        ids = [c.match_id for c in result.components]
+        assert len(ids) == len(set(ids))
+        assert result.width == 2
+
+    def test_component_ids_mapping(self):
+        result = split([".*aa.*bb", "plain"])
+        assert set(result.component_ids) == {1, 2}
+        assert len(result.component_ids[1]) == 2
+        assert len(result.component_ids[2]) == 1
+
+    def test_final_ids_preserved(self):
+        result = split([".*aa.*bb", "plain"])
+        assert result.program.final_ids == {1, 2}
+
+    def test_mixed_intact_and_split(self):
+        result = split(["plain1", ".*aa.*bb", "plain2"])
+        assert result.stats.n_intact == 2
+
+    def test_alternation_explosion(self):
+        result = split(["(?:.*aa.*bb|cc)"])
+        # Both alternatives become their own patterns reporting id 1.
+        reports = {
+            action.report
+            for action in result.program.actions.values()
+            if action.report != NONE
+        }
+        assert reports == {1}
+        assert result.stats.n_dot_star == 1
+
+    def test_alternation_not_exploded_when_plain(self):
+        result = split(["aa|bb|cc"])
+        assert len(result.components) == 1
+
+    def test_alternation_explosion_disabled(self):
+        result = split(["(?:.*aa.*bb|cc)"], explode_alternations=0)
+        assert len(result.components) == 1
+
+
+class TestEndAnchoring:
+    def test_end_anchor_stays_on_tail(self):
+        result = split([".*aa.*bb$"])
+        tails = [c for c in result.components if c.end_anchored]
+        assert len(tails) == 1
+        assert pattern_to_text(tails[0]) == "bb$"

@@ -1,0 +1,52 @@
+"""Tests for the cross-engine verification harness itself."""
+
+import pytest
+
+from repro.automata.dfa import build_dfa
+from repro.core import build_mfa, verify_equivalence
+from repro.core.verify import reference_matches
+from repro.regex import parse_many
+
+
+class TestReferenceMatches:
+    def test_uses_dfa_when_feasible(self):
+        matches, engine = reference_matches(parse_many(["abc"]), b"zabc")
+        assert engine == "dfa"
+        assert [(m.pos, m.match_id) for m in matches] == [(3, 1)]
+
+    def test_falls_back_to_nfa(self):
+        # A state budget of 2 forces the NFA fallback.
+        patterns = parse_many([".*ab.*cd"])
+        matches, engine = reference_matches(patterns, b"abcd", state_budget=2)
+        assert engine == "nfa"
+        assert [(m.pos, m.match_id) for m in matches] == [(3, 1)]
+
+
+class TestVerifyEquivalence:
+    def test_equal_report(self):
+        patterns = parse_many([".*aa.*bb"])
+        report = verify_equivalence(patterns, b"aaxbb")
+        assert report.equal
+        assert report.missing == () and report.spurious == ()
+        report.raise_on_mismatch()  # no-op when equal
+
+    def test_detects_divergence(self):
+        """Feeding the verifier an MFA built for different patterns must
+        produce a mismatch report (guards against a vacuous oracle)."""
+        patterns = parse_many([".*aa.*bb"])
+        wrong = build_mfa(parse_many([".*zz.*qq"]))
+        report = verify_equivalence(patterns, b"aaxbb", mfa=wrong)
+        assert not report.equal
+        assert report.missing
+        with pytest.raises(AssertionError, match="diverges"):
+            report.raise_on_mismatch()
+
+    def test_spurious_detected(self):
+        patterns = parse_many(["never-matches-zz"])
+        eager = build_mfa(parse_many(["a"]))
+        report = verify_equivalence(patterns, b"aaa", mfa=eager)
+        assert not report.equal and report.spurious
+
+    def test_builds_mfa_when_not_given(self):
+        report = verify_equivalence(parse_many([".*ab[^c]*de"]), b"ab..de")
+        assert report.equal

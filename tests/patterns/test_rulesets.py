@@ -1,0 +1,100 @@
+"""Pattern-set structure tests (cheap checks only — state-count claims are
+asserted in the benchmark suite where the builds are cached)."""
+
+import pytest
+
+from repro.automata.nfa import build_nfa
+from repro.core.splitter import split_patterns
+from repro.patterns import RULESETS, ruleset, ruleset_names
+from repro.regex import parse_many
+
+PAPER_COUNTS = {
+    "B217p": 224, "C7p": 11, "C8": 8, "C10": 10, "S24": 24, "S31p": 40, "S34": 34,
+}
+
+
+class TestInventory:
+    def test_names(self):
+        # The evaluation matrix plus the base (non-p) variants.
+        assert set(ruleset_names()) | {"B217", "C7", "S31"} == set(RULESETS)
+
+    def test_counts_match_paper(self):
+        for name, count in PAPER_COUNTS.items():
+            assert len(ruleset(name).rules) == count, name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown rule set"):
+            ruleset("nope")
+
+    def test_all_rules_parse(self):
+        for name in ruleset_names():
+            patterns = parse_many(list(ruleset(name).rules))
+            assert len(patterns) == len(ruleset(name).rules)
+
+    def test_deterministic(self):
+        # Re-importing/rebuilding yields identical rules (seeded fillers).
+        from repro.patterns.rulesets import _build_s24
+
+        assert _build_s24().rules == ruleset("S24").rules
+
+    def test_b217p_flagged_unconstructible(self):
+        assert not ruleset("B217p").dfa_constructible
+        assert all(
+            RULESETS[name].dfa_constructible for name in ruleset_names() if name != "B217p"
+        )
+
+    def test_base_variants_match_their_names(self):
+        # The paper's set names encode rule counts: the p-variants restore
+        # commented-out rules on top of C7 / S31 / B217.
+        assert len(ruleset("C7").rules) == 7
+        assert len(ruleset("S31").rules) == 31
+        assert len(ruleset("B217").rules) == 217
+
+    def test_p_variants_are_supersets(self):
+        for base_name in ("C7", "S31", "B217"):
+            base = set(ruleset(base_name).rules)
+            restored = set(ruleset(base_name + "p").rules)
+            assert base < restored
+
+    def test_base_variants_not_in_paper_matrix(self):
+        assert "C7" not in ruleset_names()
+        assert "C7" in RULESETS
+
+
+class TestStructuralCharacter:
+    def test_c_sets_are_dot_star_heavy(self):
+        for name in ("C7p", "C10"):
+            result = split_patterns(parse_many(list(ruleset(name).rules)))
+            assert result.stats.n_dot_star >= len(ruleset(name).rules) * 0.8, name
+
+    def test_s_sets_have_anchored_majority_shape(self):
+        for name in ("S24", "S31p", "S34"):
+            patterns = parse_many(list(ruleset(name).rules))
+            anchored = sum(1 for p in patterns if p.anchored)
+            assert anchored >= len(patterns) * 0.4, name
+
+    def test_s_sets_use_almost_dot_star(self):
+        for name in ("S24", "S31p", "S34"):
+            result = split_patterns(parse_many(list(ruleset(name).rules)))
+            assert result.stats.n_almost_dot_star >= 3, name
+
+    def test_b217p_mostly_strings(self):
+        patterns = parse_many(list(ruleset("B217p").rules))
+        result = split_patterns(patterns)
+        decomposed = sum(1 for ids in result.component_ids.values() if len(ids) > 1)
+        assert decomposed <= 20          # dot-star minority
+        assert result.stats.n_dot_star >= 15
+
+    def test_b217p_has_very_short_patterns(self):
+        shortest = min(len(rule) for rule in ruleset("B217p").rules)
+        assert shortest <= 2
+
+    def test_nfa_sizes_scale_with_paper(self):
+        """NFA Qs keep the paper's ordering: B217p biggest by far."""
+        sizes = {
+            name: build_nfa(parse_many(list(ruleset(name).rules))).n_states
+            for name in ruleset_names()
+        }
+        assert sizes["B217p"] > 4 * max(v for k, v in sizes.items() if k != "B217p")
+        assert sizes["S31p"] > sizes["S24"]
+        assert sizes["C7p"] < 400

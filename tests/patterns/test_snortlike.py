@@ -1,0 +1,163 @@
+"""Snort-style rule front-end tests."""
+
+import pytest
+
+from repro.core import compile_mfa, verify_equivalence
+from repro.patterns.snortlike import (
+    SnortParseError,
+    parse_rule,
+    parse_rules,
+    parse_rules_restoring,
+    rules_to_patterns,
+)
+
+RULE = (
+    'alert tcp $EXTERNAL_NET any -> $HOME_NET 80 '
+    '(msg:"WEB-IIS cmd.exe access"; content:"cmd.exe"; nocase; '
+    'pcre:"/system32[^\\n]*dir/"; sid:1002; rev:7;)'
+)
+
+
+class TestParseRule:
+    def test_header_and_ids(self):
+        rule = parse_rule(RULE)
+        assert rule.action == "alert"
+        assert rule.header.startswith("tcp")
+        assert rule.msg == "WEB-IIS cmd.exe access"
+        assert rule.sid == 1002
+
+    def test_content_with_nocase(self):
+        rule = parse_rule(RULE)
+        assert len(rule.contents) == 1
+        assert rule.contents[0].data == b"cmd.exe"
+        assert rule.contents[0].nocase
+
+    def test_pcre_captured(self):
+        assert parse_rule(RULE).pcre == "/system32[^\\n]*dir/"
+
+    def test_hex_content(self):
+        rule = parse_rule('alert tcp any any -> any any (content:"|90 90|ab|00|"; sid:1;)')
+        assert rule.contents[0].data == b"\x90\x90ab\x00"
+
+    def test_multiple_contents(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"USER "; content:"PASS "; sid:2;)'
+        )
+        assert [c.data for c in rule.contents] == [b"USER ", b"PASS "]
+
+    def test_depth_offset_modifiers(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"GET "; depth:4; offset:0; sid:3;)'
+        )
+        assert rule.contents[0].depth == 4
+        assert rule.contents[0].offset == 0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "alert tcp any any -> any any",          # no option body
+            "(content:\"x\";)",                        # no header
+            'alert tcp a (content:"|9|";)',           # bad hex
+            'alert tcp a (nocase;)',                  # dangling modifier
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(SnortParseError):
+            parse_rule(bad)
+
+
+class TestPatternText:
+    def test_contents_chain_with_dot_star(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"USER "; content:"PASS "; sid:2;)'
+        )
+        assert rule.to_pattern_text() == "USER .*PASS "
+
+    def test_anchored_when_depth_pins_start(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"GET "; depth:4; sid:3;)'
+        )
+        assert rule.to_pattern_text().startswith("^GET ")
+
+    def test_nocase_folds(self):
+        rule = parse_rule('alert tcp any any -> any any (content:"ab"; nocase; sid:4;)')
+        assert rule.to_pattern_text() == "[aA][bB]"
+
+    def test_metachars_escaped(self):
+        rule = parse_rule('alert tcp any any -> any any (content:"a.b*c"; sid:5;)')
+        assert rule.to_pattern_text() == "a\\.b\\*c"
+
+    def test_pcre_appended(self):
+        text = parse_rule(RULE).to_pattern_text()
+        assert text.endswith(".*(?:system32[^\\n]*dir)")
+
+    def test_payloadless_rule_rejected(self):
+        rule = parse_rule('alert tcp any any -> any any (msg:"hi"; sid:6;)')
+        with pytest.raises(SnortParseError):
+            rule.to_pattern_text()
+
+    def test_offset_and_depth_window(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"EVIL"; offset:4; depth:10; sid:7;)'
+        )
+        assert rule.to_pattern_text() == "^.{4,10}EVIL"
+
+    def test_offset_only_open_window(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"EVIL"; offset:8; sid:8;)'
+        )
+        assert rule.to_pattern_text() == "^.{8,}EVIL"
+
+    def test_exact_position(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"AB"; offset:3; depth:2; sid:9;)'
+        )
+        assert rule.to_pattern_text() == "^.{3}AB"
+
+    def test_depth_too_small_rejected(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"LONGCONTENT"; depth:4; sid:10;)'
+        )
+        with pytest.raises(SnortParseError, match="depth"):
+            rule.to_pattern_text()
+
+    def test_window_semantics_through_engine(self):
+        from repro.core import compile_dfa
+
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"EVIL"; offset:4; depth:10; sid:7;)'
+        )
+        dfa = compile_dfa([rule.to_pattern_text()])
+        assert dfa.run(b"xxxxEVIL")
+        assert dfa.run(b"x" * 10 + b"EVIL")
+        assert not dfa.run(b"x" * 11 + b"EVIL")
+        assert not dfa.run(b"EVIL")
+
+
+class TestRuleFile:
+    FILE = "\n".join(
+        [
+            "# a comment",
+            "",
+            RULE,
+            'alert tcp any any -> any any (content:"|41 41 41 41|"; sid:2000;)',
+            '# alert tcp any any -> any any (content:"restored"; sid:3000;)',
+        ]
+    )
+
+    def test_parse_rules_skips_comments(self):
+        rules = parse_rules(self.FILE)
+        assert [r.sid for r in rules] == [1002, 2000]
+
+    def test_restoring_variant(self):
+        rules = parse_rules_restoring(self.FILE)
+        assert [r.sid for r in rules] == [1002, 2000, 3000]
+
+    def test_end_to_end_compilation(self):
+        patterns = rules_to_patterns(parse_rules(self.FILE))
+        assert [p.match_id for p in patterns] == [1002, 2000]
+        mfa = compile_mfa(patterns)
+        payload = b"GET /x CMD.EXE y system32 zz dir AAAA"
+        events = sorted(mfa.run(payload))
+        assert [e.match_id for e in events] == [1002, 2000]
+        verify_equivalence(patterns, payload, mfa=mfa).raise_on_mismatch()

@@ -1,0 +1,141 @@
+"""Unit tests for the structural analyses the splitter relies on."""
+
+from hypothesis import given, settings
+
+from repro.regex import ast, parse
+from repro.regex.analysis import (
+    alphabet,
+    exact_strings,
+    first_class,
+    is_literal_string,
+    last_class,
+    literal_bytes,
+    max_length,
+    min_length,
+)
+from repro.regex.charclass import CharClass
+
+from .test_parser import node_trees
+
+
+def root(text):
+    return parse(text).root
+
+
+class TestFirstLast:
+    def test_literal(self):
+        assert set(first_class(root("abc"))) == {ord("a")}
+        assert set(last_class(root("abc"))) == {ord("c")}
+
+    def test_alternation(self):
+        assert set(first_class(root("ab|cd"))) == {ord("a"), ord("c")}
+        assert set(last_class(root("ab|cd"))) == {ord("b"), ord("d")}
+
+    def test_optional_prefix(self):
+        # a?bc can start with a or b.
+        assert set(first_class(root("a?bc"))) == {ord("a"), ord("b")}
+
+    def test_optional_suffix(self):
+        assert set(last_class(root("ab?"))) == {ord("a"), ord("b")}
+
+    def test_star_skips(self):
+        assert set(first_class(root("a*b"))) == {ord("a"), ord("b")}
+
+    def test_empty(self):
+        assert not first_class(ast.EMPTY)
+        assert not last_class(ast.EMPTY)
+
+    def test_class_repeat(self):
+        assert set(last_class(root("x[0-9]{2}"))) == set(range(48, 58))
+
+
+class TestAlphabet:
+    def test_collects_everything(self):
+        assert set(alphabet(root("a[bc]|d*"))) == {ord(c) for c in "abcd"}
+
+    def test_zero_repeat_excluded(self):
+        node = ast.repeat(ast.string("xyz"), 0, 0)
+        assert not alphabet(node)
+
+
+class TestLengths:
+    def test_literal(self):
+        assert min_length(root("abcd")) == 4
+        assert max_length(root("abcd")) == 4
+
+    def test_optional(self):
+        assert min_length(root("ab?c")) == 2
+        assert max_length(root("ab?c")) == 3
+
+    def test_star_unbounded(self):
+        assert min_length(root("a*")) == 0
+        assert max_length(root("a*")) is None
+
+    def test_counted(self):
+        assert min_length(root("a{2,5}")) == 2
+        assert max_length(root("a{2,5}")) == 5
+
+    def test_alternation(self):
+        assert min_length(root("a|bcd")) == 1
+        assert max_length(root("a|bcd")) == 3
+
+    def test_star_of_empty_is_bounded(self):
+        node = ast.star(ast.EMPTY)
+        assert max_length(node) == 0
+
+
+class TestExactStrings:
+    def test_literal(self):
+        assert exact_strings(root("ab")) == [b"ab"]
+
+    def test_alternation(self):
+        assert sorted(exact_strings(root("ab|cd"))) == [b"ab", b"cd"]
+
+    def test_class_expansion(self):
+        assert sorted(exact_strings(root("[ab]c"))) == [b"ac", b"bc"]
+
+    def test_counted(self):
+        assert sorted(set(exact_strings(root("a{1,3}")))) == [b"a", b"aa", b"aaa"]
+
+    def test_infinite_is_none(self):
+        assert exact_strings(root("a*")) is None
+        assert exact_strings(root("a+")) is None
+
+    def test_limit_exceeded_is_none(self):
+        assert exact_strings(root("[a-z][a-z]"), limit=10) is None
+
+
+class TestLiteralString:
+    def test_plain(self):
+        assert is_literal_string(root("abc"))
+        assert literal_bytes(root("abc")) == b"abc"
+
+    def test_exact_repeat(self):
+        assert literal_bytes(root("a{3}")) == b"aaa"
+
+    def test_class_is_not_literal(self):
+        assert not is_literal_string(root("[ab]c"))
+        assert literal_bytes(root("[ab]c")) is None
+
+    def test_optional_is_not_literal(self):
+        assert not is_literal_string(root("ab?"))
+
+
+@given(node_trees)
+@settings(max_examples=80, deadline=None)
+def test_lengths_and_classes_agree_with_enumeration(tree):
+    """When the language is small enough to enumerate, the analytic answers
+    must match the enumerated ground truth."""
+    words = exact_strings(tree, limit=30)
+    if words is None:
+        return
+    words = sorted(set(words))
+    assert min_length(tree) == min(len(w) for w in words)
+    assert max_length(tree) == max(len(w) for w in words)
+    non_empty = [w for w in words if w]
+    firsts = {w[0] for w in non_empty}
+    lasts = {w[-1] for w in non_empty}
+    everything = {b for w in words for b in w}
+    assert firsts <= set(first_class(tree))
+    assert lasts <= set(last_class(tree))
+    assert everything == set(alphabet(tree)) or everything <= set(alphabet(tree))

@@ -1,0 +1,130 @@
+"""Direct AST node and constructor tests."""
+
+import pytest
+
+from repro.regex import ast
+from repro.regex.ast import Alt, ClassNode, Concat, Empty, Pattern, Repeat, node_size
+from repro.regex.charclass import CharClass
+
+
+class TestNodeValidation:
+    def test_class_node_rejects_empty_class(self):
+        with pytest.raises(ValueError):
+            ClassNode(CharClass.empty())
+
+    def test_concat_needs_two_parts(self):
+        with pytest.raises(ValueError):
+            Concat((ast.literal(97),))
+
+    def test_alt_needs_two_options(self):
+        with pytest.raises(ValueError):
+            Alt((ast.literal(97),))
+
+    def test_repeat_bounds(self):
+        with pytest.raises(ValueError):
+            Repeat(ast.literal(97), -1, None)
+        with pytest.raises(ValueError):
+            Repeat(ast.literal(97), 3, 2)
+
+
+class TestMatchesEmpty:
+    def test_empty(self):
+        assert ast.EMPTY.matches_empty()
+
+    def test_literal(self):
+        assert not ast.literal(97).matches_empty()
+
+    def test_star(self):
+        assert ast.star(ast.literal(97)).matches_empty()
+
+    def test_plus(self):
+        assert not ast.plus(ast.literal(97)).matches_empty()
+
+    def test_concat_all_nullable(self):
+        node = Concat((ast.star(ast.literal(97)), ast.optional(ast.literal(98))))
+        assert node.matches_empty()
+
+    def test_concat_one_solid(self):
+        node = Concat((ast.star(ast.literal(97)), ast.literal(98)))
+        assert not node.matches_empty()
+
+    def test_alt_any_nullable(self):
+        node = Alt((ast.literal(97), ast.star(ast.literal(98))))
+        assert node.matches_empty()
+
+
+class TestConstructors:
+    def test_concat_flattens_and_drops_empty(self):
+        inner = ast.concat([ast.literal(97), ast.literal(98)])
+        outer = ast.concat([ast.EMPTY, inner, ast.literal(99)])
+        assert isinstance(outer, Concat)
+        assert len(outer.parts) == 3
+
+    def test_concat_of_nothing_is_empty(self):
+        assert ast.concat([]) is ast.EMPTY
+        assert ast.concat([ast.EMPTY]) is ast.EMPTY
+
+    def test_concat_single_passthrough(self):
+        leaf = ast.literal(97)
+        assert ast.concat([leaf]) is leaf
+
+    def test_alternate_dedupes(self):
+        node = ast.alternate([ast.literal(97), ast.literal(97)])
+        assert isinstance(node, ClassNode)
+
+    def test_alternate_flattens(self):
+        node = ast.alternate(
+            [ast.alternate([ast.string("ab"), ast.string("cd")]), ast.string("ef")]
+        )
+        assert isinstance(node, Alt) and len(node.options) == 3
+
+    def test_alternate_empty_raises(self):
+        with pytest.raises(ValueError):
+            ast.alternate([])
+
+    def test_repeat_1_1_is_identity(self):
+        leaf = ast.literal(97)
+        assert ast.repeat(leaf, 1, 1) is leaf
+
+    def test_repeat_of_empty(self):
+        assert ast.repeat(ast.EMPTY, 0, 5) is ast.EMPTY
+
+    def test_star_of_star_collapses(self):
+        star = ast.star(ast.literal(97))
+        assert ast.star(star) is star
+
+    def test_string_builder(self):
+        node = ast.string("ab")
+        assert isinstance(node, Concat) and len(node.parts) == 2
+        assert ast.string(b"\x00\xff").parts[1].cls == CharClass.single(255)
+
+    def test_dot_star(self):
+        node = ast.dot_star()
+        assert isinstance(node, Repeat)
+        assert node.child.cls.is_full()
+
+
+class TestNodeSize:
+    def test_sizes(self):
+        assert node_size(ast.EMPTY) == 1
+        assert node_size(ast.string("abc")) == 4        # concat + 3 leaves
+        assert node_size(ast.star(ast.literal(97))) == 2
+        assert node_size(ast.alternate([ast.string("ab"), ast.string("cd")])) == 7
+
+
+class TestPattern:
+    def test_with_id(self):
+        pattern = Pattern(ast.string("x"), match_id=1, anchored=True)
+        renumbered = pattern.with_id(9)
+        assert renumbered.match_id == 9 and renumbered.anchored
+
+    def test_with_root(self):
+        pattern = Pattern(ast.string("x"), match_id=3, end_anchored=True)
+        swapped = pattern.with_root(ast.string("y"))
+        assert swapped.match_id == 3 and swapped.end_anchored
+        assert swapped.root == ast.string("y")
+
+    def test_source_not_compared(self):
+        a = Pattern(ast.string("x"), source="one")
+        b = Pattern(ast.string("x"), source="two")
+        assert a == b

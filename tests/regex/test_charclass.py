@@ -1,0 +1,158 @@
+"""Unit and property tests for byte-alphabet character classes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.regex.charclass import ALPHABET_SIZE, CharClass, DIGITS, SPACE, WORD
+
+byte_sets = st.frozensets(st.integers(0, 255), max_size=40)
+
+
+def cc(values) -> CharClass:
+    return CharClass(sorted(values))
+
+
+class TestConstruction:
+    def test_empty(self):
+        empty = CharClass.empty()
+        assert len(empty) == 0
+        assert not empty
+        assert list(empty) == []
+
+    def test_full(self):
+        full = CharClass.full()
+        assert len(full) == ALPHABET_SIZE
+        assert full.is_full()
+        assert 0 in full and 255 in full
+
+    def test_of_string(self):
+        klass = CharClass.of("abca")
+        assert len(klass) == 3
+        assert ord("a") in klass and ord("c") in klass
+
+    def test_of_bytes(self):
+        assert list(CharClass.of(b"\x00\xff")) == [0, 255]
+
+    def test_single(self):
+        assert list(CharClass.single(65)) == [65]
+
+    def test_range(self):
+        klass = CharClass.range(ord("a"), ord("f"))
+        assert len(klass) == 6
+        assert ord("a") in klass and ord("f") in klass and ord("g") not in klass
+
+    def test_range_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            CharClass.range(10, 5)
+
+    def test_rejects_out_of_range_byte(self):
+        with pytest.raises(ValueError):
+            CharClass([256])
+
+    def test_from_bitmap(self):
+        assert list(CharClass(0b101)) == [0, 2]
+
+    def test_rejects_oversized_bitmap(self):
+        with pytest.raises(ValueError):
+            CharClass(1 << 256)
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert cc({1, 2}) | cc({2, 3}) == cc({1, 2, 3})
+
+    def test_intersect(self):
+        assert cc({1, 2}) & cc({2, 3}) == cc({2})
+
+    def test_difference(self):
+        assert cc({1, 2, 3}) - cc({2}) == cc({1, 3})
+
+    def test_complement(self):
+        assert len(~cc({0})) == 255
+        assert 0 not in ~cc({0})
+
+    def test_overlaps(self):
+        assert cc({1, 2}).overlaps(cc({2}))
+        assert not cc({1}).overlaps(cc({2}))
+
+    @given(byte_sets, byte_sets)
+    def test_union_is_set_union(self, a, b):
+        assert set(cc(a) | cc(b)) == a | b
+
+    @given(byte_sets, byte_sets)
+    def test_intersection_is_set_intersection(self, a, b):
+        assert set(cc(a) & cc(b)) == a & b
+
+    @given(byte_sets)
+    def test_complement_involution(self, a):
+        assert ~~cc(a) == cc(a)
+
+    @given(byte_sets, byte_sets)
+    def test_de_morgan(self, a, b):
+        assert ~(cc(a) | cc(b)) == ~cc(a) & ~cc(b)
+
+    @given(byte_sets, byte_sets)
+    def test_difference_matches_sets(self, a, b):
+        assert set(cc(a) - cc(b)) == a - b
+
+
+class TestQueries:
+    def test_len_and_iter_sorted(self):
+        klass = cc({9, 3, 200})
+        assert len(klass) == 3
+        assert list(klass) == [3, 9, 200]
+
+    def test_min_byte(self):
+        assert cc({7, 3}).min_byte() == 3
+
+    def test_min_byte_empty_raises(self):
+        with pytest.raises(ValueError):
+            CharClass.empty().min_byte()
+
+    def test_ranges_merges_runs(self):
+        assert cc({1, 2, 3, 7, 9, 10}).ranges() == [(1, 3), (7, 7), (9, 10)]
+
+    def test_ranges_empty(self):
+        assert CharClass.empty().ranges() == []
+
+    @given(byte_sets)
+    def test_ranges_cover_exactly(self, a):
+        covered = set()
+        for lo, hi in cc(a).ranges():
+            covered.update(range(lo, hi + 1))
+        assert covered == a
+
+    def test_sample_is_member(self):
+        klass = cc({42, 99})
+        assert klass.sample() in klass
+
+
+class TestDunder:
+    def test_immutability(self):
+        klass = cc({1})
+        with pytest.raises(AttributeError):
+            klass.bits = 0  # type: ignore[misc]
+
+    def test_hashable_and_eq(self):
+        assert hash(cc({5})) == hash(CharClass.single(5))
+        assert cc({5}) == CharClass.single(5)
+        assert cc({5}) != cc({6})
+        assert cc({5}) != "not a class"
+
+    def test_repr_forms(self):
+        assert repr(CharClass.full()) == "CharClass.full()"
+        assert repr(CharClass.empty()) == "CharClass.empty()"
+        assert "a" in repr(CharClass.single(ord("a")))
+        assert "~" in repr(~CharClass.single(ord("a")))
+
+
+class TestNamedClasses:
+    def test_digits(self):
+        assert set(DIGITS) == set(range(ord("0"), ord("9") + 1))
+
+    def test_word_contains_underscore(self):
+        assert ord("_") in WORD and ord("-") not in WORD
+
+    def test_space(self):
+        assert ord(" ") in SPACE and ord("\n") in SPACE and ord("x") not in SPACE

@@ -1,0 +1,160 @@
+"""Unit tests for the pattern tokenizer."""
+
+import pytest
+
+from repro.regex.charclass import CharClass
+from repro.regex.lexer import Lexer, LexerOptions, RegexSyntaxError, TokenKind
+
+
+def lex(text, **options):
+    return Lexer(text, LexerOptions(**options)).tokens()
+
+
+def kinds(text, **options):
+    return [t.kind for t in lex(text, **options)]
+
+
+class TestBasicTokens:
+    def test_literals(self):
+        tokens = lex("ab")
+        assert [t.kind for t in tokens] == [TokenKind.CHAR, TokenKind.CHAR, TokenKind.EOF]
+        assert [t.value for t in tokens[:2]] == [ord("a"), ord("b")]
+
+    def test_metachars(self):
+        assert kinds(".*+?|^$()") == [
+            TokenKind.DOT, TokenKind.STAR, TokenKind.PLUS, TokenKind.QMARK,
+            TokenKind.PIPE, TokenKind.CARET, TokenKind.DOLLAR,
+            TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.EOF,
+        ]
+
+    def test_group_capturing_flag(self):
+        assert lex("(")[0].value is True
+        assert lex("(?:")[0].value is False
+
+    def test_group_bad_extension(self):
+        with pytest.raises(RegexSyntaxError):
+            lex("(?=x)")
+
+    def test_positions(self):
+        tokens = lex("a.b")
+        assert [t.pos for t in tokens] == [0, 1, 2, 3]
+
+
+class TestEscapes:
+    @pytest.mark.parametrize(
+        "escape,expected",
+        [("\\n", 10), ("\\t", 9), ("\\r", 13), ("\\0", 0), ("\\x41", 0x41),
+         ("\\\\", ord("\\")), ("\\.", ord(".")), ("\\*", ord("*")), ("\\/", ord("/"))],
+    )
+    def test_byte_escapes(self, escape, expected):
+        token = lex(escape)[0]
+        assert token.kind is TokenKind.CHAR
+        assert token.value == expected
+
+    def test_class_escapes(self):
+        token = lex("\\d")[0]
+        assert token.kind is TokenKind.CLASS
+        assert set(token.value) == set(range(ord("0"), ord("9") + 1))
+
+    def test_negated_class_escape(self):
+        token = lex("\\D")[0]
+        assert ord("5") not in token.value and ord("x") in token.value
+
+    def test_bad_hex_escape(self):
+        with pytest.raises(RegexSyntaxError):
+            lex("\\xzz")
+
+    def test_trailing_backslash(self):
+        with pytest.raises(RegexSyntaxError):
+            lex("ab\\")
+
+
+class TestBraces:
+    def test_exact(self):
+        token = lex("{3}")[0]
+        assert token.kind is TokenKind.REPEAT and token.value == (3, 3)
+
+    def test_range(self):
+        assert lex("{2,5}")[0].value == (2, 5)
+
+    def test_open_ended(self):
+        assert lex("{4,}")[0].value == (4, None)
+
+    def test_reversed_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            lex("{5,2}")
+
+    def test_bare_brace_is_literal(self):
+        tokens = lex("{x}")
+        assert tokens[0].kind is TokenKind.CHAR and tokens[0].value == ord("{")
+
+    def test_unterminated_brace_is_literal(self):
+        assert lex("{3")[0].kind is TokenKind.CHAR
+
+
+class TestClasses:
+    def test_simple(self):
+        token = lex("[abc]")[0]
+        assert token.kind is TokenKind.CLASS
+        assert set(token.value) == {ord("a"), ord("b"), ord("c")}
+
+    def test_range(self):
+        assert len(lex("[a-f]")[0].value) == 6
+
+    def test_negated(self):
+        value = lex("[^a]")[0].value
+        assert ord("a") not in value and len(value) == 255
+
+    def test_leading_bracket_literal(self):
+        # "]" right after "[" is a literal member.
+        assert ord("]") in lex("[]a]")[0].value
+
+    def test_leading_dash_literal(self):
+        assert ord("-") in lex("[-a]")[0].value
+
+    def test_trailing_dash_literal(self):
+        assert set(lex("[a-]")[0].value) == {ord("a"), ord("-")}
+
+    def test_escapes_inside(self):
+        assert set(lex("[\\n\\t]")[0].value) == {10, 9}
+
+    def test_class_escape_inside(self):
+        assert ord("7") in lex("[\\dx]")[0].value
+
+    def test_escaped_range_bounds(self):
+        assert set(lex("[\\x41-\\x43]")[0].value) == {0x41, 0x42, 0x43}
+
+    def test_reversed_range_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            lex("[z-a]")
+
+    def test_unterminated_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            lex("[abc")
+
+    def test_metachars_are_literal_inside(self):
+        assert set(lex("[.*]")[0].value) == {ord("."), ord("*")}
+
+
+class TestOptions:
+    def test_dotall_default(self):
+        options = LexerOptions()
+        assert options.dot_class.is_full()
+
+    def test_non_dotall_excludes_newline(self):
+        options = LexerOptions(dotall=False)
+        assert ord("\n") not in options.dot_class
+        assert len(options.dot_class) == 255
+
+    def test_ignore_case_literal(self):
+        token = lex("a", ignore_case=True)[0]
+        assert token.kind is TokenKind.CLASS
+        assert set(token.value) == {ord("a"), ord("A")}
+
+    def test_ignore_case_class(self):
+        value = lex("[a-c]", ignore_case=True)[0].value
+        assert set(value) == {ord(c) for c in "abcABC"}
+
+    def test_ignore_case_leaves_digits(self):
+        token = lex("7", ignore_case=True)[0]
+        assert token.kind is TokenKind.CHAR

@@ -1,0 +1,67 @@
+"""Parser options flowing through to engine behaviour."""
+
+import re
+
+from repro.core import compile_dfa, compile_mfa, compile_patterns
+from repro.regex import ParserOptions, parse
+
+from ..automata.test_nfa import end_positions
+
+
+class TestIgnoreCase:
+    def test_literal_matching(self):
+        dfa = compile_dfa(compile_patterns(["attack"], ParserOptions(ignore_case=True)))
+        for payload in (b"attack", b"ATTACK", b"AtTaCk"):
+            assert end_positions(dfa, payload) == [5]
+
+    def test_class_matching(self):
+        dfa = compile_dfa(compile_patterns(["[a-c]+z"], ParserOptions(ignore_case=True)))
+        assert end_positions(dfa, b"ABCz") == [3]
+
+    def test_inline_flag(self):
+        dfa = compile_dfa(["/attack/i"])
+        assert end_positions(dfa, b"ATTACK") == [5]
+
+    def test_mfa_decomposition_preserves_case_folding(self):
+        mfa = compile_mfa(
+            compile_patterns([".*abc.*xyz"], ParserOptions(ignore_case=True))
+        )
+        assert mfa.width == 1
+        assert [m.pos for m in mfa.run(b"ABC..XYZ")] == [7]
+        assert mfa.run(b"abc..qqq") == []
+
+
+class TestDotall:
+    def test_dotall_default_crosses_newlines(self):
+        dfa = compile_dfa(["a.c"])
+        assert end_positions(dfa, b"a\nc") == [2]
+
+    def test_non_dotall(self):
+        pattern = parse("a.c", options=ParserOptions(dotall=False))
+        dfa = compile_dfa([pattern])
+        assert end_positions(dfa, b"a\nc") == []
+        assert end_positions(dfa, b"axc") == [2]
+
+    def test_non_dotall_star_is_almost_dot_star(self):
+        # With dotall off, ".*" inside a pattern is [^\n]* — the splitter
+        # sees it as an almost-dot-star separator.
+        pattern = parse(".*abc.*xyz", options=ParserOptions(dotall=False))
+        mfa = compile_mfa([pattern])
+        assert mfa.stats().n_almost_dot_star == 1
+        assert mfa.run(b"abc..xyz")
+        assert not mfa.run(b"abc\nxyz")
+        reference = compile_dfa([pattern])
+        for data in (b"abc..xyz", b"abc\nxyz", b"xyzabcxyz"):
+            assert sorted(mfa.run(data)) == sorted(reference.run(data))
+
+    def test_matches_python_re_multiline_semantics(self):
+        pattern_text = "h.t"
+        pattern = parse(pattern_text, options=ParserOptions(dotall=False))
+        dfa = compile_dfa([pattern])
+        data = b"hat h\nt hot"
+        expected = [
+            p
+            for p in range(len(data))
+            if re.search(rb"(?s:.*)(?:h.t)\Z", data[: p + 1])
+        ]
+        assert end_positions(dfa, data) == expected

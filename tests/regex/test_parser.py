@@ -1,0 +1,187 @@
+"""Unit and round-trip property tests for the parser."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regex import ast
+from repro.regex.ast import Alt, ClassNode, Concat, Empty, Repeat
+from repro.regex.charclass import CharClass
+from repro.regex.lexer import RegexSyntaxError
+from repro.regex.parser import ParserOptions, parse, parse_many
+from repro.regex.printer import pattern_to_text, to_text
+
+
+class TestStructure:
+    def test_literal_string(self):
+        pattern = parse("abc")
+        assert isinstance(pattern.root, Concat)
+        assert len(pattern.root.parts) == 3
+
+    def test_single_char(self):
+        pattern = parse("a")
+        assert isinstance(pattern.root, ClassNode)
+
+    def test_empty_pattern(self):
+        assert isinstance(parse("").root, Empty)
+
+    def test_alternation(self):
+        root = parse("a|b|c").root
+        # Single-byte alternatives normalise into one class via alternate().
+        assert isinstance(root, (Alt, ClassNode))
+
+    def test_alternation_of_words(self):
+        root = parse("ab|cd").root
+        assert isinstance(root, Alt) and len(root.options) == 2
+
+    def test_group_precedence(self):
+        grouped = parse("(ab)+").root
+        ungrouped = parse("ab+").root
+        assert isinstance(grouped, Repeat)
+        assert isinstance(ungrouped, Concat)
+
+    def test_non_capturing_group(self):
+        assert isinstance(parse("(?:ab)*").root, Repeat)
+
+    def test_quantifiers(self):
+        star = parse("a*").root
+        plus = parse("a+").root
+        opt = parse("a?").root
+        assert (star.min, star.max) == (0, None)
+        assert (plus.min, plus.max) == (1, None)
+        assert (opt.min, opt.max) == (0, 1)
+
+    def test_counted_repeat(self):
+        node = parse("a{2,5}").root
+        assert (node.min, node.max) == (2, 5)
+
+    def test_repeat_of_group(self):
+        node = parse("(ab){3}").root
+        assert isinstance(node, Repeat) and node.min == 3
+
+    def test_lazy_quantifiers_language_equal(self):
+        # Lazy modifiers are accepted and denote the same language under
+        # report-every-end-position semantics: a+? must stay one-or-more.
+        lazy_plus = parse("a+?").root
+        assert (lazy_plus.min, lazy_plus.max) == (1, None)
+        lazy_star = parse("a*?").root
+        assert (lazy_star.min, lazy_star.max) == (0, None)
+        lazy_counted = parse("a{2,4}?").root
+        assert (lazy_counted.min, lazy_counted.max) == (2, 4)
+
+    def test_double_optional(self):
+        node = parse("a??").root
+        assert isinstance(node, Repeat) and node.matches_empty()
+
+    def test_dot_is_full_class_by_default(self):
+        node = parse(".").root
+        assert isinstance(node, ClassNode) and node.cls.is_full()
+
+    def test_dot_without_dotall(self):
+        node = parse(".", options=ParserOptions(dotall=False)).root
+        assert ord("\n") not in node.cls
+
+
+class TestAnchors:
+    def test_start_anchor(self):
+        pattern = parse("^abc")
+        assert pattern.anchored and not pattern.end_anchored
+
+    def test_end_anchor(self):
+        pattern = parse("abc$")
+        assert pattern.end_anchored and not pattern.anchored
+
+    def test_both(self):
+        pattern = parse("^abc$")
+        assert pattern.anchored and pattern.end_anchored
+
+    def test_inner_caret_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a^b")
+
+    def test_inner_dollar_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a$b")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", ["(ab", "ab)", "a||b" + ")", "(?:a", "*a"])
+    def test_malformed(self, bad):
+        with pytest.raises(RegexSyntaxError):
+            parse(bad)
+
+    def test_repeat_limit(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{2000}")
+        parse("a{2000}", options=ParserOptions(max_counted_repeat=4096))
+
+
+class TestSlashSyntax:
+    def test_flags_applied(self):
+        pattern = parse("/abc/i")
+        # Case folding turns literals into two-case classes.
+        first = pattern.root.parts[0]
+        assert len(first.cls) == 2
+
+    def test_slash_without_flags(self):
+        assert pattern_to_text(parse("/abc/")) == "abc"
+
+    def test_not_slash_syntax(self):
+        # A lone leading slash is a literal (printed escaped so the output
+        # can never be re-read as /body/flags syntax).
+        pattern = parse("/abc")
+        assert pattern_to_text(pattern) == "\\/abc"
+        assert pattern_to_text(parse(pattern_to_text(pattern))) == "\\/abc"
+
+    def test_ids_assigned_in_order(self):
+        patterns = parse_many(["a", "b", "c"])
+        assert [p.match_id for p in patterns] == [1, 2, 3]
+
+
+# -- round-trip property -------------------------------------------------------
+
+_leaf = st.sampled_from("abc.").map(
+    lambda ch: ClassNode(CharClass.full()) if ch == "." else ast.literal(ord(ch))
+)
+_klass = st.frozensets(st.sampled_from(b"abcxyz\n"), min_size=1, max_size=4).map(
+    lambda s: ClassNode(CharClass(sorted(s)))
+)
+
+
+def _extend(children):
+    return st.one_of(
+        st.lists(children, min_size=2, max_size=4).map(ast.concat),
+        st.lists(children, min_size=2, max_size=3).map(ast.alternate),
+        st.tuples(children, st.integers(0, 3), st.integers(0, 3)).map(
+            lambda t: ast.repeat(t[0], min(t[1], t[2]), max(t[1], t[2]))
+        ),
+        children.map(ast.star),
+        children.map(ast.plus),
+        children.map(ast.optional),
+    )
+
+
+node_trees = st.recursive(st.one_of(_leaf, _klass), _extend, max_leaves=12)
+
+
+@given(node_trees)
+@settings(max_examples=200)
+def test_print_parse_round_trip(tree):
+    """Printed form re-parses to a language-equal tree.
+
+    We compare via a second print: parse(print(t)) may normalise the tree,
+    but printing must then be a fixed point.
+    """
+    text = to_text(tree)
+    reparsed = parse(text).root
+    assert to_text(reparsed) == to_text(parse(to_text(reparsed)).root)
+
+
+@given(node_trees)
+@settings(max_examples=100)
+def test_printed_pattern_matches_python_re(tree):
+    """Our printed syntax is a strict PCRE subset: Python's re accepts it."""
+    import re
+
+    text = to_text(tree)
+    re.compile(text.encode("latin-1"), re.DOTALL)

@@ -1,0 +1,69 @@
+"""Unit tests for AST rendering."""
+
+from repro.regex import ast, parse
+from repro.regex.charclass import CharClass
+from repro.regex.printer import pattern_to_text, to_text
+
+
+class TestLeafRendering:
+    def test_plain_literal(self):
+        assert to_text(ast.string("abc")) == "abc"
+
+    def test_metachars_escaped(self):
+        assert to_text(ast.string("a.b*c")) == "a\\.b\\*c"
+
+    def test_control_bytes(self):
+        assert to_text(ast.string("\n\t")) == "\\n\\t"
+
+    def test_hex_fallback(self):
+        assert to_text(ast.literal(0x90)) == "\\x90"
+
+    def test_full_class_is_dot(self):
+        assert to_text(ast.ClassNode(CharClass.full())) == "."
+
+    def test_small_class(self):
+        assert to_text(ast.ClassNode(CharClass.of("abc"))) == "[a-c]"
+
+    def test_large_class_negated(self):
+        node = ast.ClassNode(~CharClass.of("\n"))
+        assert to_text(node) == "[^\\n]"
+
+    def test_singleton_class_is_literal(self):
+        assert to_text(ast.ClassNode(CharClass.single(ord("q")))) == "q"
+
+    def test_empty_node(self):
+        assert to_text(ast.EMPTY) == "(?:)"
+
+
+class TestCombinators:
+    def test_alternation(self):
+        assert to_text(parse("ab|cd").root) == "ab|cd"
+
+    def test_alt_inside_concat_grouped(self):
+        text = to_text(parse("a(?:b|c)d").root)
+        assert text == "a(?:b|c)d"
+
+    def test_repeat_forms(self):
+        assert to_text(parse("a*").root) == "a*"
+        assert to_text(parse("a+").root) == "a+"
+        assert to_text(parse("a?").root) == "a?"
+        assert to_text(parse("a{3}").root) == "a{3}"
+        assert to_text(parse("a{2,}").root) == "a{2,}"
+        assert to_text(parse("a{2,5}").root) == "a{2,5}"
+
+    def test_repeat_of_concat_grouped(self):
+        assert to_text(parse("(?:ab){2}").root) == "(?:ab){2}"
+
+    def test_dot_star(self):
+        assert to_text(parse(".*abc.*xyz").root) == ".*abc.*xyz"
+
+
+class TestPatternRendering:
+    def test_anchors(self):
+        assert pattern_to_text(parse("^abc$")) == "^abc$"
+
+    def test_unanchored(self):
+        assert pattern_to_text(parse("abc")) == "abc"
+
+    def test_empty_pattern(self):
+        assert pattern_to_text(parse("^$")) == "^$"

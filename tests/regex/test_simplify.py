@@ -1,0 +1,59 @@
+"""Unit and language-preservation tests for AST normalisation."""
+
+from hypothesis import given, settings
+
+from repro.automata.nfa import build_nfa
+from repro.regex import ast, parse
+from repro.regex.ast import ClassNode, Pattern
+from repro.regex.simplify import simplify
+
+from .test_parser import node_trees
+
+
+class TestRewrites:
+    def test_merges_class_alternatives(self):
+        root = simplify(parse("a|b|[cd]").root)
+        assert isinstance(root, ClassNode)
+        assert set(root.cls) == {ord(c) for c in "abcd"}
+
+    def test_keeps_word_alternatives(self):
+        root = simplify(parse("ab|cd").root)
+        assert isinstance(root, ast.Alt)
+
+    def test_star_of_star(self):
+        assert simplify(parse("(?:a*)*").root) == parse("a*").root
+
+    def test_star_repeated(self):
+        assert simplify(parse("(?:a*){2,5}").root) == parse("a*").root
+
+    def test_plus_of_plus(self):
+        assert simplify(parse("(?:a+){2,}").root) == parse("a{2,}").root
+
+    def test_repeat_zero_is_empty(self):
+        assert simplify(ast.repeat(ast.string("ab"), 0, 0)) is ast.EMPTY
+
+    def test_concat_flattening(self):
+        nested = ast.Concat((ast.string("ab"), ast.string("cd")))
+        flat = simplify(nested)
+        assert isinstance(flat, ast.Concat)
+        assert all(isinstance(p, ClassNode) for p in flat.parts)
+
+    def test_idempotent(self):
+        root = parse(".*a[bc]{2,3}(?:x|y)*").root
+        once = simplify(root)
+        assert simplify(once) == once
+
+
+@given(node_trees)
+@settings(max_examples=60, deadline=None)
+def test_simplify_preserves_language(tree):
+    """Simplified trees accept exactly the same inputs (NFA comparison on a
+    deterministic probe corpus)."""
+    probes = [b"", b"a", b"b", b"ab", b"ba", b"abc", b"aab", b"bca",
+              b"abab", b"xyz", b"a\nb", b"ccc"]
+    original = build_nfa([Pattern(tree, match_id=1, anchored=True)])
+    rewritten = build_nfa([Pattern(simplify(tree), match_id=1, anchored=True)])
+    for probe in probes:
+        expected = {m.pos for m in original.run(probe)}
+        actual = {m.pos for m in rewritten.run(probe)}
+        assert actual == expected, probe

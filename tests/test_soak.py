@@ -1,0 +1,57 @@
+"""Bounded randomized soak: rule-set x options x traffic combinations.
+
+A miniature of the offline soak harness (4,000 rule sets, zero failures):
+this version runs a few hundred combinations in ~30 s so the regular test
+run exercises option interactions (mitigation x rescue x alternation
+explosion) that the targeted hypothesis tests sample more narrowly.
+"""
+
+import random
+
+import pytest
+
+from repro.core import SplitterOptions, build_mfa, verify_equivalence
+from repro.regex import parse_many
+
+SEPARATORS = [".*", "[^x]*", "[^\\n]*", ".{1,4}", ".{0,2}", ".{3}", ".+", ".{2,}", "[^ab]*"]
+OPTIONS = [
+    SplitterOptions(),
+    SplitterOptions(coalesce_clear_runs=True),
+    SplitterOptions(offset_overlap_rescue=True),
+    SplitterOptions(coalesce_clear_runs=True, offset_overlap_rescue=True),
+    SplitterOptions(explode_alternations=4, offset_overlap_rescue=True),
+]
+
+
+def _rand_word(rng):
+    return "".join(rng.choice("abc") for _ in range(rng.randrange(1, 4)))
+
+
+def _rand_rule(rng):
+    parts = [_rand_word(rng)]
+    for _ in range(rng.randrange(1, 4)):
+        parts.append(rng.choice(SEPARATORS))
+        parts.append(_rand_word(rng))
+    prefix = rng.choice(["", "^", ".*"])
+    body = "".join(parts)
+    if rng.random() < 0.15:
+        body = f"(?:{body}|{_rand_word(rng)})"
+    return prefix + body + rng.choice(["", "", "", "$"])
+
+
+def _rand_input(rng):
+    return bytes(rng.choice(b"aabbccx\n.") for _ in range(rng.randrange(0, 70)))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_randomized_option_matrix(seed):
+    rng = random.Random(97_000 + seed)
+    for _ in range(40):
+        rules = [_rand_rule(rng) for _ in range(rng.randrange(1, 4))]
+        options = rng.choice(OPTIONS)
+        patterns = parse_many(rules)
+        mfa = build_mfa(patterns, options)
+        for _ in range(2):
+            data = _rand_input(rng)
+            report = verify_equivalence(patterns, data, mfa=mfa)
+            assert report.equal, (rules, options, data, report)

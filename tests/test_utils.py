@@ -1,0 +1,56 @@
+"""Utility module tests (RNG streams, timing helpers)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import choose_byte_from_bits, make_rng
+from repro.utils.timing import Stopwatch, cycles_per_byte, time_call
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(1, "a").random() == make_rng(1, "a").random()
+
+    def test_purpose_decorrelates(self):
+        assert make_rng(1, "a").random() != make_rng(1, "b").random()
+
+    def test_seed_decorrelates(self):
+        assert make_rng(1, "a").random() != make_rng(2, "a").random()
+
+    def test_choose_byte_member(self):
+        bits = (1 << 10) | (1 << 200)
+        rng = make_rng(0, "pick")
+        picks = {choose_byte_from_bits(bits, rng) for _ in range(50)}
+        assert picks == {10, 200}
+
+    def test_choose_byte_empty_raises(self):
+        with pytest.raises(ValueError):
+            choose_byte_from_bits(0, make_rng(0, "x"))
+
+    @given(st.frozensets(st.integers(0, 255), min_size=1, max_size=16), st.integers(0, 99))
+    def test_choose_byte_always_in_set(self, values, seed):
+        bits = 0
+        for value in values:
+            bits |= 1 << value
+        assert choose_byte_from_bits(bits, make_rng(seed, "h")) in values
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure():
+            sum(range(1000))
+        first = watch.elapsed_ns
+        with watch.measure():
+            sum(range(1000))
+        assert watch.elapsed_ns > first > 0
+        assert watch.seconds == watch.elapsed_ns / 1e9
+
+    def test_time_call(self):
+        result, elapsed = time_call(lambda: 21 * 2)
+        assert result == 42 and elapsed > 0
+
+    def test_cycles_per_byte(self):
+        assert cycles_per_byte(1000, 0) == 0.0
+        assert cycles_per_byte(1000, 100) > 0

@@ -1,0 +1,70 @@
+"""Synthetic workload generator tests."""
+
+import pytest
+
+from repro.automata.nfa import build_nfa
+from repro.core import compile_mfa
+from repro.regex import parse_many
+from repro.traffic.becchi import DIFFICULTIES, generate_payload, generate_trace
+
+RULES = [".*attack00.*shell11", ".*GET /adm[^\\n]*pwd", ".*take.{2,6}over0"]
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    return parse_many(RULES)
+
+
+@pytest.fixture(scope="module")
+def nfa(patterns):
+    return build_nfa(patterns)
+
+
+class TestGeneration:
+    def test_length(self, nfa):
+        assert len(generate_payload(nfa, 1234, 0.5)) == 1234
+
+    def test_deterministic(self, nfa):
+        a = generate_payload(nfa, 500, 0.75, seed=9)
+        b = generate_payload(nfa, 500, 0.75, seed=9)
+        assert a == b
+
+    def test_seed_changes_output(self, nfa):
+        assert generate_payload(nfa, 500, 0.75, seed=1) != generate_payload(
+            nfa, 500, 0.75, seed=2
+        )
+
+    def test_difficulties_constant(self):
+        assert DIFFICULTIES == (None, 0.35, 0.55, 0.75, 0.95)
+
+    def test_random_baseline_uniform_ish(self, nfa):
+        payload = generate_payload(nfa, 8000, None, seed=3)
+        distinct = len(set(payload))
+        assert distinct > 200  # roughly uniform over 256 values
+
+    def test_trace_wrapper(self, patterns):
+        trace = generate_trace(patterns, 300, 0.55, seed=4)
+        assert len(trace.payload) == 300
+        assert trace.label == "pM=0.55"
+        assert generate_trace(patterns, 300, None, seed=4).label == "rand"
+
+
+class TestDifficultyAxis:
+    def test_raw_pressure_increases_with_pm(self, patterns, nfa):
+        """Higher p_M produces more automaton activity (raw match events)."""
+        mfa = compile_mfa(list(patterns))
+        raw_counts = []
+        for p_match in (0.35, 0.95):
+            payload = generate_payload(nfa, 6000, p_match, seed=7)
+            raw_counts.append(len(mfa.raw_matches(payload)))
+        assert raw_counts[1] > raw_counts[0]
+
+    def test_hard_traffic_produces_confirmed_matches(self, patterns, nfa):
+        mfa = compile_mfa(list(patterns))
+        payload = generate_payload(nfa, 8000, 0.95, seed=8)
+        assert len(mfa.run(payload)) > 0
+
+    def test_active_set_grows_with_pm(self, nfa):
+        easy = generate_payload(nfa, 3000, None, seed=5)
+        hard = generate_payload(nfa, 3000, 0.95, seed=5)
+        assert nfa.count_active(hard) > nfa.count_active(easy)

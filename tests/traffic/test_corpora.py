@@ -1,0 +1,77 @@
+"""Synthetic trace-corpus tests."""
+
+import pytest
+
+from repro.core import compile_mfa
+from repro.regex import parse_many
+from repro.traffic.corpora import PROFILES, TraceProfile, build_corpus, corpus_packets
+from repro.traffic.flows import FlowAssembler
+from repro.traffic.pcap import read_pcap
+
+RULES = [".*evil00.*payload11", ".*user=[^\\n]*root"]
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    return parse_many(RULES)
+
+
+SMALL = TraceProfile("small", 8_000, (0.4, 0.2, 0.2, 0.2), 0.3)
+BENIGN = TraceProfile("benign", 8_000, (0.4, 0.2, 0.2, 0.2), 0.0)
+
+
+class TestCorpusPackets:
+    def test_deterministic(self, patterns):
+        a = corpus_packets(SMALL, patterns, seed=5)
+        b = corpus_packets(SMALL, patterns, seed=5)
+        assert [(p.key, p.payload) for p in a] == [(p.key, p.payload) for p in b]
+
+    def test_meets_byte_target(self, patterns):
+        packets = corpus_packets(SMALL, patterns, seed=1)
+        assert sum(len(p.payload) for p in packets) >= SMALL.target_bytes
+
+    def test_segmentation_respects_mss(self, patterns):
+        assert all(len(p.payload) <= 1400 for p in corpus_packets(SMALL, patterns, seed=1))
+
+    def test_seq_numbers_contiguous(self, patterns):
+        packets = corpus_packets(SMALL, patterns, seed=1)
+        seen: dict = {}
+        for packet in packets:
+            expected = seen.get(packet.key, 0)
+            assert packet.seq == expected
+            seen[packet.key] = expected + len(packet.payload)
+
+    def test_attack_density_drives_matches(self, patterns):
+        mfa = compile_mfa(list(patterns))
+
+        def total_matches(profile):
+            assembler = FlowAssembler()
+            assembler.add_all(corpus_packets(profile, patterns, seed=2))
+            return sum(len(mfa.run(f.payload)) for f in assembler.flows())
+
+        assert total_matches(BENIGN) == 0
+        assert total_matches(SMALL) > 0
+
+    def test_profiles_cover_papers_traces(self):
+        names = {p.name for p in PROFILES}
+        assert {"LL1", "LL2", "LL3", "C11", "C12", "C110", "C112", "N"} == names
+        # C112 is the paper's hostile trace: highest attack density.
+        c112 = next(p for p in PROFILES if p.name == "C112")
+        assert c112.attack_density == max(p.attack_density for p in PROFILES)
+
+
+class TestBuildCorpus:
+    def test_writes_readable_pcaps(self, tmp_path, patterns):
+        paths = build_corpus(tmp_path, patterns, profiles=(SMALL,), seed=3)
+        with open(paths["small"], "rb") as stream:
+            packets = list(read_pcap(stream))
+        assert packets
+        assembler = FlowAssembler()
+        assembler.add_all(packets)
+        flows = assembler.flows()
+        assert flows and all(flow.payload for flow in flows)
+
+    def test_scale_parameter(self, tmp_path, patterns):
+        small = build_corpus(tmp_path / "s", patterns, profiles=(SMALL,), scale=0.5, seed=3)
+        large = build_corpus(tmp_path / "l", patterns, profiles=(SMALL,), scale=2.0, seed=3)
+        assert small["small"].stat().st_size < large["small"].stat().st_size

@@ -1,0 +1,36 @@
+"""UDP flows through the dispatcher (no sequence numbers to honour)."""
+
+from repro.core import compile_mfa
+from repro.traffic.flows import FiveTuple, Packet, PROTO_UDP, dispatch_flows
+
+KEY = FiveTuple(PROTO_UDP, "10.0.0.1", 5353, "10.0.0.2", 53)
+OTHER = FiveTuple(PROTO_UDP, "10.0.0.3", 5353, "10.0.0.2", 53)
+
+
+def test_udp_packets_stream_in_arrival_order():
+    mfa = compile_mfa([".*alpha.*omega"])
+    packets = [
+        Packet(key=KEY, payload=b"alpha "),
+        Packet(key=OTHER, payload=b"omega"),
+        Packet(key=KEY, payload=b"omega"),
+    ]
+    matches = list(dispatch_flows(mfa, packets))
+    assert len(matches) == 1
+    assert matches[0].key == KEY
+
+
+def test_udp_ignores_seq_field():
+    mfa = compile_mfa([".*ab"])
+    packets = [
+        Packet(key=KEY, payload=b"a", seq=999),
+        Packet(key=KEY, payload=b"b", seq=0),
+    ]
+    matches = list(dispatch_flows(mfa, packets))
+    assert [m.event.pos for m in matches] == [1]
+
+
+def test_end_anchored_fires_at_finish():
+    mfa = compile_mfa([".*done$"])
+    packets = [Packet(key=KEY, payload=b"work "), Packet(key=KEY, payload=b"done")]
+    matches = list(dispatch_flows(mfa, packets))
+    assert [(m.key, m.event.pos) for m in matches] == [(KEY, 8)]

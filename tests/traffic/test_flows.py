@@ -1,0 +1,135 @@
+"""Flow model and reassembly tests."""
+
+import pytest
+
+from repro.core import compile_mfa
+from repro.traffic.flows import (
+    FiveTuple,
+    FlowAssembler,
+    Packet,
+    PROTO_TCP,
+    PROTO_UDP,
+    dispatch_flows,
+)
+
+KEY_A = FiveTuple(PROTO_TCP, "10.0.0.1", 1234, "10.0.0.2", 80)
+KEY_B = FiveTuple(PROTO_TCP, "10.0.0.3", 5678, "10.0.0.2", 80)
+KEY_U = FiveTuple(PROTO_UDP, "10.0.0.1", 53, "10.0.0.2", 53)
+
+
+def tcp(key, seq, payload):
+    return Packet(key=key, payload=payload, seq=seq)
+
+
+class TestAssembler:
+    def test_in_order(self):
+        assembler = FlowAssembler()
+        assembler.add(tcp(KEY_A, 0, b"hello "))
+        assembler.add(tcp(KEY_A, 6, b"world"))
+        (flow,) = assembler.flows()
+        assert flow.payload == b"hello world"
+
+    def test_out_of_order(self):
+        assembler = FlowAssembler()
+        assembler.add(tcp(KEY_A, 6, b"world"))
+        assembler.add(tcp(KEY_A, 0, b"hello "))
+        (flow,) = assembler.flows()
+        assert flow.payload == b"hello world"
+
+    def test_duplicate_segment_dropped(self):
+        assembler = FlowAssembler()
+        assembler.add(tcp(KEY_A, 0, b"abc"))
+        assembler.add(tcp(KEY_A, 0, b"xxx"))
+        (flow,) = assembler.flows()
+        assert flow.payload == b"abc"
+
+    def test_overlapping_segment_trimmed(self):
+        assembler = FlowAssembler()
+        assembler.add(tcp(KEY_A, 0, b"abcd"))
+        assembler.add(tcp(KEY_A, 2, b"cdef"))
+        (flow,) = assembler.flows()
+        assert flow.payload == b"abcdef"
+
+    def test_gap_spliced(self):
+        assembler = FlowAssembler()
+        assembler.add(tcp(KEY_A, 0, b"ab"))
+        assembler.add(tcp(KEY_A, 100, b"cd"))
+        (flow,) = assembler.flows()
+        assert flow.payload == b"abcd"
+
+    def test_fully_contained_overlap_dropped(self):
+        assembler = FlowAssembler()
+        assembler.add(tcp(KEY_A, 0, b"abcdef"))
+        assembler.add(tcp(KEY_A, 2, b"cd"))
+        (flow,) = assembler.flows()
+        assert flow.payload == b"abcdef"
+
+    def test_multiple_flows_kept_separate(self):
+        assembler = FlowAssembler()
+        assembler.add(tcp(KEY_A, 0, b"aaa"))
+        assembler.add(tcp(KEY_B, 0, b"bbb"))
+        assembler.add(tcp(KEY_A, 3, b"AAA"))
+        flows = {flow.key: flow.payload for flow in assembler.flows()}
+        assert flows == {KEY_A: b"aaaAAA", KEY_B: b"bbb"}
+
+    def test_first_seen_order(self):
+        assembler = FlowAssembler()
+        assembler.add(tcp(KEY_B, 0, b"b"))
+        assembler.add(tcp(KEY_A, 0, b"a"))
+        assert [flow.key for flow in assembler.flows()] == [KEY_B, KEY_A]
+
+    def test_udp_concatenated_in_arrival_order(self):
+        assembler = FlowAssembler()
+        assembler.add(Packet(key=KEY_U, payload=b"22"))
+        assembler.add(Packet(key=KEY_U, payload=b"11"))
+        (flow,) = assembler.flows()
+        assert flow.payload == b"2211"
+
+    def test_empty_payloads_ignored(self):
+        assembler = FlowAssembler()
+        assembler.add(tcp(KEY_A, 0, b""))
+        assert assembler.flows() == []
+
+
+class TestDispatch:
+    RULES = [".*alpha.*omega"]
+
+    def test_matches_attributed_to_flows(self):
+        mfa = compile_mfa(self.RULES)
+        packets = [
+            tcp(KEY_A, 0, b"alpha "),
+            tcp(KEY_B, 0, b"nothing here"),
+            tcp(KEY_A, 6, b"omega"),
+        ]
+        matches = list(dispatch_flows(mfa, packets))
+        assert len(matches) == 1
+        assert matches[0].key == KEY_A
+
+    def test_no_cross_flow_contamination(self):
+        mfa = compile_mfa(self.RULES)
+        # alpha in flow A, omega in flow B: no match anywhere.
+        packets = [tcp(KEY_A, 0, b"alpha "), tcp(KEY_B, 0, b"omega")]
+        assert list(dispatch_flows(mfa, packets)) == []
+
+    def test_out_of_order_rejected(self):
+        mfa = compile_mfa(self.RULES)
+        packets = [tcp(KEY_A, 0, b"ab"), tcp(KEY_A, 5, b"cd")]
+        with pytest.raises(ValueError, match="out-of-order"):
+            list(dispatch_flows(mfa, packets))
+
+    def test_equals_per_flow_runs(self):
+        mfa = compile_mfa(self.RULES)
+        stream_a = b"alpha ... omega ... alpha omega"
+        stream_b = b"omega alpha omega"
+        packets = []
+        seq_a = seq_b = 0
+        for i in range(0, 40, 8):
+            chunk_a, chunk_b = stream_a[i : i + 8], stream_b[i : i + 8]
+            packets.append(tcp(KEY_A, seq_a, chunk_a))
+            packets.append(tcp(KEY_B, seq_b, chunk_b))
+            seq_a += len(chunk_a)
+            seq_b += len(chunk_b)
+        dispatched = [(m.key, m.event) for m in dispatch_flows(mfa, packets)]
+        expected = [(KEY_A, e) for e in mfa.run(stream_a)]
+        expected += [(KEY_B, e) for e in mfa.run(stream_b)]
+        assert sorted(dispatched, key=repr) == sorted(expected, key=repr)

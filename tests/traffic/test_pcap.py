@@ -1,0 +1,112 @@
+"""pcap encode/decode tests."""
+
+import io
+import struct
+
+import pytest
+
+from repro.traffic.flows import FiveTuple, Packet, PROTO_TCP, PROTO_UDP
+from repro.traffic.pcap import (
+    PcapError,
+    decode_frame,
+    encode_packet,
+    read_pcap,
+    write_pcap,
+)
+
+TCP_KEY = FiveTuple(PROTO_TCP, "192.168.1.10", 12345, "10.0.0.1", 80)
+UDP_KEY = FiveTuple(PROTO_UDP, "192.168.1.10", 5353, "10.0.0.1", 53)
+
+
+class TestFrameCodec:
+    def test_tcp_round_trip(self):
+        packet = Packet(key=TCP_KEY, payload=b"GET / HTTP/1.1\r\n", seq=42)
+        decoded = decode_frame(encode_packet(packet))
+        assert decoded.key == TCP_KEY
+        assert decoded.payload == packet.payload
+        assert decoded.seq == 42
+
+    def test_udp_round_trip(self):
+        packet = Packet(key=UDP_KEY, payload=b"dns-ish")
+        decoded = decode_frame(encode_packet(packet))
+        assert decoded.key == UDP_KEY
+        assert decoded.payload == packet.payload
+
+    def test_binary_payload(self):
+        payload = bytes(range(256))
+        decoded = decode_frame(encode_packet(Packet(key=TCP_KEY, payload=payload)))
+        assert decoded.payload == payload
+
+    def test_empty_payload(self):
+        decoded = decode_frame(encode_packet(Packet(key=TCP_KEY, payload=b"")))
+        assert decoded.payload == b""
+
+    def test_non_ip_frame_skipped(self):
+        frame = b"\x02" * 6 + b"\x04" * 6 + struct.pack("!H", 0x0806) + b"arp..."
+        assert decode_frame(frame) is None
+
+    def test_short_frame_skipped(self):
+        assert decode_frame(b"short") is None
+
+    def test_unsupported_protocol(self):
+        frame = bytearray(encode_packet(Packet(key=TCP_KEY, payload=b"x")))
+        frame[14 + 9] = 47  # GRE
+        assert decode_frame(bytes(frame)) is None
+
+    def test_ip_checksum_is_valid(self):
+        frame = encode_packet(Packet(key=TCP_KEY, payload=b"x"))
+        ip_header = frame[14 : 14 + 20]
+        total = sum(struct.unpack("!10H", ip_header))
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        assert total == 0xFFFF
+
+    def test_bad_address_raises(self):
+        bad = FiveTuple(PROTO_TCP, "999.1.1.1", 1, "10.0.0.1", 2)
+        with pytest.raises(ValueError):
+            encode_packet(Packet(key=bad, payload=b"x"))
+
+
+class TestFileFormat:
+    def _capture(self, packets):
+        buffer = io.BytesIO()
+        write_pcap(buffer, packets)
+        buffer.seek(0)
+        return buffer
+
+    def test_round_trip(self):
+        packets = [
+            Packet(key=TCP_KEY, payload=b"one", seq=0, timestamp=1.5),
+            Packet(key=UDP_KEY, payload=b"two", timestamp=2.25),
+        ]
+        restored = list(read_pcap(self._capture(packets)))
+        assert [p.payload for p in restored] == [b"one", b"two"]
+        assert [p.key for p in restored] == [TCP_KEY, UDP_KEY]
+        assert restored[0].timestamp == pytest.approx(1.5, abs=1e-5)
+
+    def test_empty_capture(self):
+        assert list(read_pcap(self._capture([]))) == []
+
+    def test_truncated_header(self):
+        with pytest.raises(PcapError, match="global header"):
+            list(read_pcap(io.BytesIO(b"\xd4\xc3")))
+
+    def test_bad_magic(self):
+        blob = self._capture([]).getvalue()
+        with pytest.raises(PcapError, match="magic"):
+            list(read_pcap(io.BytesIO(b"\x00\x00\x00\x00" + blob[4:])))
+
+    def test_truncated_record(self):
+        packets = [Packet(key=TCP_KEY, payload=b"data", seq=0)]
+        blob = self._capture(packets).getvalue()
+        with pytest.raises(PcapError, match="truncated"):
+            list(read_pcap(io.BytesIO(blob[:-3])))
+
+    def test_many_packets(self):
+        packets = [
+            Packet(key=TCP_KEY, payload=bytes([i]) * (i + 1), seq=i * 10)
+            for i in range(50)
+        ]
+        restored = list(read_pcap(self._capture(packets)))
+        assert len(restored) == 50
+        assert restored[17].payload == b"\x11" * 18

@@ -1,0 +1,41 @@
+"""Decoder fuzzing: arbitrary bytes must never crash the pcap stack."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.pcap import PcapError, decode_frame, read_pcap
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=300, deadline=None)
+def test_decode_frame_total(blob):
+    """decode_frame returns a Packet or None, never raises."""
+    result = decode_frame(blob)
+    assert result is None or result.payload is not None
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=200, deadline=None)
+def test_read_pcap_raises_only_pcap_error(blob):
+    """Arbitrary files either parse or fail with PcapError."""
+    try:
+        list(read_pcap(io.BytesIO(blob)))
+    except PcapError:
+        pass
+
+
+@given(st.binary(min_size=24, max_size=400))
+@settings(max_examples=200, deadline=None)
+def test_read_pcap_with_valid_magic_prefix(blob):
+    """Even with a valid global header, garbage records fail cleanly."""
+    import struct
+
+    header = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+    try:
+        packets = list(read_pcap(io.BytesIO(header + blob)))
+    except PcapError:
+        return
+    for packet in packets:
+        assert packet.key.proto in (6, 17)

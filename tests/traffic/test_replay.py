@@ -1,0 +1,66 @@
+"""Replay harness tests."""
+
+from repro.core import compile_mfa
+from repro.traffic.flows import FiveTuple, Packet, PROTO_TCP
+from repro.traffic.replay import ReplayStats, replay
+
+KEY_A = FiveTuple(PROTO_TCP, "10.0.0.1", 1234, "10.0.0.2", 80)
+KEY_B = FiveTuple(PROTO_TCP, "10.0.0.3", 4321, "10.0.0.2", 80)
+
+
+def packets():
+    return [
+        Packet(key=KEY_A, payload=b"alpha ", seq=0),
+        Packet(key=KEY_B, payload=b"nothing", seq=0),
+        Packet(key=KEY_A, payload=b"omega", seq=6),
+        Packet(key=KEY_B, payload=b"", seq=7),       # empty: skipped
+    ]
+
+
+class TestReplay:
+    def test_counts(self):
+        mfa = compile_mfa([".*alpha.*omega"])
+        stats = replay(mfa, packets())
+        assert stats.n_packets == 3
+        assert stats.n_flows == 2
+        assert stats.total_payload == len(b"alpha omega") + len(b"nothing")
+        assert stats.n_alerts == 1
+
+    def test_alert_attribution(self):
+        mfa = compile_mfa([".*alpha.*omega"])
+        stats = replay(mfa, packets())
+        (key, event), = stats.alerts
+        assert key == KEY_A
+        assert event.pos == 10  # flow-absolute offset of the final byte
+
+    def test_alerts_match_batch_run(self):
+        mfa = compile_mfa([".*alpha.*omega", ".*noth"])
+        stats = replay(mfa, packets())
+        expected = sorted(mfa.run(b"alpha omega")) + sorted(mfa.run(b"nothing"))
+        assert sorted(e for _k, e in stats.alerts) == sorted(expected)
+
+    def test_latency_stats_populated(self):
+        mfa = compile_mfa(["x"])
+        stats = replay(mfa, packets())
+        assert len(stats.packet_ns) == 3
+        assert stats.mean_ns > 0
+        assert stats.p50_ns <= stats.p99_ns
+        assert stats.ns_per_byte > 0
+
+    def test_describe(self):
+        mfa = compile_mfa(["x"])
+        lines = replay(mfa, packets()).describe()
+        assert any("p99" in line for line in lines)
+        assert any("flows: 2" in line for line in lines)
+
+    def test_collect_alerts_off(self):
+        mfa = compile_mfa([".*alpha.*omega"])
+        stats = replay(mfa, packets(), collect_alerts=False)
+        assert stats.n_alerts == 1
+        assert stats.alerts == []
+
+    def test_empty_replay(self):
+        stats = replay(compile_mfa(["x"]), [])
+        assert stats.n_packets == 0
+        assert stats.mean_ns == 0.0
+        assert stats.describe()
