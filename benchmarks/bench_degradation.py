@@ -1,0 +1,128 @@
+"""Degradation sweep: throughput and match fidelity per fault class.
+
+Robustness has a price tag and this benchmark prints it.  One synthetic
+capture is pushed through :func:`repro.robust.pipeline.resilient_scan`
+once per fault class (clean, bit-flipped frames, truncated tail, record
+desynchronization, reordering, retransmission, TCP sequence wraparound).
+For each class the table reports scan throughput, how much the tolerant
+reader and assembler skipped, and match fidelity versus the clean run —
+the alerts on flows a fault did not touch must be byte-for-byte
+identical, which is the pipeline's core fidelity contract.
+"""
+
+from __future__ import annotations
+
+from io import BytesIO
+
+import pytest
+
+from repro.bench.harness import build_engine, patterns_for, write_table
+from repro.robust.faults import FAULT_CLASSES, apply_fault
+from repro.traffic import TraceProfile, build_corpus
+from repro.traffic.flows import FlowAssembler
+from repro.traffic.pcap import read_pcap
+from repro.robust import resilient_scan
+from repro.utils.timing import cycles_per_byte
+
+_SET = "C8"
+_SEED = 2016
+
+
+@pytest.fixture(scope="module")
+def engine():
+    result = build_engine(_SET, "mfa")
+    assert result.ok
+    return result.engine
+
+
+@pytest.fixture(scope="module")
+def capture(tmp_path_factory) -> bytes:
+    directory = tmp_path_factory.mktemp("degradation")
+    paths = build_corpus(
+        directory,
+        list(patterns_for(_SET)),
+        profiles=(TraceProfile("deg", 60_000, (0.6, 0.2, 0.1, 0.1), 0.4),),
+        seed=_SEED,
+    )
+    return paths["deg"].read_bytes()
+
+
+def _alerts_by_flow(alerts):
+    by_flow = {}
+    for alert in alerts:
+        by_flow.setdefault(alert.key, []).append(alert.event)
+    return by_flow
+
+
+@pytest.mark.parametrize("fault", sorted(FAULT_CLASSES))
+def test_scan_under_fault(benchmark, engine, capture, fault):
+    """Scan the faulted capture; assert fidelity on unaffected flows."""
+    benchmark.group = "degradation-scan"
+    blob = apply_fault(capture, fault, seed=_SEED)
+
+    alerts, report = benchmark(lambda: resilient_scan(engine, blob))
+
+    clean_alerts, _ = resilient_scan(engine, capture)
+    clean_by_flow = _alerts_by_flow(clean_alerts)
+    faulted_by_flow = _alerts_by_flow(alerts)
+
+    if fault in ("clean", "reorder", "duplicate", "seq-wrap"):
+        # Content-preserving faults: the assembler restores every stream,
+        # so the whole alert set must match the clean run exactly.
+        assert faulted_by_flow == clean_by_flow
+        assert report.pcap.corrupt_records == 0
+    else:
+        # Lossy faults (bitflip, truncate, corrupt-length): flows whose
+        # reassembled payload survived unchanged must alert identically;
+        # damage costs flows, not truth.
+        def flow_payloads(raw: bytes) -> dict:
+            assembler = FlowAssembler()
+            assembler.add_all(read_pcap(BytesIO(raw), errors="skip"))
+            return {flow.key: flow.payload for flow in assembler.flows()}
+
+        clean_flows = flow_payloads(capture)
+        damaged_flows = flow_payloads(blob)
+        intact = {
+            key
+            for key, payload in damaged_flows.items()
+            if clean_flows.get(key) == payload
+        }
+        assert intact  # localized damage never takes every flow down
+        for key in intact:
+            assert faulted_by_flow.get(key, []) == clean_by_flow.get(key, [])
+        if fault in ("truncate", "corrupt-length"):
+            # Structural damage must be visible in the report; bitflips in
+            # payload bytes decode fine and may alter content silently.
+            assert report.degraded
+
+
+def test_degradation_table(engine, capture):
+    """The summary table: one row per fault class."""
+    import time
+
+    clean_alerts, _ = resilient_scan(engine, capture)
+    rows = [
+        f"{'fault':15s} {'bytes':>10s} {'cpb':>8s} {'alerts':>7s} "
+        f"{'corrupt':>8s} {'resync B':>9s} {'fidelity':>9s}"
+    ]
+    for fault in sorted(FAULT_CLASSES):
+        blob = apply_fault(capture, fault, seed=_SEED)
+        start = time.perf_counter_ns()
+        alerts, report = resilient_scan(engine, blob)
+        elapsed = time.perf_counter_ns() - start
+        cpb = cycles_per_byte(elapsed, max(1, len(blob)))
+        # Fidelity: fraction of the clean run's alerts still produced.
+        clean_set = {(a.key, a.event) for a in clean_alerts}
+        kept = {(a.key, a.event) for a in alerts} & clean_set
+        fidelity = len(kept) / len(clean_set) if clean_set else 1.0
+        rows.append(
+            f"{fault:15s} {len(blob):>10,d} {cpb:>8.0f} {len(alerts):>7d} "
+            f"{report.pcap.corrupt_records:>8d} {report.pcap.resync_bytes:>9d} "
+            f"{fidelity:>8.1%}"
+        )
+        if fault == "clean":
+            assert fidelity == 1.0
+        else:
+            # Localized damage must never take fidelity to the floor.
+            assert fidelity > 0.5
+    write_table("degradation.txt", rows)

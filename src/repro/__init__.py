@@ -42,6 +42,14 @@ from .core import (
     verify_equivalence,
 )
 from .regex import CharClass, Pattern, RegexSyntaxError, parse, parse_many
+from .robust import (
+    CompileLimits,
+    CompileReport,
+    ResilientCompiler,
+    ScanLimits,
+    compile_resilient,
+    resilient_scan,
+)
 
 __version__ = "1.0.0"
 
@@ -74,5 +82,11 @@ __all__ = [
     "RegexSyntaxError",
     "parse",
     "parse_many",
+    "CompileLimits",
+    "CompileReport",
+    "ResilientCompiler",
+    "ScanLimits",
+    "compile_resilient",
+    "resilient_scan",
     "__version__",
 ]

@@ -149,6 +149,7 @@ class HybridFA:
 def build_hybrid_fa(
     patterns: Sequence[Pattern],
     state_budget: int = DEFAULT_STATE_BUDGET,
+    time_budget: float | None = None,
 ) -> HybridFA:
     """Split each pattern at its first unbounded gap; heads DFA, rests NFA."""
     from ..core.splitter import SplitterOptions, _classify, _top_parts
@@ -209,5 +210,5 @@ def build_hybrid_fa(
         tails.append(build_nfa([Pattern(tail_node, match_id=1, anchored=True)]))
         tail_ids.append(pattern.match_id)
 
-    head = build_dfa(head_patterns, state_budget=state_budget)
+    head = build_dfa(head_patterns, state_budget=state_budget, time_budget=time_budget)
     return HybridFA(head, head_actions, tails, tail_ids)

@@ -11,6 +11,8 @@ Examples::
     mfa-bench report            # regenerate EXPERIMENTS.md (everything)
     mfa-bench compile C7p       # compile one set, print its stats
     mfa-bench scan S24 cap.pcap # compile a set and scan a capture
+    mfa-bench rcompile B217p    # resilient compile: fallback chain + report
+    mfa-bench rscan S24 cap.pcap  # tolerant scan: skip corrupt, isolate flows
 """
 
 from __future__ import annotations
@@ -41,6 +43,45 @@ def _cmd_compile(set_name: str) -> None:
             print(line)
 
 
+def _cmd_rcompile(set_name: str) -> int:
+    from .harness import build_resilient, write_table
+
+    result = build_resilient(set_name)
+    lines = [f"resilient compile of {set_name}"] + result.report.describe()
+    write_table(f"rcompile_{set_name}.txt", lines)
+    return 0 if result.ok else 1
+
+
+def _cmd_rscan(set_name: str, pcap_path: str) -> int:
+    from collections import Counter
+
+    from ..robust import resilient_scan, scan_limits_from_env
+    from ..traffic.pcap import PcapError
+    from .harness import build_resilient
+
+    result = build_resilient(set_name)
+    print(f"engine: {result.engine_name}")
+    for line in result.report.describe():
+        print(f"  {line}")
+    if not result.ok:
+        return 1
+    try:
+        alerts, report = resilient_scan(
+            result.engine, pcap_path, limits=scan_limits_from_env()
+        )
+    except (OSError, PcapError) as exc:
+        # Tolerance covers records, not the preamble: a file that is not
+        # a capture at all (or cannot be opened) is an operator error.
+        print(f"cannot scan {pcap_path}: {exc}")
+        return 1
+    for line in report.describe():
+        print(line)
+    by_rule = Counter(alert.event.match_id for alert in alerts)
+    for match_id, count in by_rule.most_common(10):
+        print(f"  rule {{{{{match_id}}}}}: {count} hits")
+    return 0
+
+
 def _cmd_scan(set_name: str, pcap_path: str) -> int:
     from collections import Counter
 
@@ -69,6 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "table5", "fig2", "fig3", "fig4", "fig5",
             "explosion", "report", "compile", "scan",
+            "rcompile", "rscan",
         ],
     )
     parser.add_argument("set_name", nargs="?", help="pattern set for 'compile'/'scan'")
@@ -91,17 +133,21 @@ def main(argv: list[str] | None = None) -> int:
         write_table("explosion_law.txt", explosion_rows(explosion_sweep()))
     elif args.command == "report":
         generate_all()
-    elif args.command in ("compile", "scan"):
+    elif args.command in ("compile", "scan", "rcompile", "rscan"):
         if not args.set_name:
             parser.error(f"{args.command} needs a pattern set name")
         if args.set_name not in all_set_names():
             parser.error(f"unknown set {args.set_name!r}; have {all_set_names()}")
         if args.command == "compile":
             _cmd_compile(args.set_name)
+        elif args.command == "rcompile":
+            return _cmd_rcompile(args.set_name)
         else:
             if not args.pcap:
-                parser.error("scan needs a pcap file")
-            return _cmd_scan(args.set_name, args.pcap)
+                parser.error(f"{args.command} needs a pcap file")
+            if args.command == "scan":
+                return _cmd_scan(args.set_name, args.pcap)
+            return _cmd_rscan(args.set_name, args.pcap)
     return 0
 
 

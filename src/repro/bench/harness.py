@@ -49,6 +49,7 @@ __all__ = [
     "results_dir",
     "patterns_for",
     "build_engine",
+    "build_resilient",
     "real_trace_flows",
     "synthetic_payload",
     "measure_run_cpb",
@@ -118,6 +119,23 @@ def build_engine(set_name: str, engine_name: str) -> BuildResult:
             error=f"exceeded {exc.budget} {exc.reason}",
         )
     return BuildResult(set_name, engine_name, engine, time.perf_counter() - start)
+
+
+@lru_cache(maxsize=None)
+def build_resilient(set_name: str):
+    """Resiliently compile a rule set through the engine fallback chain.
+
+    Uses the environment knobs (``REPRO_STATE_BUDGET`` seeds the
+    escalation schedule, ``REPRO_FALLBACK_CHAIN`` the chain); returns a
+    :class:`repro.robust.pipeline.CompileResult` whose ``report`` the CLI
+    renders.  Unlike :func:`build_engine` this never returns a failure —
+    the chain bottoms out at the NFA.
+    """
+    from ..robust import compile_limits_from_env
+    from ..robust.pipeline import ResilientCompiler
+
+    compiler = ResilientCompiler(limits=compile_limits_from_env())
+    return compiler.compile(list(ruleset(set_name).rules))
 
 
 # -- traces -------------------------------------------------------------------

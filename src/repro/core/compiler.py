@@ -18,7 +18,7 @@ from typing import Sequence
 from ..automata.dfa import DFA, DEFAULT_STATE_BUDGET, build_dfa
 from ..automata.nfa import NFA, build_nfa
 from ..regex.ast import Pattern
-from ..regex.parser import ParserOptions, parse_many
+from ..regex.parser import ParserOptions, parse
 from .mfa import MFA, build_mfa
 from .splitter import SplitterOptions
 
@@ -26,20 +26,32 @@ __all__ = ["compile_patterns", "compile_mfa", "compile_dfa", "compile_nfa"]
 
 
 def compile_patterns(
-    rules: Sequence[str] | Sequence[Pattern],
+    rules: Sequence[str | Pattern],
     parser_options: ParserOptions | None = None,
 ) -> list[Pattern]:
-    """Parse rule text into patterns with match-ids 1..n; patterns pass
-    through unchanged (so callers may mix pre-built patterns with text)."""
-    if not rules:
-        return []
-    if isinstance(rules[0], Pattern):
-        return list(rules)  # type: ignore[arg-type]
-    return parse_many(list(rules), options=parser_options)  # type: ignore[arg-type]
+    """Parse rule text into patterns, mixing text and pre-built objects.
+
+    A list of pre-built :class:`Pattern` objects passes through untouched,
+    so explicit match-ids (e.g. Snort rule sids) are respected.  As soon
+    as rule *text* appears anywhere in the list, every element is
+    renumbered to its 1-based input position — text has no id of its own,
+    and one consistent numbering beats a mix of positional and explicit
+    ids that could silently collide.
+    """
+    if all(isinstance(rule, Pattern) for rule in rules):
+        return list(rules)
+    patterns: list[Pattern] = []
+    for index, rule in enumerate(rules):
+        match_id = index + 1
+        if isinstance(rule, Pattern):
+            patterns.append(rule if rule.match_id == match_id else rule.with_id(match_id))
+        else:
+            patterns.append(parse(rule, match_id=match_id, options=parser_options))
+    return patterns
 
 
 def compile_mfa(
-    rules: Sequence[str] | Sequence[Pattern],
+    rules: Sequence[str | Pattern],
     splitter_options: SplitterOptions | None = None,
     parser_options: ParserOptions | None = None,
     state_budget: int = DEFAULT_STATE_BUDGET,
@@ -50,7 +62,7 @@ def compile_mfa(
 
 
 def compile_dfa(
-    rules: Sequence[str] | Sequence[Pattern],
+    rules: Sequence[str | Pattern],
     parser_options: ParserOptions | None = None,
     state_budget: int = DEFAULT_STATE_BUDGET,
 ) -> DFA:
@@ -60,7 +72,7 @@ def compile_dfa(
 
 
 def compile_nfa(
-    rules: Sequence[str] | Sequence[Pattern],
+    rules: Sequence[str | Pattern],
     parser_options: ParserOptions | None = None,
 ) -> NFA:
     """The paper's NFA baseline: compact, slow, never explodes."""

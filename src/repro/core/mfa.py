@@ -252,15 +252,18 @@ def build_mfa(
     splitter_options: SplitterOptions | None = None,
     state_budget: int = DEFAULT_STATE_BUDGET,
     minimize: bool = False,
+    time_budget: float | None = None,
 ) -> MFA:
     """Split a rule set and compile the component DFA (paper Figure 1).
 
     ``minimize`` runs Hopcroft minimization on the component DFA; the
     paper's reported MFA state counts are unminimized, so this defaults
     off (the ablation benchmark measures the residual savings).
+    ``time_budget`` bounds the subset construction's wall time in seconds
+    (see :func:`~repro.automata.dfa.build_dfa_from_nfa`).
     """
     split = split_patterns(patterns, splitter_options)
-    dfa = build_dfa(split.components, state_budget=state_budget)
+    dfa = build_dfa(split.components, state_budget=state_budget, time_budget=time_budget)
     if minimize:
         from ..automata.minimize import minimize_dfa
 

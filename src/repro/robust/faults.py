@@ -1,0 +1,236 @@
+"""Deterministic fault injection for captures, segments and payloads.
+
+The degradation story needs reproducible damage: every injector here is a
+pure function of its inputs and a seed (via :func:`repro.utils.rng.make_rng`),
+so a test or benchmark that observes "N records lost, unaffected flows
+identical" observes the same N every run.
+
+Three layers of damage, matching where real damage happens:
+
+* **capture bytes** — :func:`bitflip_records`, :func:`truncate_capture`,
+  :func:`corrupt_record_length` operate on the raw pcap blob, exercising
+  the tolerant reader's resynchronization;
+* **segment stream** — :func:`reorder_packets`, :func:`duplicate_packets`,
+  :func:`wrap_tcp_sequences` rearrange decoded packets, exercising the
+  assembler's ordering, dedup and serial-number arithmetic;
+* **payload content** — :func:`xflood_payload` builds the §IV-B hostile
+  clear-flood traffic that melts unmitigated almost-dot-star filters.
+
+:data:`FAULT_CLASSES` maps fault names to blob→blob transforms so the
+benchmark can sweep every class uniformly.
+"""
+
+from __future__ import annotations
+
+import struct
+from io import BytesIO
+from typing import Callable, Iterable, Sequence
+
+from ..traffic.flows import FiveTuple, PROTO_TCP, Packet
+from ..traffic.pcap import _GLOBAL_HEADER, _RECORD_HEADER, read_pcap, write_pcap
+from ..utils.rng import make_rng
+
+__all__ = [
+    "record_offsets",
+    "bitflip_records",
+    "truncate_capture",
+    "corrupt_record_length",
+    "reorder_packets",
+    "duplicate_packets",
+    "wrap_tcp_sequences",
+    "xflood_payload",
+    "xflood_packets",
+    "repack",
+    "FAULT_CLASSES",
+    "apply_fault",
+]
+
+_SEQ_MOD = 1 << 32
+
+
+def record_offsets(blob: bytes) -> list[tuple[int, int]]:
+    """``(header_offset, incl_len)`` of each record in a well-formed blob."""
+    out: list[tuple[int, int]] = []
+    offset = _GLOBAL_HEADER.size
+    while offset + _RECORD_HEADER.size <= len(blob):
+        incl_len = _RECORD_HEADER.unpack_from(blob, offset)[2]
+        out.append((offset, incl_len))
+        offset += _RECORD_HEADER.size + incl_len
+    return out
+
+
+# -- capture-byte faults ------------------------------------------------------
+
+
+def bitflip_records(
+    blob: bytes,
+    n_flips: int = 8,
+    seed: int = 0,
+    records: Sequence[int] | None = None,
+) -> bytes:
+    """Flip ``n_flips`` random bits inside record *frames* (headers spared).
+
+    Damaging frame bodies rather than record headers models link-level
+    corruption: the reader still walks the file, but some frames no
+    longer decode and are counted as undecodable.
+    """
+    rng = make_rng(seed, "faults:bitflip")
+    damaged = bytearray(blob)
+    offsets = record_offsets(blob)
+    if records is not None:
+        offsets = [offsets[i] for i in records]
+    spans = [
+        (off + _RECORD_HEADER.size, incl) for off, incl in offsets if incl > 0
+    ]
+    if not spans:
+        return blob
+    for _ in range(n_flips):
+        start, length = spans[rng.randrange(len(spans))]
+        position = start + rng.randrange(length)
+        damaged[position] ^= 1 << rng.randrange(8)
+    return bytes(damaged)
+
+
+def truncate_capture(blob: bytes, fraction: float = 0.5) -> bytes:
+    """Cut the capture mid-record at ``fraction`` of its length."""
+    cut = max(_GLOBAL_HEADER.size, int(len(blob) * fraction))
+    offsets = record_offsets(blob)
+    for off, incl in offsets:
+        frame_end = off + _RECORD_HEADER.size + incl
+        if frame_end > cut:
+            # Land strictly inside this record (past its header when
+            # possible) so the tail is genuinely torn, not cleanly ended.
+            cut = min(max(cut, off + _RECORD_HEADER.size + 1), frame_end - 1)
+            break
+    return blob[:cut]
+
+
+def corrupt_record_length(blob: bytes, index: int, value: int = 0xFFFFFFFF) -> bytes:
+    """Smash the ``incl_len``/``orig_len`` of record ``index``.
+
+    This is the classic desynchronizing fault: a strict reader runs off
+    the rails, a tolerant one must abandon the record and resync.
+    """
+    offsets = record_offsets(blob)
+    off, _incl = offsets[index]
+    damaged = bytearray(blob)
+    struct.pack_into("<II", damaged, off + 8, value & 0xFFFFFFFF, value & 0xFFFFFFFF)
+    return bytes(damaged)
+
+
+# -- segment-stream faults ----------------------------------------------------
+
+
+def reorder_packets(packets: Iterable[Packet], seed: int = 0) -> list[Packet]:
+    """Deterministic shuffle of capture order (flows interleave, segments
+    arrive out of order); the assembler must restore every stream."""
+    out = list(packets)
+    make_rng(seed, "faults:reorder").shuffle(out)
+    return out
+
+
+def duplicate_packets(
+    packets: Iterable[Packet], rate: float = 0.25, seed: int = 0
+) -> list[Packet]:
+    """Re-inject a deterministic sample of packets (retransmissions)."""
+    out = list(packets)
+    rng = make_rng(seed, "faults:duplicate")
+    duplicates = [p for p in out if rng.random() < rate]
+    positions = [rng.randrange(len(out) + 1) for _ in duplicates]
+    for packet, position in sorted(zip(duplicates, positions), key=lambda x: -x[1]):
+        out.insert(position, packet)
+    return out
+
+
+def wrap_tcp_sequences(packets: Iterable[Packet], headroom: int = 16) -> list[Packet]:
+    """Rebase each TCP flow so its sequence numbers cross 2^32.
+
+    The first-seen segment of every flow is moved to ``2^32 - headroom``,
+    so any flow longer than ``headroom`` bytes wraps mid-stream — the
+    exact situation naive ``sorted(seqs)`` reassembly reorders.
+    """
+    out: list[Packet] = []
+    deltas: dict[FiveTuple, int] = {}
+    for packet in packets:
+        if packet.key.proto != PROTO_TCP:
+            out.append(packet)
+            continue
+        delta = deltas.get(packet.key)
+        if delta is None:
+            delta = (_SEQ_MOD - headroom - packet.seq) % _SEQ_MOD
+            deltas[packet.key] = delta
+        out.append(
+            Packet(
+                key=packet.key,
+                payload=packet.payload,
+                seq=(packet.seq + delta) % _SEQ_MOD,
+                timestamp=packet.timestamp,
+            )
+        )
+    return out
+
+
+# -- payload-content faults ---------------------------------------------------
+
+
+def xflood_payload(
+    x_run: bytes = b"abcdef",
+    repeats: int = 4000,
+    prefix: bytes = b"pqs",
+    suffix: bytes = b"xyz",
+) -> bytes:
+    """The §IV-B clear-flood: a long run of X bytes between A and B.
+
+    Against an unmitigated ``.*A[^X]*B`` decomposition every X byte is a
+    filter event; a robust pipeline must survive this at full fidelity.
+    """
+    return prefix + x_run * repeats + suffix
+
+
+def xflood_packets(
+    key: FiveTuple,
+    segment_size: int = 1460,
+    **payload_kwargs,
+) -> list[Packet]:
+    """An X-flood flow cut into MTU-sized in-order TCP segments."""
+    payload = xflood_payload(**payload_kwargs)
+    return [
+        Packet(key=key, payload=payload[i : i + segment_size], seq=i)
+        for i in range(0, len(payload), segment_size)
+    ]
+
+
+# -- uniform blob-level interface ---------------------------------------------
+
+
+def repack(packets: Iterable[Packet]) -> bytes:
+    """Re-encode packets as a capture blob (for segment-level faults)."""
+    buffer = BytesIO()
+    write_pcap(buffer, packets)
+    return buffer.getvalue()
+
+
+def _decode(blob: bytes) -> list[Packet]:
+    return list(read_pcap(BytesIO(blob)))
+
+
+FAULT_CLASSES: dict[str, Callable[[bytes, int], bytes]] = {
+    "clean": lambda blob, seed: blob,
+    "bitflip": lambda blob, seed: bitflip_records(blob, n_flips=8, seed=seed),
+    "truncate": lambda blob, seed: truncate_capture(blob, fraction=0.6),
+    "corrupt-length": lambda blob, seed: corrupt_record_length(
+        blob, index=len(record_offsets(blob)) // 2
+    ),
+    "reorder": lambda blob, seed: repack(reorder_packets(_decode(blob), seed=seed)),
+    "duplicate": lambda blob, seed: repack(duplicate_packets(_decode(blob), seed=seed)),
+    "seq-wrap": lambda blob, seed: repack(wrap_tcp_sequences(_decode(blob))),
+}
+
+
+def apply_fault(blob: bytes, fault: str, seed: int = 0) -> bytes:
+    """Apply one named fault class to a capture blob."""
+    try:
+        transform = FAULT_CLASSES[fault]
+    except KeyError:
+        raise KeyError(f"unknown fault {fault!r}; have {sorted(FAULT_CLASSES)}") from None
+    return transform(blob, seed)

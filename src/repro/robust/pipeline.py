@@ -1,0 +1,244 @@
+"""The resilient compile-and-scan pipeline.
+
+The paper's operational claim is graceful behaviour at the edge of
+feasibility — "B217p could not be constructed" as a DFA, yet the MFA
+ships.  This module extends that posture across the whole pipeline:
+
+* :class:`ResilientCompiler` never lets one bad rule or one explosive
+  engine abort a deployment.  Rules that fail to parse or split are
+  quarantined individually; on :class:`DfaExplosionError` the compiler
+  retries with an escalating state-budget schedule and then walks the
+  engine fallback chain (MFA → Hybrid-FA → NFA by default).  The whole
+  trail — per-rule outcome, every attempt, budgets consumed, wall time —
+  lands in a :class:`~repro.robust.report.CompileReport`.
+* :func:`resilient_scan` reads a capture tolerantly (resynchronizing
+  past corrupt records), reassembles under :class:`ScanLimits`, and
+  isolates per-flow engine failures, so one poisoned flow costs one
+  flow, not the trace.
+
+Match-ids are stable under quarantine: rule *i* (1-based) always reports
+as match-id *i*, whether or not earlier rules were quarantined, so alerts
+map back to the operator's rule list.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from io import BytesIO
+from os import PathLike
+from typing import BinaryIO, Iterable, Sequence
+
+from ..automata.dfa import DfaExplosionError, build_dfa
+from ..automata.hybridfa import build_hybrid_fa
+from ..automata.nfa import build_nfa
+from ..core.splitter import SplitterOptions, split_patterns
+from ..regex.ast import Pattern
+from ..regex.parser import ParserOptions, parse
+from ..traffic.flows import Flow, FlowAssembler, FlowLimits, FlowMatch, Packet
+from ..traffic.pcap import read_pcap
+from .limits import CompileLimits
+from .report import COMPILED, QUARANTINED, CompileReport, EngineAttempt, RuleOutcome, ScanReport
+
+__all__ = ["CompileResult", "ResilientCompiler", "compile_resilient", "resilient_scan"]
+
+
+@dataclass(slots=True)
+class CompileResult:
+    """A shipped engine plus the full story of how it was built."""
+
+    engine: object | None
+    engine_name: str | None
+    report: CompileReport
+    patterns: list[Pattern] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.engine is not None
+
+
+class ResilientCompiler:
+    """Compile a rule set with per-rule quarantine and engine fallback.
+
+    Unlike :func:`repro.core.compile_mfa` — which propagates the first
+    parse error or :class:`DfaExplosionError` to the caller — this
+    compiler always produces *something*: the surviving rules compiled
+    into the strongest engine the budgets allow, plus a
+    :class:`CompileReport` accounting for everything that degraded.
+    """
+
+    def __init__(
+        self,
+        limits: CompileLimits | None = None,
+        splitter_options: SplitterOptions | None = None,
+        parser_options: ParserOptions | None = None,
+    ) -> None:
+        self.limits = limits or CompileLimits()
+        self.splitter_options = splitter_options
+        self.parser_options = parser_options
+
+    # -- rule isolation ------------------------------------------------------
+
+    def _prepare_rules(
+        self, rules: Sequence[str | Pattern], report: CompileReport
+    ) -> list[Pattern]:
+        """Parse and split-validate each rule individually.
+
+        A rule that fails either step is quarantined with its error; the
+        survivors keep their positional match-ids.
+        """
+        patterns: list[Pattern] = []
+        for index, rule in enumerate(rules):
+            match_id = index + 1
+            source = rule.source or f"<pattern {match_id}>" if isinstance(rule, Pattern) else rule
+            try:
+                if isinstance(rule, Pattern):
+                    pattern = rule if rule.match_id == match_id else rule.with_id(match_id)
+                else:
+                    pattern = parse(rule, match_id=match_id, options=self.parser_options)
+                # Validate the split in isolation so a pathological rule
+                # surfaces here, attributed, instead of failing the whole
+                # set inside the combined build.
+                split_patterns([pattern], self.splitter_options)
+            except Exception as exc:  # noqa: BLE001 - quarantine, don't die
+                report.rules.append(
+                    RuleOutcome(match_id, source, QUARANTINED, f"{type(exc).__name__}: {exc}")
+                )
+                continue
+            report.rules.append(RuleOutcome(match_id, source, COMPILED))
+            patterns.append(pattern)
+        return patterns
+
+    # -- engine fallback -----------------------------------------------------
+
+    def _attempt(self, engine_name: str, patterns: list[Pattern], budget: int):
+        time_budget = self.limits.time_budget
+        if engine_name == "mfa":
+            from ..core.mfa import build_mfa
+
+            return build_mfa(
+                patterns,
+                self.splitter_options,
+                state_budget=budget,
+                time_budget=time_budget,
+            )
+        if engine_name == "dfa":
+            return build_dfa(patterns, state_budget=budget, time_budget=time_budget)
+        if engine_name == "hybridfa":
+            return build_hybrid_fa(patterns, state_budget=budget, time_budget=time_budget)
+        if engine_name == "nfa":
+            return build_nfa(patterns)
+        raise ValueError(f"unknown engine {engine_name!r}")
+
+    def compile(self, rules: Sequence[str | Pattern]) -> CompileResult:
+        report = CompileReport()
+        patterns = self._prepare_rules(rules, report)
+        if not patterns:
+            # Nothing survived quarantine: an empty NFA is still a valid
+            # (never-matching) engine, so scans keep running.
+            engine = build_nfa([])
+            report.attempts.append(EngineAttempt("nfa", None, 0.0, True))
+            report.engine_name = "nfa"
+            return CompileResult(engine, "nfa", report, [])
+
+        for engine_name in self.limits.fallback_chain:
+            # The NFA takes no budget and never explodes; DFA-backed
+            # engines walk the escalation schedule on explosion.
+            budgets: Sequence[int | None]
+            budgets = [None] if engine_name == "nfa" else self.limits.budget_schedule
+            for budget in budgets:
+                start = time.perf_counter()
+                try:
+                    engine = self._attempt(engine_name, patterns, budget or 0)
+                except DfaExplosionError as exc:
+                    report.attempts.append(
+                        EngineAttempt(
+                            engine_name,
+                            budget,
+                            time.perf_counter() - start,
+                            False,
+                            f"exceeded {exc.budget} {exc.reason}",
+                        )
+                    )
+                    continue  # escalate the budget
+                except Exception as exc:  # noqa: BLE001 - fall through the chain
+                    report.attempts.append(
+                        EngineAttempt(
+                            engine_name,
+                            budget,
+                            time.perf_counter() - start,
+                            False,
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    break  # not a budget problem: next engine
+                report.attempts.append(
+                    EngineAttempt(engine_name, budget, time.perf_counter() - start, True)
+                )
+                report.engine_name = engine_name
+                return CompileResult(engine, engine_name, report, patterns)
+        return CompileResult(None, None, report, patterns)
+
+
+def compile_resilient(
+    rules: Sequence[str | Pattern],
+    limits: CompileLimits | None = None,
+    splitter_options: SplitterOptions | None = None,
+    parser_options: ParserOptions | None = None,
+) -> CompileResult:
+    """One-call convenience over :class:`ResilientCompiler`."""
+    return ResilientCompiler(limits, splitter_options, parser_options).compile(rules)
+
+
+# -- scan side ----------------------------------------------------------------
+
+
+def resilient_scan(
+    engine,
+    capture: BinaryIO | bytes | str | PathLike | Iterable[Packet],
+    limits: FlowLimits | None = None,
+) -> tuple[list[FlowMatch], ScanReport]:
+    """Scan a capture end-to-end in degradation-tolerant mode.
+
+    ``capture`` may be a pcap byte string, an open binary stream, a path,
+    or an iterable of already-decoded :class:`Packet` objects.  The pcap
+    layer skips corrupt records (counting them), the assembler enforces
+    ``limits`` (evicted flows are scanned at eviction time, not lost),
+    and every flow is matched in isolation — an engine failure poisons
+    that flow only.  Returns the confirmed matches plus a
+    :class:`ScanReport` of everything that degraded.
+    """
+    report = ScanReport()
+    alerts: list[FlowMatch] = []
+
+    def scan_flow(flow: Flow) -> None:
+        if not flow.payload:
+            return
+        report.n_flows += 1
+        try:
+            events = engine.run(flow.payload)
+        except Exception as exc:  # noqa: BLE001 - per-flow isolation
+            report.dispatch.flows_poisoned += 1
+            report.dispatch.errors.append((flow.key, f"engine error: {exc}"))
+            return
+        alerts.extend(FlowMatch(flow.key, event) for event in events)
+
+    if isinstance(capture, (str, PathLike)):
+        with open(capture, "rb") as stream:
+            return resilient_scan(engine, stream, limits)
+    if isinstance(capture, bytes):
+        capture = BytesIO(capture)
+    if hasattr(capture, "read"):
+        packets = read_pcap(capture, errors="skip", stats=report.pcap)
+    else:
+        packets = iter(capture)
+
+    assembler = FlowAssembler(limits=limits, on_evict=scan_flow)
+    for packet in packets:
+        report.n_packets += 1
+        assembler.add(packet)
+    report.assembler = assembler.stats
+    for flow in assembler.flows():
+        scan_flow(flow)
+    report.n_alerts = len(alerts)
+    return alerts, report

@@ -2,8 +2,18 @@
 
 from .becchi import DIFFICULTIES, SyntheticTrace, generate_payload, generate_trace
 from .corpora import PROFILES, TraceProfile, build_corpus, corpus_packets
-from .flows import FiveTuple, Flow, FlowAssembler, FlowMatch, Packet, dispatch_flows
-from .pcap import PcapError, decode_frame, encode_packet, read_pcap, write_pcap
+from .flows import (
+    AssemblerStats,
+    DispatchStats,
+    FiveTuple,
+    Flow,
+    FlowAssembler,
+    FlowLimits,
+    FlowMatch,
+    Packet,
+    dispatch_flows,
+)
+from .pcap import PcapError, PcapStats, decode_frame, encode_packet, read_pcap, write_pcap
 from .replay import ReplayStats, replay
 
 __all__ = [
@@ -15,13 +25,17 @@ __all__ = [
     "TraceProfile",
     "build_corpus",
     "corpus_packets",
+    "AssemblerStats",
+    "DispatchStats",
     "FiveTuple",
     "Flow",
     "FlowAssembler",
+    "FlowLimits",
     "FlowMatch",
     "Packet",
     "dispatch_flows",
     "PcapError",
+    "PcapStats",
     "decode_frame",
     "encode_packet",
     "read_pcap",

@@ -17,7 +17,14 @@ from typing import BinaryIO, Iterable, Iterator
 
 from .flows import FiveTuple, Packet, PROTO_TCP, PROTO_UDP
 
-__all__ = ["PcapError", "write_pcap", "read_pcap", "encode_packet", "decode_frame"]
+__all__ = [
+    "PcapError",
+    "PcapStats",
+    "write_pcap",
+    "read_pcap",
+    "encode_packet",
+    "decode_frame",
+]
 
 _PCAP_MAGIC = 0xA1B2C3D4
 _GLOBAL_HEADER = struct.Struct("<IHHiIII")
@@ -33,6 +40,34 @@ _LINKTYPE_ETHERNET = 1
 
 class PcapError(ValueError):
     """Malformed capture file."""
+
+
+@dataclass(slots=True)
+class PcapStats:
+    """What a (tolerant) :func:`read_pcap` pass saw and skipped.
+
+    ``records_read`` counts record headers consumed; ``packets_decoded``
+    the frames that decoded into packets; ``undecodable_frames`` those
+    that did not (non-IPv4, truncated or corrupt headers);
+    ``corrupt_records`` the records abandoned during resynchronization,
+    with ``resync_bytes`` the raw bytes scanned past; ``truncated_tail``
+    flags a capture that ended mid-record.
+    """
+
+    records_read: int = 0
+    packets_decoded: int = 0
+    undecodable_frames: int = 0
+    corrupt_records: int = 0
+    resync_bytes: int = 0
+    truncated_tail: bool = False
+
+    def describe(self) -> str:
+        return (
+            f"records {self.records_read}, decoded {self.packets_decoded}, "
+            f"undecodable {self.undecodable_frames}, "
+            f"corrupt {self.corrupt_records} (+{self.resync_bytes} B resync)"
+            + (", truncated tail" if self.truncated_tail else "")
+        )
 
 
 def _checksum(data: bytes) -> int:
@@ -123,20 +158,30 @@ def decode_frame(frame: bytes) -> Packet | None:
     if ver_ihl >> 4 != 4:
         return None
     ihl = (ver_ihl & 0xF) * 4
+    if ihl < _IPV4_HEADER.size or total_len < ihl:
+        # A header-length below the fixed header or a total_len smaller
+        # than the header itself is corruption; slicing would silently
+        # produce empty or wrong payloads, so refuse the frame instead.
+        return None
     l4_offset = offset + ihl
     end = offset + total_len
     if end > len(frame):
         end = len(frame)
     seq = 0
     if proto == PROTO_TCP:
-        if len(frame) < l4_offset + _TCP_HEADER.size:
+        if end < l4_offset + _TCP_HEADER.size:
             return None
         fields = _TCP_HEADER.unpack_from(frame, l4_offset)
         src_port, dst_port, seq = fields[0], fields[1], fields[2]
         data_offset = (fields[4] >> 4) * 4
-        payload = frame[l4_offset + data_offset : end]
+        payload_start = l4_offset + data_offset
+        if data_offset < _TCP_HEADER.size or payload_start > end:
+            # data_offset below the fixed TCP header or pointing past the
+            # IP datagram: corrupt framing, not an empty payload.
+            return None
+        payload = frame[payload_start:end]
     elif proto == PROTO_UDP:
-        if len(frame) < l4_offset + _UDP_HEADER.size:
+        if end < l4_offset + _UDP_HEADER.size:
             return None
         src_port, dst_port, _length, _csum2 = _UDP_HEADER.unpack_from(frame, l4_offset)
         payload = frame[l4_offset + _UDP_HEADER.size : end]
@@ -160,17 +205,44 @@ def write_pcap(stream: BinaryIO, packets: Iterable[Packet], snaplen: int = 65535
     return count
 
 
-def read_pcap(stream: BinaryIO) -> Iterator[Packet]:
-    """Read a classic pcap capture, yielding decodable packets."""
+def read_pcap(
+    stream: BinaryIO,
+    errors: str = "raise",
+    stats: PcapStats | None = None,
+) -> Iterator[Packet]:
+    """Read a classic pcap capture, yielding decodable packets.
+
+    ``errors="raise"`` (the default) fail-stops with :class:`PcapError`
+    on any structural damage — the historical behaviour.
+
+    ``errors="skip"`` is the middlebox mode: a record whose header is
+    implausible (length beyond the snaplen, sub-second field overflowing)
+    is abandoned and the reader *resynchronizes* by scanning forward for
+    the next plausible record header; a capture ending mid-record stops
+    the iteration instead of raising.  Everything skipped is accounted in
+    ``stats`` (a :class:`PcapStats`, freshly created when not supplied),
+    so one corrupt record costs bytes, not the whole trace.
+    """
+    if errors not in ("raise", "skip"):
+        raise ValueError(f"errors must be 'raise' or 'skip', not {errors!r}")
+    if stats is None:
+        stats = PcapStats()
     header = stream.read(_GLOBAL_HEADER.size)
     if len(header) < _GLOBAL_HEADER.size:
         raise PcapError("truncated pcap global header")
     magic = struct.unpack_from("<I", header)[0]
     if magic != _PCAP_MAGIC:
         raise PcapError(f"unsupported pcap magic {magic:#x}")
-    linktype = _GLOBAL_HEADER.unpack(header)[6]
+    fields = _GLOBAL_HEADER.unpack(header)
+    snaplen, linktype = fields[5], fields[6]
     if linktype != _LINKTYPE_ETHERNET:
         raise PcapError(f"unsupported linktype {linktype}")
+    max_len = max(snaplen, 65535)
+
+    if errors == "skip":
+        yield from _read_tolerant(stream, max_len, stats)
+        return
+
     while True:
         record = stream.read(_RECORD_HEADER.size)
         if not record:
@@ -181,11 +253,97 @@ def read_pcap(stream: BinaryIO) -> Iterator[Packet]:
         frame = stream.read(incl_len)
         if len(frame) < incl_len:
             raise PcapError("truncated pcap frame")
+        stats.records_read += 1
         packet = decode_frame(frame)
         if packet is not None:
+            stats.packets_decoded += 1
             yield Packet(
                 key=packet.key,
                 payload=packet.payload,
                 seq=packet.seq,
                 timestamp=ts_sec + ts_usec / 1e6,
             )
+        else:
+            stats.undecodable_frames += 1
+
+
+def _plausible_record(buf: bytes, offset: int, max_len: int) -> bool:
+    """Heuristic validity of a record header at ``offset`` in ``buf``."""
+    if offset + _RECORD_HEADER.size > len(buf):
+        return False
+    _ts_sec, ts_usec, incl_len, orig_len = _RECORD_HEADER.unpack_from(buf, offset)
+    return (
+        0 < incl_len <= max_len
+        and incl_len <= orig_len <= max_len
+        and ts_usec < 1_000_000
+    )
+
+
+def _read_tolerant(stream: BinaryIO, max_len: int, stats: PcapStats) -> Iterator[Packet]:
+    """Record loop for ``errors="skip"``: buffer, validate, resynchronize."""
+    buf = bytearray()
+    offset = 0
+
+    def ensure(n: int) -> bool:
+        """Make at least ``n`` bytes available at ``offset``."""
+        need = offset + n
+        while len(buf) < need:
+            chunk = stream.read(max(65536, need - len(buf)))
+            if not chunk:
+                return False
+            buf.extend(chunk)
+        return True
+
+    while True:
+        # Bound the buffer: everything before offset is consumed.
+        if offset:
+            del buf[:offset]
+            offset = 0
+        if not ensure(_RECORD_HEADER.size):
+            if len(buf) > 0:
+                stats.truncated_tail = True
+            return
+        if not _plausible_record(buf, offset, max_len):
+            # Corrupt header: abandon this record and scan forward one
+            # byte at a time for the next plausible one.
+            stats.corrupt_records += 1
+            skipped = 0
+            while True:
+                offset += 1
+                skipped += 1
+                if not ensure(_RECORD_HEADER.size):
+                    stats.resync_bytes += skipped
+                    stats.truncated_tail = True
+                    return
+                if not _plausible_record(buf, offset, max_len):
+                    continue
+                # Chain check against false positives: accept only when the
+                # candidate record is followed by another plausible header,
+                # or ends exactly at EOF.
+                incl_len = _RECORD_HEADER.unpack_from(buf, offset)[2]
+                record_end = _RECORD_HEADER.size + incl_len
+                if ensure(record_end + _RECORD_HEADER.size):
+                    if _plausible_record(buf, offset + record_end, max_len):
+                        break
+                elif len(buf) - offset == record_end:
+                    break
+            stats.resync_bytes += skipped
+        ts_sec, ts_usec, incl_len, _orig_len = _RECORD_HEADER.unpack_from(buf, offset)
+        if not ensure(_RECORD_HEADER.size + incl_len):
+            stats.truncated_tail = True
+            return
+        start = offset + _RECORD_HEADER.size
+        frame = bytes(buf[start : start + incl_len])
+        offset = start + incl_len
+        stats.records_read += 1
+        packet = decode_frame(frame)
+        if packet is not None:
+            stats.packets_decoded += 1
+            yield Packet(
+                key=packet.key,
+                payload=packet.payload,
+                seq=packet.seq,
+                timestamp=ts_sec + ts_usec / 1e6,
+            )
+        else:
+            stats.undecodable_frames += 1

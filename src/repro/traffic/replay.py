@@ -28,8 +28,12 @@ class ReplayStats:
     n_flows: int = 0
     total_payload: int = 0
     n_alerts: int = 0
+    n_poisoned: int = 0
+    n_skipped: int = 0
+    n_evicted: int = 0
     packet_ns: list[int] = field(default_factory=list)
     alerts: list[tuple[FiveTuple, MatchEvent]] = field(default_factory=list)
+    errors: list[tuple[FiveTuple, str]] = field(default_factory=list)
 
     def _percentile(self, fraction: float) -> int:
         if not self.packet_ns:
@@ -57,35 +61,94 @@ class ReplayStats:
         return sum(self.packet_ns) / self.total_payload
 
     def describe(self) -> list[str]:
-        return [
+        lines = [
             f"packets: {self.n_packets}, flows: {self.n_flows}, "
             f"payload: {self.total_payload} B, alerts: {self.n_alerts}",
             f"per-packet latency: mean {self.mean_ns / 1e3:.1f} us, "
             f"p50 {self.p50_ns / 1e3:.1f} us, p99 {self.p99_ns / 1e3:.1f} us",
             f"per-byte cost: {self.ns_per_byte:.1f} ns/B",
         ]
+        if self.n_poisoned or self.n_skipped or self.n_evicted:
+            lines.append(
+                f"degraded: {self.n_poisoned} flows poisoned, "
+                f"{self.n_skipped} packets skipped, "
+                f"{self.n_evicted} contexts evicted"
+            )
+        return lines
 
 
-def replay(engine, packets: Iterable[Packet], collect_alerts: bool = True) -> ReplayStats:
+def replay(
+    engine,
+    packets: Iterable[Packet],
+    collect_alerts: bool = True,
+    errors: str = "raise",
+    max_flows: int | None = None,
+) -> ReplayStats:
     """Drive ``engine`` (an MFA or anything with ``new_context``/``feed``/
     ``finish``) over packets in the given order, timing each packet.
 
     Packets must be in-order per flow (as produced by our capture writer
     and :func:`~repro.traffic.corpora.corpus_packets`); use
     :class:`~repro.traffic.flows.FlowAssembler` first when they may not be.
+
+    ``errors="isolate"`` confines an engine exception to its flow: the
+    flow is poisoned (context dropped, later packets skipped and counted)
+    and the replay continues.  ``max_flows`` bounds the live context
+    table; opening a flow past it finishes and evicts the least-recently-
+    fed context, modelling a fixed-size flow table under port-scan load.
     """
+    if errors not in ("raise", "isolate"):
+        raise ValueError(f"errors must be 'raise' or 'isolate', not {errors!r}")
+    isolate = errors == "isolate"
     stats = ReplayStats()
     contexts: dict[FiveTuple, object] = {}
+    poisoned: set[FiveTuple] = set()
+    seen: set[FiveTuple] = set()
     perf = time.perf_counter_ns
+
+    def drain(key: FiveTuple, context: object) -> None:
+        try:
+            events = list(engine.finish(context))
+        except Exception as exc:  # noqa: BLE001
+            if not isolate:
+                raise
+            stats.n_poisoned += 1
+            stats.errors.append((key, f"engine error at finish: {exc}"))
+            return
+        for event in events:
+            stats.n_alerts += 1
+            if collect_alerts:
+                stats.alerts.append((key, event))
+
     for packet in packets:
         if not packet.payload:
             continue
-        context = contexts.get(packet.key)
+        key = packet.key
+        if key in poisoned:
+            stats.n_skipped += 1
+            continue
+        context = contexts.pop(key, None)
         if context is None:
+            if max_flows is not None and len(contexts) >= max_flows:
+                victim, victim_context = next(iter(contexts.items()))
+                del contexts[victim]
+                drain(victim, victim_context)
+                stats.n_evicted += 1
             context = engine.new_context()
-            contexts[packet.key] = context
+            seen.add(key)
+        # Re-insert so dict order is feed recency (LRU eviction order).
+        contexts[key] = context
         start = perf()
-        events = list(engine.feed(context, packet.payload))
+        try:
+            events = list(engine.feed(context, packet.payload))
+        except Exception as exc:  # noqa: BLE001
+            if not isolate:
+                raise
+            poisoned.add(key)
+            del contexts[key]
+            stats.n_poisoned += 1
+            stats.errors.append((key, f"engine error: {exc}"))
+            continue
         elapsed = perf() - start
         stats.n_packets += 1
         stats.total_payload += len(packet.payload)
@@ -93,11 +156,8 @@ def replay(engine, packets: Iterable[Packet], collect_alerts: bool = True) -> Re
         if events:
             stats.n_alerts += len(events)
             if collect_alerts:
-                stats.alerts.extend((packet.key, event) for event in events)
+                stats.alerts.extend((key, event) for event in events)
     for key, context in contexts.items():
-        for event in engine.finish(context):
-            stats.n_alerts += 1
-            if collect_alerts:
-                stats.alerts.append((key, event))
-    stats.n_flows = len(contexts)
+        drain(key, context)
+    stats.n_flows = len(seen)
     return stats

@@ -20,6 +20,27 @@ class TestCompilePatterns:
     def test_empty(self):
         assert compile_patterns([]) == []
 
+    def test_mixed_text_and_patterns_renumbered(self):
+        # Text has no id of its own: a mixed list gets one consistent
+        # positional numbering, pre-built ids included.
+        from repro.regex import parse
+
+        patterns = compile_patterns(["ab", parse("cd", match_id=99), "ef"])
+        assert [p.match_id for p in patterns] == [1, 2, 3]
+
+    def test_pure_patterns_keep_explicit_ids(self):
+        from repro.regex import parse
+
+        originals = [parse("ab", match_id=1002), parse("cd", match_id=2000)]
+        assert [p.match_id for p in compile_patterns(originals)] == [1002, 2000]
+
+    def test_mixed_list_compiles_and_attributes(self):
+        from repro.regex import parse
+
+        mfa = compile_mfa(["ab", parse("cd", match_id=99)])
+        ids = {e.match_id for e in mfa.run(b"xx ab cd")}
+        assert ids == {1, 2}
+
     def test_parser_options_forwarded(self):
         patterns = compile_patterns(["AB"], ParserOptions(ignore_case=True))
         mfa_dfa = compile_dfa(patterns)

@@ -1,0 +1,1 @@
+"""Tests for the resilient pipeline layer (repro.robust)."""

@@ -1,0 +1,68 @@
+"""DfaExplosionError path coverage through the MFA/Hybrid-FA builders.
+
+The budget machinery is the foundation the fallback chain stands on:
+these tests pin down that both trip wires (state count and wall clock)
+fire as ``DfaExplosionError`` with the right ``reason``, and that
+``build_mfa`` on an explosion-prone set either succeeds or raises that
+error cleanly — never a stray exception, never a half-built engine.
+"""
+
+import pytest
+
+from repro.automata.dfa import DfaExplosionError
+from repro.automata.hybridfa import build_hybrid_fa
+from repro.core import build_mfa
+from repro.regex import parse_many
+
+pytestmark = pytest.mark.faults
+
+
+EXPLOSIVE = parse_many([f".*w{a}{b}x.*y{b}{a}z" for a in "abcd" for b in "efgh"])
+
+
+class TestStateBudgetTrip:
+    def test_build_mfa_trips_state_budget(self):
+        with pytest.raises(DfaExplosionError) as info:
+            build_mfa(EXPLOSIVE, state_budget=10)
+        assert info.value.reason == "states"
+        assert info.value.budget == 10
+
+    def test_build_hybrid_fa_trips_state_budget(self):
+        with pytest.raises(DfaExplosionError) as info:
+            build_hybrid_fa(EXPLOSIVE, state_budget=4)
+        assert info.value.reason == "states"
+
+
+class TestTimeBudgetTrip:
+    def test_build_mfa_trips_time_budget(self):
+        with pytest.raises(DfaExplosionError) as info:
+            build_mfa(EXPLOSIVE, time_budget=0.0)
+        assert info.value.reason == "seconds"
+
+    def test_build_hybrid_fa_trips_time_budget(self):
+        with pytest.raises(DfaExplosionError) as info:
+            build_hybrid_fa(EXPLOSIVE, time_budget=0.0)
+        assert info.value.reason == "seconds"
+
+    def test_generous_time_budget_builds(self):
+        mfa = build_mfa(parse_many(["ab", ".*cd.*ef"]), time_budget=60.0)
+        assert mfa.run(b"ab")
+
+
+class TestSucceedsOrRaisesCleanly:
+    @pytest.mark.parametrize("budget", [10, 100, 1_000, 100_000])
+    def test_build_mfa_all_or_nothing(self, budget):
+        # Whatever the budget, the outcome is binary: a working engine or
+        # a DfaExplosionError carrying that budget.
+        try:
+            mfa = build_mfa(EXPLOSIVE, state_budget=budget)
+        except DfaExplosionError as exc:
+            assert exc.budget == budget
+            assert exc.reason == "states"
+        else:
+            events = mfa.run(b"..waex..yeaz..")
+            assert any(event.match_id == 1 for event in events)
+
+    def test_error_message_names_budget(self):
+        with pytest.raises(DfaExplosionError, match="10"):
+            build_mfa(EXPLOSIVE, state_budget=10)

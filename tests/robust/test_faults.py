@@ -1,0 +1,208 @@
+"""Fault-injection harness tests: every injector must be deterministic."""
+
+from io import BytesIO
+
+import pytest
+
+from repro.robust.faults import (
+    FAULT_CLASSES,
+    apply_fault,
+    bitflip_records,
+    corrupt_record_length,
+    duplicate_packets,
+    record_offsets,
+    reorder_packets,
+    repack,
+    truncate_capture,
+    wrap_tcp_sequences,
+    xflood_packets,
+    xflood_payload,
+)
+from repro.traffic.flows import FiveTuple, FlowAssembler, PROTO_TCP, PROTO_UDP, Packet
+from repro.traffic.pcap import PcapError, PcapStats, read_pcap, write_pcap
+
+pytestmark = pytest.mark.faults
+
+
+KEY_A = FiveTuple(PROTO_TCP, "10.0.0.1", 1234, "10.0.0.2", 80)
+KEY_B = FiveTuple(PROTO_TCP, "10.0.0.3", 5678, "10.0.0.2", 80)
+KEY_U = FiveTuple(PROTO_UDP, "10.0.0.1", 53, "10.0.0.2", 53)
+
+
+def sample_packets():
+    packets = []
+    seqs = {KEY_A: 0, KEY_B: 0}
+    for i in range(6):
+        key = KEY_A if i % 2 == 0 else KEY_B
+        payload = bytes([65 + i]) * 40
+        packets.append(Packet(key=key, payload=payload, seq=seqs[key], timestamp=float(i)))
+        seqs[key] += len(payload)
+    packets.append(Packet(key=KEY_U, payload=b"udp query", timestamp=7.0))
+    return packets
+
+
+def sample_blob():
+    buffer = BytesIO()
+    write_pcap(buffer, sample_packets())
+    return buffer.getvalue()
+
+
+class TestRecordOffsets:
+    def test_walks_every_record(self):
+        blob = sample_blob()
+        offsets = record_offsets(blob)
+        assert len(offsets) == 7
+        # Offsets are strictly increasing and inside the blob.
+        positions = [off for off, _incl in offsets]
+        assert positions == sorted(set(positions))
+        last_off, last_incl = offsets[-1]
+        assert last_off + 16 + last_incl == len(blob)
+
+
+class TestBitflip:
+    def test_deterministic(self):
+        blob = sample_blob()
+        assert bitflip_records(blob, seed=3) == bitflip_records(blob, seed=3)
+
+    def test_seed_changes_damage(self):
+        blob = sample_blob()
+        assert bitflip_records(blob, seed=1) != bitflip_records(blob, seed=2)
+
+    def test_headers_spared(self):
+        # Damaged frames may not decode, but the record walk must survive:
+        # bitflip only touches frame bodies, never record headers.
+        blob = sample_blob()
+        damaged = bitflip_records(blob, n_flips=32, seed=0)
+        assert damaged != blob
+        assert record_offsets(damaged) == record_offsets(blob)
+        assert len(damaged) == len(blob)
+
+    def test_record_selection(self):
+        blob = sample_blob()
+        offsets = record_offsets(blob)
+        damaged = bitflip_records(blob, n_flips=16, seed=0, records=[2])
+        start = offsets[2][0]
+        end = start + 16 + offsets[2][1]
+        # All damage inside record 2's frame, none outside.
+        assert damaged[:start] == blob[:start]
+        assert damaged[end:] == blob[end:]
+        assert damaged[start:end] != blob[start:end]
+
+
+class TestTruncate:
+    def test_cuts_mid_record(self):
+        blob = sample_blob()
+        cut = truncate_capture(blob, fraction=0.5)
+        assert len(cut) < len(blob)
+        # The cut never lands on a record boundary: strict reading raises.
+        with pytest.raises(PcapError):
+            list(read_pcap(BytesIO(cut)))
+
+    def test_tolerant_reader_flags_tail(self):
+        cut = truncate_capture(sample_blob(), fraction=0.5)
+        stats = PcapStats()
+        packets = list(read_pcap(BytesIO(cut), errors="skip", stats=stats))
+        assert stats.truncated_tail
+        assert 0 < len(packets) < 7
+
+
+class TestCorruptLength:
+    def test_strict_reader_dies(self):
+        blob = corrupt_record_length(sample_blob(), index=3)
+        with pytest.raises(PcapError):
+            list(read_pcap(BytesIO(blob)))
+
+    def test_tolerant_reader_resynchronizes(self):
+        blob = corrupt_record_length(sample_blob(), index=3)
+        stats = PcapStats()
+        packets = list(read_pcap(BytesIO(blob), errors="skip", stats=stats))
+        assert stats.corrupt_records >= 1
+        assert stats.resync_bytes > 0
+        # Exactly one record lost; the records after it are recovered.
+        assert len(packets) == 6
+
+
+class TestSegmentFaults:
+    def test_reorder_deterministic_permutation(self):
+        packets = sample_packets()
+        shuffled = reorder_packets(packets, seed=9)
+        assert shuffled == reorder_packets(packets, seed=9)
+        assert shuffled != packets
+        assert sorted(shuffled, key=repr) == sorted(packets, key=repr)
+
+    def test_duplicate_reinjects_members(self):
+        packets = sample_packets()
+        duplicated = duplicate_packets(packets, rate=0.5, seed=4)
+        assert duplicated == duplicate_packets(packets, rate=0.5, seed=4)
+        assert len(duplicated) > len(packets)
+        for packet in duplicated:
+            assert packet in packets
+
+    def test_duplicates_vanish_after_reassembly(self):
+        packets = sample_packets()
+        clean, faulted = FlowAssembler(), FlowAssembler()
+        clean.add_all(packets)
+        faulted.add_all(duplicate_packets(packets, rate=0.9, seed=1))
+        tcp_payloads = lambda asm: {
+            f.key: f.payload for f in asm.flows() if f.key.proto == PROTO_TCP
+        }
+        assert tcp_payloads(faulted) == tcp_payloads(clean)
+
+    def test_wrap_rebases_first_segment(self):
+        packets = sample_packets()
+        wrapped = wrap_tcp_sequences(packets, headroom=16)
+        first_a = next(p for p in wrapped if p.key == KEY_A)
+        assert first_a.seq == 2**32 - 16
+        # UDP untouched.
+        assert [p for p in wrapped if p.key == KEY_U] == [
+            p for p in packets if p.key == KEY_U
+        ]
+
+    def test_wrap_preserves_reassembly(self):
+        packets = sample_packets()
+        clean, wrapped = FlowAssembler(), FlowAssembler()
+        clean.add_all(packets)
+        wrapped.add_all(wrap_tcp_sequences(packets, headroom=16))
+        for before, after in zip(clean.flows(), wrapped.flows()):
+            assert before.key == after.key
+            assert before.payload == after.payload
+
+
+class TestXFlood:
+    def test_payload_shape(self):
+        payload = xflood_payload(x_run=b"ab", repeats=3, prefix=b"P", suffix=b"S")
+        assert payload == b"PabababS"
+
+    def test_default_is_large(self):
+        assert len(xflood_payload()) == 3 + 6 * 4000 + 3
+
+    def test_packets_reassemble_to_payload(self):
+        assembler = FlowAssembler()
+        assembler.add_all(xflood_packets(KEY_A, segment_size=1000))
+        (flow,) = assembler.flows()
+        assert flow.payload == xflood_payload()
+
+
+class TestFaultClasses:
+    def test_clean_is_identity(self):
+        blob = sample_blob()
+        assert apply_fault(blob, "clean") == blob
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(KeyError, match="unknown fault"):
+            apply_fault(b"", "melt")
+
+    @pytest.mark.parametrize("fault", sorted(FAULT_CLASSES))
+    def test_every_class_runs_and_is_deterministic(self, fault):
+        blob = sample_blob()
+        first = apply_fault(blob, fault, seed=7)
+        assert first == apply_fault(blob, fault, seed=7)
+        # Every faulted blob is still consumable in tolerant mode.
+        list(read_pcap(BytesIO(first), errors="skip"))
+
+    def test_repack_round_trip(self):
+        packets = sample_packets()
+        recovered = list(read_pcap(BytesIO(repack(packets))))
+        assert [(p.key, p.payload, p.seq) for p in recovered] == [
+            (p.key, p.payload, p.seq) for p in packets
+        ]

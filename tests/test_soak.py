@@ -43,6 +43,7 @@ def _rand_input(rng):
     return bytes(rng.choice(b"aabbccx\n.") for _ in range(rng.randrange(0, 70)))
 
 
+@pytest.mark.soak
 @pytest.mark.parametrize("seed", range(6))
 def test_randomized_option_matrix(seed):
     rng = random.Random(97_000 + seed)

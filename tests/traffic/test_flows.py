@@ -133,3 +133,196 @@ class TestDispatch:
         expected = [(KEY_A, e) for e in mfa.run(stream_a)]
         expected += [(KEY_B, e) for e in mfa.run(stream_b)]
         assert sorted(dispatched, key=repr) == sorted(expected, key=repr)
+
+
+class TestSeqWraparound:
+    """TCP sequence numbers live in a 32-bit ring (RFC 1982 comparison)."""
+
+    MOD = 1 << 32
+
+    def test_flow_crossing_wrap_reassembles(self):
+        assembler = FlowAssembler()
+        assembler.add(tcp(KEY_A, self.MOD - 6, b"hello "))
+        assembler.add(tcp(KEY_A, 0, b"world"))
+        (flow,) = assembler.flows()
+        assert flow.payload == b"hello world"
+
+    def test_out_of_order_across_wrap(self):
+        assembler = FlowAssembler()
+        assembler.add(tcp(KEY_A, 2, b"!"))
+        assembler.add(tcp(KEY_A, self.MOD - 4, b"wrap"))
+        assembler.add(tcp(KEY_A, 0, b"ed"))
+        (flow,) = assembler.flows()
+        assert flow.payload == b"wraped!"
+
+    def test_overlap_across_wrap_first_copy_wins(self):
+        assembler = FlowAssembler()
+        assembler.add(tcp(KEY_A, self.MOD - 2, b"ABCD"))
+        assembler.add(tcp(KEY_A, 0, b"xy!"))  # overlaps CD by two bytes
+        (flow,) = assembler.flows()
+        assert flow.payload == b"ABCD!"
+
+    def test_match_spanning_wrap(self):
+        mfa = compile_mfa([".*alpha.*omega"])
+        assembler = FlowAssembler()
+        assembler.add(tcp(KEY_A, self.MOD - 8, b"alpha th"))
+        assembler.add(tcp(KEY_A, 0, b"en omega"))
+        (flow,) = assembler.flows()
+        assert mfa.run(flow.payload)
+
+    def test_dispatch_follows_seq_across_wrap(self):
+        mfa = compile_mfa([".*alpha.*omega"])
+        packets = [
+            tcp(KEY_A, self.MOD - 8, b"alpha th"),
+            tcp(KEY_A, 0, b"en omega"),
+        ]
+        matches = list(dispatch_flows(mfa, packets))
+        assert len(matches) == 1 and matches[0].key == KEY_A
+
+
+class TestAssemblerLimits:
+    def test_unlimited_by_default(self):
+        assembler = FlowAssembler()
+        for i in range(100):
+            key = FiveTuple(PROTO_TCP, "10.0.0.1", i + 1, "10.0.0.2", 80)
+            assembler.add(tcp(key, 0, b"x"))
+        assert len(assembler) == 100
+        assert not assembler.stats.any_dropped()
+
+    def test_max_flows_evicts_least_recently_updated(self):
+        from repro.traffic.flows import FlowLimits
+
+        evicted = []
+        assembler = FlowAssembler(
+            limits=FlowLimits(max_flows=2), on_evict=evicted.append
+        )
+        assembler.add(tcp(KEY_A, 0, b"aa"))
+        assembler.add(tcp(KEY_B, 0, b"bb"))
+        assembler.add(tcp(KEY_A, 2, b"aa"))  # refresh A: B is now LRU
+        assembler.add(tcp(KEY_U, 0, b"uu"))  # overflow: B evicted
+        assert [flow.key for flow in evicted] == [KEY_B]
+        assert evicted[0].payload == b"bb"
+        assert {flow.key for flow in assembler.flows()} == {KEY_A, KEY_U}
+        assert assembler.stats.flows_evicted == 1
+        assert assembler.stats.bytes_evicted == 2
+
+    def test_max_flow_bytes_truncates(self):
+        from repro.traffic.flows import FlowLimits
+
+        assembler = FlowAssembler(limits=FlowLimits(max_flow_bytes=4))
+        assembler.add(tcp(KEY_A, 0, b"abc"))
+        assembler.add(tcp(KEY_A, 3, b"defg"))  # only one byte of room
+        assembler.add(tcp(KEY_A, 7, b"hi"))    # no room at all
+        (flow,) = assembler.flows()
+        assert flow.payload == b"abcd"
+        assert assembler.stats.bytes_dropped == 5
+        assert assembler.stats.segments_dropped == 1
+
+    def test_max_flow_segments(self):
+        from repro.traffic.flows import FlowLimits
+
+        assembler = FlowAssembler(limits=FlowLimits(max_flow_segments=2))
+        assembler.add(tcp(KEY_A, 0, b"aa"))
+        assembler.add(tcp(KEY_A, 2, b"bb"))
+        assembler.add(tcp(KEY_A, 4, b"cc"))
+        (flow,) = assembler.flows()
+        assert flow.payload == b"aabb"
+        assert assembler.stats.segments_dropped == 1
+        # A duplicate of a buffered seq is not a new segment: not counted.
+        assembler.add(tcp(KEY_A, 0, b"aa"))
+        assert assembler.stats.segments_dropped == 1
+
+    def test_udp_segment_cap(self):
+        from repro.traffic.flows import FlowLimits
+
+        assembler = FlowAssembler(limits=FlowLimits(max_flow_segments=1))
+        assembler.add(Packet(key=KEY_U, payload=b"one"))
+        assembler.add(Packet(key=KEY_U, payload=b"two"))
+        (flow,) = assembler.flows()
+        assert flow.payload == b"one"
+        assert assembler.stats.segments_dropped == 1
+
+    def test_eviction_storm_is_safe(self):
+        from repro.traffic.flows import FlowLimits
+
+        scanned = []
+        assembler = FlowAssembler(
+            limits=FlowLimits(max_flows=3), on_evict=scanned.append
+        )
+        for i in range(50):
+            key = FiveTuple(PROTO_TCP, "10.0.0.1", i + 1, "10.0.0.2", 80)
+            assembler.add(tcp(key, 0, bytes([65 + i % 26])))
+        assert len(assembler) == 3
+        assert assembler.stats.flows_evicted == 47
+        # Nothing is lost: every flow either lives or was handed out.
+        assert len(scanned) + len(assembler) == 50
+
+
+class TestDispatchIsolation:
+    RULES = [".*alpha.*omega"]
+
+    class _Grenade:
+        """Engine whose feed explodes on payloads containing a marker."""
+
+        def __init__(self, inner, marker):
+            self.inner = inner
+            self.marker = marker
+
+        def new_context(self):
+            return self.inner.new_context()
+
+        def feed(self, context, payload):
+            if self.marker in payload:
+                raise RuntimeError("grenade")
+            return self.inner.feed(context, payload)
+
+        def finish(self, context):
+            return self.inner.finish(context)
+
+    def test_out_of_order_isolated_not_raised(self):
+        from repro.traffic.flows import DispatchStats
+
+        mfa = compile_mfa(self.RULES)
+        stats = DispatchStats()
+        packets = [
+            tcp(KEY_A, 0, b"ab"),
+            tcp(KEY_A, 5, b"cd"),   # hole: flow A poisoned
+            tcp(KEY_A, 7, b"ef"),   # later A packet skipped
+            tcp(KEY_B, 0, b"alpha omega"),
+        ]
+        matches = list(dispatch_flows(mfa, packets, errors="isolate", stats=stats))
+        assert [m.key for m in matches] == [KEY_B]
+        assert stats.flows_poisoned == 1
+        assert stats.packets_skipped == 2
+        (bad_key, reason), = stats.errors
+        assert bad_key == KEY_A and "out-of-order" in reason
+
+    def test_engine_error_poisons_one_flow(self):
+        from repro.traffic.flows import DispatchStats
+
+        engine = self._Grenade(compile_mfa(self.RULES), marker=b"BOOM")
+        stats = DispatchStats()
+        packets = [
+            tcp(KEY_A, 0, b"alpha BOOM"),
+            tcp(KEY_B, 0, b"alpha omega"),
+            tcp(KEY_A, 10, b" omega"),  # skipped: A already poisoned
+        ]
+        matches = list(dispatch_flows(engine, packets, errors="isolate", stats=stats))
+        assert [m.key for m in matches] == [KEY_B]
+        assert stats.flows_poisoned == 1
+        assert stats.packets_skipped == 1
+
+    def test_isolate_equals_raise_on_healthy_traffic(self):
+        mfa = compile_mfa(self.RULES)
+        packets = [
+            tcp(KEY_A, 0, b"alpha "),
+            tcp(KEY_B, 0, b"quiet"),
+            tcp(KEY_A, 6, b"omega"),
+        ]
+        healthy = list(dispatch_flows(mfa, packets))
+        isolated = list(dispatch_flows(mfa, packets, errors="isolate"))
+        assert isolated == healthy
+
+    def test_bad_errors_value_rejected(self):
+        with pytest.raises(ValueError, match="isolate"):
+            list(dispatch_flows(compile_mfa(["x"]), [], errors="ignore"))

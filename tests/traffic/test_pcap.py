@@ -110,3 +110,132 @@ class TestFileFormat:
         restored = list(read_pcap(self._capture(packets)))
         assert len(restored) == 50
         assert restored[17].payload == b"\x11" * 18
+
+
+class TestDecodeHardening:
+    """Corrupt-header frames must decode to None, never to wrong payloads."""
+
+    def _frame(self):
+        return bytearray(encode_packet(Packet(key=TCP_KEY, payload=b"payload", seq=1)))
+
+    def test_ihl_below_minimum(self):
+        frame = self._frame()
+        frame[14] = 0x42  # version 4, IHL 2 words (8 bytes < 20)
+        assert decode_frame(bytes(frame)) is None
+
+    def test_total_len_smaller_than_header(self):
+        frame = self._frame()
+        struct.pack_into("!H", frame, 14 + 2, 10)  # total_len 10 < IHL 20
+        assert decode_frame(bytes(frame)) is None
+
+    def test_total_len_beyond_frame_is_clamped(self):
+        frame = self._frame()
+        struct.pack_into("!H", frame, 14 + 2, 0xFFFF)
+        decoded = decode_frame(bytes(frame))
+        assert decoded is not None
+        assert decoded.payload == b"payload"
+
+    def test_tcp_data_offset_below_minimum(self):
+        frame = self._frame()
+        frame[14 + 20 + 12] = 2 << 4  # data offset 2 words (8 bytes < 20)
+        assert decode_frame(bytes(frame)) is None
+
+    def test_tcp_data_offset_past_datagram(self):
+        frame = self._frame()
+        frame[14 + 20 + 12] = 15 << 4  # 60-byte TCP header > what's there
+        assert decode_frame(bytes(frame)) is None
+
+    def test_truncated_tcp_header(self):
+        frame = bytes(self._frame())[: 14 + 20 + 10]  # half a TCP header
+        # total_len still claims the full datagram; the frame is shorter.
+        assert decode_frame(frame) is None
+
+    def test_truncated_udp_header(self):
+        frame = bytes(
+            bytearray(encode_packet(Packet(key=UDP_KEY, payload=b"data")))
+        )[: 14 + 20 + 4]
+        assert decode_frame(frame) is None
+
+    def test_nonsense_version(self):
+        frame = self._frame()
+        frame[14] = 0x65  # version 6
+        assert decode_frame(bytes(frame)) is None
+
+
+class TestTolerantRead:
+    def _blob(self, n=5):
+        packets = [
+            Packet(key=TCP_KEY, payload=bytes([65 + i]) * 30, seq=i * 30)
+            for i in range(n)
+        ]
+        buffer = io.BytesIO()
+        write_pcap(buffer, packets)
+        return buffer.getvalue()
+
+    def test_skip_equals_strict_on_clean_capture(self):
+        from repro.traffic.pcap import PcapStats
+
+        blob = self._blob()
+        strict = list(read_pcap(io.BytesIO(blob)))
+        stats = PcapStats()
+        tolerant = list(read_pcap(io.BytesIO(blob), errors="skip", stats=stats))
+        assert tolerant == strict
+        assert stats.records_read == 5
+        assert stats.packets_decoded == 5
+        assert stats.corrupt_records == 0
+        assert not stats.truncated_tail
+
+    def test_resync_past_corrupt_length(self):
+        from repro.robust.faults import corrupt_record_length
+        from repro.traffic.pcap import PcapStats
+
+        blob = corrupt_record_length(self._blob(), index=2)
+        stats = PcapStats()
+        packets = list(read_pcap(io.BytesIO(blob), errors="skip", stats=stats))
+        assert [p.payload[0] for p in packets] == [65, 66, 68, 69]  # C lost
+        assert stats.corrupt_records == 1
+        assert stats.resync_bytes > 0
+
+    def test_truncated_tail_stops_not_raises(self):
+        from repro.traffic.pcap import PcapStats
+
+        stats = PcapStats()
+        packets = list(
+            read_pcap(io.BytesIO(self._blob()[:-10]), errors="skip", stats=stats)
+        )
+        assert len(packets) == 4
+        assert stats.truncated_tail
+
+    def test_garbage_between_records(self):
+        from repro.traffic.pcap import PcapStats, _GLOBAL_HEADER, _RECORD_HEADER
+
+        blob = self._blob()
+        # Splice noise between records 1 and 2.
+        offset = _GLOBAL_HEADER.size
+        for _ in range(2):
+            incl = _RECORD_HEADER.unpack_from(blob, offset)[2]
+            offset += _RECORD_HEADER.size + incl
+        noisy = blob[:offset] + b"\xff" * 37 + blob[offset:]
+        stats = PcapStats()
+        packets = list(read_pcap(io.BytesIO(noisy), errors="skip", stats=stats))
+        assert len(packets) == 5  # nothing genuinely lost
+        assert stats.corrupt_records >= 1
+        assert stats.resync_bytes >= 37
+
+    def test_bad_errors_value_rejected(self):
+        with pytest.raises(ValueError, match="skip"):
+            list(read_pcap(io.BytesIO(self._blob()), errors="ignore"))
+
+    def test_global_header_damage_still_raises(self):
+        # Tolerance covers records, not the file preamble: an unreadable
+        # global header is not a capture at all.
+        with pytest.raises(PcapError):
+            list(read_pcap(io.BytesIO(b"\x00" * 24), errors="skip"))
+
+    def test_stats_describe(self):
+        from repro.traffic.pcap import PcapStats
+
+        stats = PcapStats()
+        list(read_pcap(io.BytesIO(self._blob()), errors="skip", stats=stats))
+        text = stats.describe()
+        assert "records 5" in text and "decoded 5" in text

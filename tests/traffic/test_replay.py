@@ -64,3 +64,92 @@ class TestReplay:
         assert stats.n_packets == 0
         assert stats.mean_ns == 0.0
         assert stats.describe()
+
+
+class _Grenade:
+    """Engine whose feed explodes on payloads containing a marker."""
+
+    def __init__(self, inner, marker):
+        self.inner = inner
+        self.marker = marker
+
+    def new_context(self):
+        return self.inner.new_context()
+
+    def feed(self, context, payload):
+        if self.marker in payload:
+            raise RuntimeError("grenade")
+        return self.inner.feed(context, payload)
+
+    def finish(self, context):
+        return self.inner.finish(context)
+
+
+class TestReplayIsolation:
+    def test_raise_mode_propagates(self):
+        import pytest
+
+        engine = _Grenade(compile_mfa(["x"]), marker=b"alpha")
+        with pytest.raises(RuntimeError, match="grenade"):
+            replay(engine, packets())
+
+    def test_isolate_mode_poisons_one_flow(self):
+        engine = _Grenade(compile_mfa([".*noth"]), marker=b"alpha")
+        stats = replay(engine, packets(), errors="isolate")
+        assert stats.n_poisoned == 1
+        assert stats.n_skipped == 1  # flow A's second packet
+        assert stats.n_alerts == 1   # flow B still matched
+        (bad_key, reason), = stats.errors
+        assert bad_key == KEY_A and "engine error" in reason
+
+    def test_degraded_line_in_describe(self):
+        engine = _Grenade(compile_mfa(["x"]), marker=b"alpha")
+        stats = replay(engine, packets(), errors="isolate")
+        assert any("degraded" in line for line in stats.describe())
+
+    def test_bad_errors_value_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="isolate"):
+            replay(compile_mfa(["x"]), [], errors="nope")
+
+
+class TestReplayFlowTable:
+    def _flows(self, n, payload=b"alpha omega "):
+        return [
+            Packet(
+                key=FiveTuple(PROTO_TCP, "10.0.0.9", 1000 + i, "10.0.0.2", 80),
+                payload=payload,
+                seq=0,
+            )
+            for i in range(n)
+        ]
+
+    def test_max_flows_evicts_and_finishes(self):
+        mfa = compile_mfa([".*alpha.*omega"])
+        stats = replay(mfa, self._flows(10), max_flows=3)
+        assert stats.n_evicted == 7
+        assert stats.n_flows == 10
+        # Evicted contexts were finished, not dropped: all alerts present.
+        assert stats.n_alerts == 10
+
+    def test_eviction_is_lru_by_feed_order(self):
+        mfa = compile_mfa([".*alpha.*omega"])
+        keys = [
+            FiveTuple(PROTO_TCP, "10.0.0.9", 1000 + i, "10.0.0.2", 80)
+            for i in range(3)
+        ]
+        packets = [
+            Packet(key=keys[0], payload=b"alpha ", seq=0),
+            Packet(key=keys[1], payload=b"noise", seq=0),
+            Packet(key=keys[0], payload=b"omega", seq=6),   # refresh flow 0
+            Packet(key=keys[2], payload=b"open third", seq=0),  # evicts flow 1
+        ]
+        stats = replay(mfa, packets, max_flows=2)
+        assert stats.n_evicted == 1
+        assert [k for k, _ in stats.alerts] == [keys[0]]
+
+    def test_unlimited_by_default(self):
+        stats = replay(compile_mfa(["x"]), self._flows(20))
+        assert stats.n_evicted == 0
+        assert stats.n_flows == 20
