@@ -1,0 +1,184 @@
+"""Throughput of the lockstep batch engine vs the scalar MFA.
+
+Scans a DARPA-like batch of benign flows (the LL1 protocol mix at zero
+attack density — ordinary telnet/SMTP/HTTP traffic) with the scalar
+``MFA.feed`` loop and with ``FastPathMFA.run_batch``, reports MB/s for
+both, and checks fidelity: the fastpath confirmed-match stream must be
+byte-identical to the scalar one on an attack-carrying trace as well.
+
+Also exercises the compiled-artifact cache: the engine is obtained via
+``compile_mfa_cached`` and the hit/miss outcome plus load time land in
+the emitted ``BENCH_fastpath.json``.
+
+Run directly (CI does)::
+
+    python benchmarks/bench_fastpath.py --quick
+
+Exits non-zero if the fastpath engine fails fidelity or is *slower* than
+the scalar engine — a regression guard, not a tuning target; see
+docs/performance.md for the expected margins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def build_benign_flows(n_flows: int, flow_bytes: int) -> list[bytes]:
+    """Deterministic benign flows with the LL1 (DARPA-like) protocol mix."""
+    from repro.traffic.http import (
+        binary_blob,
+        http_session,
+        smtp_session,
+        telnet_session,
+    )
+    from repro.utils.rng import make_rng
+
+    rng = make_rng(2016, "fastpath-bench")
+    generators = (http_session, smtp_session, telnet_session, None)
+    mix = (0.30, 0.25, 0.35, 0.10)  # the LL1 profile, attack density zero
+    flows: list[bytes] = []
+    for _ in range(n_flows):
+        buf = bytearray()
+        while len(buf) < flow_bytes:
+            choice = rng.random()
+            cumulative = 0.0
+            for weight, generator in zip(mix, generators):
+                cumulative += weight
+                if choice < cumulative:
+                    if generator is None:
+                        buf += binary_blob(rng, rng.randrange(800, 4000))
+                    else:
+                        c2s, s2c = generator(rng)
+                        buf += c2s + s2c
+                    break
+            else:
+                c2s, s2c = http_session(rng)
+                buf += c2s + s2c
+        flows.append(bytes(buf))
+    return flows
+
+
+def scalar_mb_s(mfa, flows: list[bytes], best_of: int) -> float:
+    total = sum(len(f) for f in flows)
+    best = None
+    for _ in range(best_of):
+        start = time.perf_counter()
+        for payload in flows:
+            context = mfa.new_context()
+            list(mfa.feed(context, payload))
+            list(mfa.finish(context))
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return total / best / 1e6
+
+
+def fastpath_mb_s(engine, flows: list[bytes], best_of: int) -> float:
+    total = sum(len(f) for f in flows)
+    engine.run_batch(flows[:2])  # warm the scratch buffers
+    best = None
+    for _ in range(best_of):
+        start = time.perf_counter()
+        engine.run_batch(flows)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return total / best / 1e6
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--set", dest="set_name", default="C8", help="rule set")
+    parser.add_argument("--flows", type=int, default=64, help="benign flow count")
+    parser.add_argument(
+        "--flow-bytes", type=int, default=8000, help="approx bytes per flow"
+    )
+    parser.add_argument(
+        "--segment", type=int, default=None, help="pin the lane segment length"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller corpus, fewer repeats (CI)"
+    )
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args(argv)
+
+    from repro.bench.harness import patterns_for, real_trace_flows, results_dir
+    from repro.fastpath import (
+        ArtifactCache,
+        FastPathMFA,
+        HAVE_NUMPY,
+        compile_mfa_cached,
+    )
+    from repro.bench.harness import STATE_BUDGET
+
+    n_flows = 24 if args.quick else args.flows
+    flow_bytes = 3000 if args.quick else args.flow_bytes
+    best_of = 2 if args.quick else 4
+
+    cache = ArtifactCache()
+    start = time.perf_counter()
+    mfa, cache_hit = compile_mfa_cached(
+        list(patterns_for(args.set_name)), state_budget=STATE_BUDGET, cache=cache
+    )
+    compile_seconds = time.perf_counter() - start
+    engine = FastPathMFA(mfa, segment_bytes=args.segment)
+
+    benign = build_benign_flows(n_flows, flow_bytes)
+    total = sum(len(f) for f in benign)
+
+    # Fidelity first: benign batch AND an attack-carrying trace must yield
+    # exactly the scalar confirmed-match stream.
+    mixed = list(real_trace_flows(args.set_name, "C11"))
+    diffs = 0
+    events = 0
+    for batch in (benign, mixed):
+        want = [mfa.run(payload) for payload in batch]
+        got = engine.run_batch(batch)
+        events += sum(len(w) for w in want)
+        diffs += sum(1 for w, g in zip(want, got) if w != g)
+
+    scalar = scalar_mb_s(mfa, benign, best_of)
+    fast = fastpath_mb_s(engine, benign, best_of)
+    speedup = fast / scalar if scalar else 0.0
+
+    doc = {
+        "set": args.set_name,
+        "quick": args.quick,
+        "have_numpy": HAVE_NUMPY,
+        "flows": n_flows,
+        "total_bytes": total,
+        "segment_bytes": args.segment,
+        "scalar_mb_s": round(scalar, 3),
+        "fastpath_mb_s": round(fast, 3),
+        "speedup": round(speedup, 2),
+        "match_events": events,
+        "stream_diffs": diffs,
+        "cache": {
+            "hit": cache_hit,
+            "compile_seconds": round(compile_seconds, 4),
+            "directory": str(cache.directory),
+        },
+    }
+    out = args.out or str(results_dir() / "BENCH_fastpath.json")
+    with open(out, "w") as stream:
+        json.dump(doc, stream, indent=2)
+        stream.write("\n")
+
+    print(
+        f"{args.set_name}: scalar {scalar:.2f} MB/s, fastpath {fast:.2f} MB/s "
+        f"({speedup:.1f}x), {events} events, {diffs} stream diffs "
+        f"[cache {'hit' if cache_hit else 'miss'} {compile_seconds:.2f}s] -> {out}"
+    )
+    if diffs:
+        print("FAIL: fastpath match stream diverged from scalar", file=sys.stderr)
+        return 1
+    if HAVE_NUMPY and fast < scalar:
+        print("FAIL: fastpath slower than the scalar engine", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

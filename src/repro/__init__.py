@@ -41,6 +41,12 @@ from .core import (
     split_patterns,
     verify_equivalence,
 )
+from .fastpath import (
+    ArtifactCache,
+    FastPathMFA,
+    build_fastpath,
+    compile_mfa_cached,
+)
 from .regex import CharClass, Pattern, RegexSyntaxError, parse, parse_many
 from .robust import (
     CompileLimits,
@@ -77,6 +83,10 @@ __all__ = [
     "compile_nfa",
     "split_patterns",
     "verify_equivalence",
+    "ArtifactCache",
+    "FastPathMFA",
+    "build_fastpath",
+    "compile_mfa_cached",
     "CharClass",
     "Pattern",
     "RegexSyntaxError",

@@ -101,23 +101,50 @@ class DFA:
         start: int,
         accepts: list[tuple[int, ...]],
         accepts_end: list[tuple[int, ...]],
+        group_of_byte: array | None = None,
+        n_groups: int | None = None,
     ):
         self.rows = rows
         self.start = start
         self.accepts = accepts
         self.accepts_end = accepts_end
+        # Alphabet-compression provenance: byte -> equivalence group, kept
+        # from subset construction so the image accounting (and vectorized
+        # engines) can use the byte-class compressed table layout.
+        self.group_of_byte = group_of_byte
+        self.n_groups = n_groups if n_groups is not None else (
+            len(set(group_of_byte)) if group_of_byte is not None else None
+        )
+        # Hot-loop accelerators: one (row, decisions) pair per state, so the
+        # per-byte loop resolves the next state's row and decision set with a
+        # single list index, and an engine-wide flag for the common
+        # benign-traffic case where no state ever reports.
+        self._steps: list[tuple[array, tuple[int, ...]]] = list(zip(rows, accepts))
+        self._has_accepts = any(accepts)
 
     @property
     def n_states(self) -> int:
         return len(self.rows)
 
-    def memory_bytes(self) -> int:
+    def memory_bytes(self, compressed: bool | None = None) -> int:
         """Modelled image size: 4-byte dense entries plus decision lists.
 
         Matches the paper's accounting (e.g. a ~244k-state DFA at 250 MB is
         ~1 KB/state, i.e. 256 four-byte entries).
+
+        ``compressed=True`` models the byte-class compressed layout instead
+        — one row of ``n_groups`` entries per state plus a shared 256-byte
+        byte->group map — which is how engines built with alphabet
+        compression actually store their tables.  ``compressed=None`` keeps
+        the dense accounting unless the caller opted in (dense is what the
+        paper reports for the plain-DFA baseline).  A DFA with no recorded
+        group map falls back to dense accounting.
         """
         decisions = sum(len(a) for a in self.accepts) + sum(len(a) for a in self.accepts_end)
+        if compressed and self.n_groups is not None and self.n_groups < 256:
+            # Per state: n_groups entries * 4B + a 4B decision-list offset;
+            # plus the shared one-byte-per-byte indirection map.
+            return self.n_states * (self.n_groups * 4 + 4) + 256 + 4 * decisions
         # Per state: 256 entries * 4B + a 4B decision-list offset.
         return self.n_states * (256 * 4 + 4) + 4 * decisions
 
@@ -126,15 +153,20 @@ class DFA:
     def run(self, data: bytes) -> list[MatchEvent]:
         """Collect every match event over ``data``."""
         out: list[MatchEvent] = []
-        rows = self.rows
-        accepts = self.accepts
-        state = self.start
-        for pos, byte in enumerate(data):
-            state = rows[state][byte]
-            acc = accepts[state]
-            if acc:
-                for match_id in acc:
-                    out.append(MatchEvent(pos, match_id))
+        if not self._has_accepts:
+            # No state ever reports mid-stream: a pure table walk suffices.
+            state = self.scan(data)
+        else:
+            steps = self._steps
+            state = self.start
+            row, acc = steps[state]
+            append = out.append
+            for pos, byte in enumerate(data):
+                state = row[byte]
+                row, acc = steps[state]
+                if acc:
+                    for match_id in acc:
+                        append(MatchEvent(pos, match_id))
         if data:
             for match_id in self.accepts_end[state]:
                 out.append(MatchEvent(len(data) - 1, match_id))
@@ -162,13 +194,17 @@ class DFA:
         return DfaContext(self)
 
     def feed(self, context: "DfaContext", data: bytes):
-        rows = self.rows
-        accepts = self.accepts
         state = context.state
         base = context.offset
+        if not self._has_accepts:
+            context.state = self.scan(data, state)
+            context.offset = base + len(data)
+            return
+        steps = self._steps
+        row, acc = steps[state]
         for pos, byte in enumerate(data):
-            state = rows[state][byte]
-            acc = accepts[state]
+            state = row[byte]
+            row, acc = steps[state]
             if acc:
                 absolute = base + pos
                 for match_id in acc:
@@ -267,4 +303,11 @@ def build_dfa_from_nfa(
         accepts.append(tuple(sorted(acc)))
         accepts_end.append(tuple(sorted(acc_end)))
 
-    return DFA(rows, 0, accepts, accepts_end)
+    return DFA(
+        rows,
+        0,
+        accepts,
+        accepts_end,
+        group_of_byte=group_of_byte,
+        n_groups=n_groups,
+    )

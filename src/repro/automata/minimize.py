@@ -113,4 +113,13 @@ def minimize_dfa(dfa: DFA) -> DFA:
         accepts.append(dfa.accepts[representative])
         accepts_end.append(dfa.accepts_end[representative])
 
-    return DFA(rows, 0, accepts, accepts_end)
+    # Byte-equivalence groups of the source remain valid: merging states
+    # never lets the machine distinguish bytes it could not before.
+    return DFA(
+        rows,
+        0,
+        accepts,
+        accepts_end,
+        group_of_byte=dfa.group_of_byte,
+        n_groups=dfa.n_groups,
+    )

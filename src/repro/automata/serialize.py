@@ -29,6 +29,10 @@ def dumps_dfa(dfa: DFA) -> bytes:
         "accepts": [list(a) for a in dfa.accepts],
         "accepts_end": [list(a) for a in dfa.accepts_end],
     }
+    if dfa.group_of_byte is not None:
+        # Alphabet-compression provenance rides along so loaded automata
+        # keep the byte-class compressed accounting and fastpath layout.
+        header["group_of_byte"] = list(dfa.group_of_byte)
     header_bytes = json.dumps(header, separators=(",", ":")).encode()
     table = array("i")
     for row in dfa.rows:
@@ -54,11 +58,13 @@ def loads_dfa(blob: bytes) -> DFA:
     if len(table) != n_states * 256:
         raise ValueError("truncated DFA transition table")
     rows = [table[i * 256 : (i + 1) * 256] for i in range(n_states)]
+    group_blob = header.get("group_of_byte")
     return DFA(
         rows,
         header["start"],
         [tuple(a) for a in header["accepts"]],
         [tuple(a) for a in header["accepts_end"]],
+        group_of_byte=array("i", group_blob) if group_blob is not None else None,
     )
 
 

@@ -13,6 +13,12 @@ Examples::
     mfa-bench scan S24 cap.pcap # compile a set and scan a capture
     mfa-bench rcompile B217p    # resilient compile: fallback chain + report
     mfa-bench rscan S24 cap.pcap  # tolerant scan: skip corrupt, isolate flows
+    mfa-bench scan S24 cap.pcap --engine fastpath   # lockstep batch scan
+    mfa-bench rscan S24 cap.pcap --engine fastpath  # tolerant + batched
+
+Compiled MFAs are cached on disk between runs of the resilient commands
+(``~/.cache/repro-mfa``, override with ``REPRO_CACHE_DIR``); set
+``REPRO_COMPILE_CACHE=0`` to disable.
 """
 
 from __future__ import annotations
@@ -52,7 +58,7 @@ def _cmd_rcompile(set_name: str) -> int:
     return 0 if result.ok else 1
 
 
-def _cmd_rscan(set_name: str, pcap_path: str) -> int:
+def _cmd_rscan(set_name: str, pcap_path: str, engine_choice: str = "mfa") -> int:
     from collections import Counter
 
     from ..robust import resilient_scan, scan_limits_from_env
@@ -65,9 +71,22 @@ def _cmd_rscan(set_name: str, pcap_path: str) -> int:
         print(f"  {line}")
     if not result.ok:
         return 1
+    engine = result.engine
+    batch_size = None
+    if engine_choice == "fastpath":
+        from ..core.mfa import MFA
+        from ..fastpath import build_fastpath
+
+        if isinstance(engine, MFA):
+            engine = build_fastpath(engine)
+            batch_size = engine.batch_hint
+        else:
+            # The fallback chain shipped a non-MFA engine; the lockstep
+            # wrapper only accelerates MFAs, so scan scalar and say so.
+            print(f"fastpath unavailable for {result.engine_name}; scanning scalar")
     try:
         alerts, report = resilient_scan(
-            result.engine, pcap_path, limits=scan_limits_from_env()
+            engine, pcap_path, limits=scan_limits_from_env(), batch_size=batch_size
         )
     except (OSError, PcapError) as exc:
         # Tolerance covers records, not the preamble: a file that is not
@@ -82,20 +101,35 @@ def _cmd_rscan(set_name: str, pcap_path: str) -> int:
     return 0
 
 
-def _cmd_scan(set_name: str, pcap_path: str) -> int:
+def _cmd_scan(set_name: str, pcap_path: str, engine_choice: str = "mfa") -> int:
     from collections import Counter
 
     from ..traffic.flows import dispatch_flows
     from ..traffic.pcap import read_pcap
 
-    mfa = build_engine(set_name, "mfa")
-    if not mfa.ok:
-        print(f"cannot compile {set_name}: {mfa.error}")
+    built = build_engine(set_name, engine_choice)
+    if not built.ok:
+        print(f"cannot compile {set_name}: {built.error}")
         return 1
     with open(pcap_path, "rb") as stream:
         packets = list(read_pcap(stream))
     print(f"{len(packets)} packets decoded from {pcap_path}")
-    alerts = list(dispatch_flows(mfa.engine, packets))
+    if engine_choice == "fastpath":
+        from ..traffic.flows import FlowAssembler, FlowMatch
+
+        engine = built.engine
+        assembler = FlowAssembler()
+        assembler.add_all(packets)
+        flows = [flow for flow in assembler.flows() if flow.payload]
+        alerts = []
+        step = getattr(engine, "batch_hint", 64)
+        for start in range(0, len(flows), step):
+            chunk = flows[start : start + step]
+            batch_events = engine.run_batch([flow.payload for flow in chunk])
+            for flow, events in zip(chunk, batch_events):
+                alerts.extend(FlowMatch(flow.key, event) for event in events)
+    else:
+        alerts = list(dispatch_flows(built.engine, packets))
     by_rule = Counter(alert.event.match_id for alert in alerts)
     print(f"{len(alerts)} alerts across {len({a.key for a in alerts})} flows")
     for match_id, count in by_rule.most_common(10):
@@ -115,6 +149,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("set_name", nargs="?", help="pattern set for 'compile'/'scan'")
     parser.add_argument("pcap", nargs="?", help="capture file for 'scan'")
+    parser.add_argument(
+        "--engine",
+        choices=("mfa", "fastpath"),
+        default="mfa",
+        help="scan engine for 'scan'/'rscan': scalar MFA or the lockstep "
+        "batch fastpath (numpy; falls back to scalar without it)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "table5":
@@ -146,8 +187,8 @@ def main(argv: list[str] | None = None) -> int:
             if not args.pcap:
                 parser.error(f"{args.command} needs a pcap file")
             if args.command == "scan":
-                return _cmd_scan(args.set_name, args.pcap)
-            return _cmd_rscan(args.set_name, args.pcap)
+                return _cmd_scan(args.set_name, args.pcap, args.engine)
+            return _cmd_rscan(args.set_name, args.pcap, args.engine)
     return 0
 
 

@@ -69,6 +69,12 @@ class MFA:
             tuple(sorted(acc, key=lambda i: (program.action_priority(i), i)))
             for acc in dfa.accepts_end
         ]
+        # Hot-loop accelerators: one (row, ops) pair per state so the
+        # per-byte loop resolves the next state's row and decision ops with
+        # a single list index, plus an engine-wide early-out flag for the
+        # degenerate all-``None`` ops table (no state ever acts mid-stream).
+        self._steps: list[tuple[object, object]] = list(zip(dfa.rows, self._ops))
+        self._has_ops = any(op is not None for op in self._ops)
 
     def _compile_ops(self, decisions: tuple[int, ...]):
         """Decision set -> ordered ops (id, test, set_mask, clear_mask,
@@ -153,15 +159,22 @@ class MFA:
         is non-empty the filter engine processes each raw match in priority
         order and confirmed matches are yielded with flow-absolute offsets.
         """
-        rows = self.dfa.rows
-        ops_table = self._ops
-        engine_process = self.engine.process
-        memory = context.memory
         state = context.state
         base = context.offset
+        if not self._has_ops:
+            # All-None ops table: no state ever acts mid-stream, so the walk
+            # degenerates to the pure DFA scan (finish() still handles any
+            # end-anchored decisions).
+            context.state = self.dfa.scan(data, state)
+            context.offset = base + len(data)
+            return
+        steps = self._steps
+        engine_process = self.engine.process
+        memory = context.memory
+        row, ops = steps[state]
         for pos, byte in enumerate(data):
-            state = rows[state][byte]
-            ops = ops_table[state]
+            state = row[byte]
+            row, ops = steps[state]
             if ops is not None:
                 if type(ops) is list:
                     memory.bits = memory.bits & ops[1] | ops[0]

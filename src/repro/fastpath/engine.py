@@ -1,0 +1,401 @@
+"""The batch lockstep scan engine.
+
+The per-flow parsing state of an MFA is a ``(q, m)`` pair, and the DFA half
+``q`` advances independently of the filter memory ``m`` (§III-B's queue
+observation: raw matches may be collected first and filtered later).  That
+decoupling is what makes the data-parallel layout work:
+
+1. *Lockstep phase* — N lanes step through their payload segments in
+   lockstep: one vectorized table gather per byte position advances every
+   lane at once, and the per-position state vector is recorded into a
+   history matrix.
+2. *Filter phase* — accepting positions are detected from the history with
+   whole-matrix comparisons, and only those sparse positions run the scalar
+   filter ops, threading each flow's filter memory in payload order —
+   byte-identical to the scalar ``MFA.feed`` stream (property-tested).
+
+Lanes are not just flows.  Each flow's payload is cut into fixed-size
+segments and every segment gets its own lane; segments after the first
+start from the *speculated* DFA start state and a scalar stitch pass
+re-steps only the (typically tiny) diverged prefix afterwards.  IDS-style
+``.*``-prefixed rule DFAs converge within a handful of bytes on benign
+traffic, so speculation is almost always free — and when it is not, the
+fixup is bounded by the segment length, never wrong.  This turns even a
+single long flow into data-parallel work.
+
+Several table-layout tricks keep the per-byte numpy overhead down:
+
+* the transition matrix is stored byte-class compressed — one column per
+  alphabet group (``DFA.group_of_byte``), with payload bytes translated
+  to group ids once per batch;
+* next-state entries are stored *premultiplied* by the column count, so
+  the lockstep step is ``flat.take(states + column)`` — a flat ``take``
+  into a preallocated history row instead of 2-D fancy indexing (roughly
+  half the per-call cost);
+* states are renumbered into three tiers — plain, mask-only ops,
+  full decision ops — so accept detection over the whole history is one
+  ``>= threshold`` comparison, and runs of *idempotent* mask-only ops
+  (``bits & clear | set`` applied twice is the same as once) are collapsed
+  to their first hit before the scalar replay loop ever sees them.
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+from typing import Iterator, Sequence
+
+from ..automata.nfa import MatchEvent
+from ..core.filters import NONE
+from ..core.mfa import MFA, FlowContext
+
+try:  # pragma: no cover - exercised via HAVE_NUMPY both ways in tests
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is a wheel dependency
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+__all__ = ["FastPathMFA", "build_fastpath", "HAVE_NUMPY"]
+
+# Segment-length clamps for the auto sizing rule L ~ sqrt(batch_bytes / 8):
+# short segments mean more lanes (cheap, vectorized) and fewer lockstep
+# positions (expensive, one numpy call each), but every extra lane adds a
+# little scalar stitch bookkeeping, so L grows with the batch.
+_MIN_SEGMENT = 128
+_MAX_SEGMENT = 8192
+
+
+def _apply_ops(ops, memory, absolute: int, engine_process, append) -> None:
+    """Run one state's decision ops against a flow's filter memory.
+
+    This is the exact scalar block from ``MFA.feed`` (clear-flood mask
+    pair, inline bit-plane actions, engine deferral for register-plane
+    actions), factored out so the lockstep engine's sparse filter phase
+    cannot drift from the reference semantics.
+    """
+    if type(ops) is list:
+        memory.bits = memory.bits & ops[1] | ops[0]
+        return
+    for match_id, test, set_mask, clear_mask, report, needs_engine in ops:
+        if needs_engine:
+            confirmed = engine_process(memory, absolute, match_id)
+            if confirmed != NONE:
+                append(MatchEvent(absolute, confirmed))
+            continue
+        bits = memory.bits
+        if test >= 0 and not bits >> test & 1:
+            continue
+        if set_mask or clear_mask:
+            memory.bits = (bits & ~clear_mask) | set_mask
+        if report >= 0:
+            append(MatchEvent(absolute, report))
+
+
+class FastPathMFA:
+    """A batch scan engine over a compiled :class:`~repro.core.mfa.MFA`.
+
+    Drop-in for the scalar streaming trio (``new_context``/``feed``/
+    ``finish``) plus the batch entry points ``feed_batch`` and
+    ``run_batch``.  Contexts are plain :class:`FlowContext` objects, so
+    scalar and batch processing of the same flow can be freely mixed.
+
+    ``segment_bytes`` pins the lane segment length (mostly for tests);
+    by default it is sized per batch from the total payload.  Without
+    numpy every batch call degrades to the scalar engine, semantics
+    unchanged.
+    """
+
+    def __init__(self, mfa: MFA, segment_bytes: int | None = None, batch_hint: int = 64):
+        if segment_bytes is not None and segment_bytes < 1:
+            raise ValueError("segment_bytes must be positive")
+        self.mfa = mfa
+        self.segment_bytes = segment_bytes
+        # How many flows callers should aim to hand feed_batch/run_batch at
+        # once; advisory (any batch size works).
+        self.batch_hint = batch_hint
+        self._vector_ready = False
+        if HAVE_NUMPY:
+            self._build_tables()
+
+    # -- build ---------------------------------------------------------------
+
+    def _build_tables(self) -> None:
+        dfa = self.mfa.dfa
+        n = dfa.n_states
+        if n == 0:
+            return
+        dense = _np.frombuffer(
+            b"".join(row.tobytes() for row in dfa.rows), dtype=_np.int32
+        ).reshape(n, 256)
+        # Byte-class compression: keep one column per alphabet group and a
+        # 256-entry byte -> group map applied to payloads once per batch.
+        if dfa.group_of_byte is not None and dfa.n_groups and dfa.n_groups < 256:
+            groups = _np.frombuffer(dfa.group_of_byte.tobytes(), dtype=_np.int32)
+            ncols = int(groups.max()) + 1
+            _, representatives = _np.unique(groups, return_index=True)
+            grouped = dense[:, representatives]
+        else:
+            groups = _np.arange(256, dtype=_np.int32)
+            ncols = 256
+            grouped = dense
+        # Three-tier renumbering: [no ops | mask-only ops | full ops].  With
+        # every accepting state at the top of the id space, accept detection
+        # over the whole history matrix is one comparison; the middle tier
+        # marks states whose ops are an idempotent mask pair, so repeated
+        # consecutive hits collapse to one application in the filter phase.
+        ops_table = self.mfa._ops
+        tier = _np.zeros(n, dtype=_np.int8)
+        for q, ops in enumerate(ops_table):
+            if ops is not None:
+                tier[q] = 1 if type(ops) is list else 2
+        order = _np.concatenate(
+            [_np.nonzero(tier == 0)[0], _np.nonzero(tier == 1)[0], _np.nonzero(tier == 2)[0]]
+        ).astype(_np.int64)
+        perm = _np.empty(n, dtype=_np.int64)
+        perm[order] = _np.arange(n, dtype=_np.int64)
+        # Premultiplied layout: stored ids are renumbered-state * ncols, so
+        # the lockstep step indexes the flat table with a single add.
+        dtype = _np.int16 if n * ncols <= 0x7FFF else _np.int32
+        flat = (perm[grouped[order]] * ncols).astype(dtype).ravel()
+        self._flat = _np.ascontiguousarray(flat)
+        self._byte_map = groups.astype(dtype)
+        self._ncols = ncols
+        self._dtype = dtype
+        n_plain = int((tier == 0).sum())
+        n_mask = int((tier == 1).sum())
+        self._thr_any = n_plain * ncols  # premultiplied ids >= this accept
+        self._thr_full = (n_plain + n_mask) * ncols  # >= this: non-idempotent ops
+        self._perm_p = (perm * ncols).tolist()  # original -> premultiplied
+        self._inv = order.tolist()  # renumbered -> original
+        self._ops_by_rid = [ops_table[q] for q in self._inv]
+        self._start_p = int(perm[dfa.start]) * ncols
+        # byte -> group id as a str.translate table: C-speed payload
+        # translation instead of a per-byte numpy gather.
+        self._translate = bytes(groups.astype(_np.uint8)) if ncols < 256 else None
+        self._scratch_key: tuple[int, int] | None = None
+        self._vector_ready = True
+
+    def _scratch(self, segment: int, m: int):
+        """Reusable per-shape work arrays (steady batches alloc nothing)."""
+        if self._scratch_key != (segment, m):
+            dtype = self._dtype
+            self._scratch_key = (segment, m)
+            self._cols = _np.empty((segment, m), dtype=dtype)
+            self._hist = _np.empty((segment, m), dtype=dtype)
+            self._mask = _np.empty((segment, m), dtype=bool)
+            self._idx = _np.empty(m, dtype=dtype)
+            self._state_buf = _np.empty(m, dtype=dtype)
+        return self._cols, self._hist, self._mask, self._idx, self._state_buf
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        return self.mfa.n_states
+
+    def memory_bytes(self) -> int:
+        """The scalar MFA image plus the flattened lockstep table."""
+        extra = 0
+        if self._vector_ready:
+            extra = self._flat.nbytes + self._byte_map.nbytes
+        return self.mfa.memory_bytes() + extra
+
+    def filter_bytes(self) -> int:
+        return self.mfa.filter_bytes()
+
+    # -- scalar streaming trio (drop-in for dispatch/replay drivers) ---------
+
+    def new_context(self) -> FlowContext:
+        return self.mfa.new_context()
+
+    def feed(self, context: FlowContext, data: bytes) -> Iterator[MatchEvent]:
+        return self.mfa.feed(context, data)
+
+    def finish(self, context: FlowContext) -> Iterator[MatchEvent]:
+        return self.mfa.finish(context)
+
+    # -- batch interface -----------------------------------------------------
+
+    def run(self, data: bytes) -> list[MatchEvent]:
+        """Match one complete payload (segmented internally for parallelism)."""
+        return self.run_batch([data])[0]
+
+    def run_batch(self, payloads: Sequence[bytes]) -> list[list[MatchEvent]]:
+        """Match N complete payloads; returns one confirmed-event list each."""
+        contexts = [self.new_context() for _ in payloads]
+        results = self.feed_batch(contexts, payloads)
+        for context, events in zip(contexts, results):
+            events.extend(self.finish(context))
+        return results
+
+    def feed_batch(
+        self, contexts: Sequence[FlowContext], payloads: Sequence[bytes]
+    ) -> list[list[MatchEvent]]:
+        """Advance N flows by one payload chunk each, in lockstep.
+
+        Event streams and final ``(q, m)`` contexts are byte-identical to
+        feeding each chunk through the scalar ``MFA.feed``.
+        """
+        if len(contexts) != len(payloads):
+            raise ValueError("contexts and payloads must pair up")
+        total = sum(len(p) for p in payloads)
+        if not self._vector_ready or total == 0:
+            return self._feed_scalar(contexts, payloads)
+
+        segment = self.segment_bytes
+        if segment is None:
+            segment = max(_MIN_SEGMENT, min(_MAX_SEGMENT, int(sqrt(total / 4))))
+
+        # -- lane layout: each flow contributes ceil(len/L) padded segments.
+        n_flows = len(payloads)
+        lengths = _np.fromiter(
+            (len(p) for p in payloads), dtype=_np.int64, count=n_flows
+        )
+        n_lanes_per = -(-lengths // segment)
+        starts = _np.concatenate(([0], _np.cumsum(n_lanes_per)))  # flow -> lane 0
+        m = int(starts[-1])
+        pieces: list[bytes] = []
+        for payload in payloads:
+            if not payload:
+                continue
+            pieces.append(payload)
+            pad = -len(payload) % segment
+            if pad:
+                pieces.append(b"\x00" * pad)
+        buf = b"".join(pieces)
+        lane_flow = _np.repeat(_np.arange(n_flows, dtype=_np.int64), n_lanes_per)
+        lane_off = _np.arange(m, dtype=_np.int64) - starts[lane_flow]
+        lane_off *= segment  # lane -> first byte's offset within its flow chunk
+        lane_len_arr = _np.minimum(segment, lengths[lane_flow] - lane_off)
+
+        # Payload bytes -> table columns (C-speed bytes.translate), laid out
+        # transposed so each lockstep position reads one contiguous row.
+        cols, hist, mask, idx, states = self._scratch(segment, m)
+        if self._translate is not None:
+            buf = buf.translate(self._translate)
+        _np.copyto(cols, _np.frombuffer(buf, dtype=_np.uint8).reshape(m, segment).T)
+
+        perm_p = self._perm_p
+        states.fill(self._start_p)
+        for f in range(n_flows):
+            if n_lanes_per[f]:  # lane 0 starts from the flow's true state
+                states[starts[f]] = perm_p[contexts[f].state]
+
+        # -- lockstep phase: one flat gather per position across every lane.
+        flat = self._flat
+        for crow, hrow in zip(list(cols), list(hist)):
+            _np.add(states, crow, out=idx)
+            # Indices are valid by construction; 'clip' skips bounds checks.
+            flat.take(idx, out=hrow, mode="clip")
+            states = hrow
+
+        ends = hist[lane_len_arr - 1, _np.arange(m)].tolist()
+
+        # -- stitch phase: fix up speculative lane starts, flow by flow.
+        rows = self.mfa.dfa.rows
+        start_p = self._start_p
+        ncols = self._ncols
+        inv = self._inv
+        lane_len = lane_len_arr.tolist()
+        finals: list[int] = [0] * n_flows
+        for f in range(n_flows):
+            first, last = int(starts[f]), int(starts[f + 1])
+            if first == last:
+                continue
+            state = contexts[f].state  # original ids
+            payload = payloads[f]
+            for lane in range(first, last):
+                if lane > first and perm_p[state] != start_p:
+                    # Speculation missed: re-step scalarly until the true
+                    # trajectory meets the speculated one, patching history.
+                    base = (lane - first) * segment
+                    converged = False
+                    for p in range(lane_len[lane]):
+                        state = rows[state][payload[base + p]]
+                        repositioned = perm_p[state]
+                        if repositioned == hist[p, lane]:
+                            converged = True
+                            break
+                        hist[p, lane] = repositioned
+                    if not converged:
+                        continue  # `state` already the lane's true end
+                state = inv[ends[lane] // ncols]
+            finals[f] = state
+
+        # -- filter phase: sparse accepting positions through the scalar ops.
+        results: list[list[MatchEvent]] = [[] for _ in payloads]
+        if self._thr_any < self.n_states * ncols:  # some state has ops
+            _np.greater_equal(hist, self._thr_any, out=mask)
+            hot_pos, hot_lane = _np.nonzero(mask)
+            if hot_pos.size:
+                # Padded tail bytes can wander into accepting states; they
+                # are not part of any flow, so drop them before collapsing.
+                valid = hot_pos < lane_len_arr[hot_lane]
+                if not valid.all():
+                    hot_pos = hot_pos[valid]
+                    hot_lane = hot_lane[valid]
+            if hot_pos.size:
+                # nonzero() walks position-major; reorder to per-flow payload
+                # order (lane-major) so ops replay exactly as the scalar feed.
+                order = _np.argsort(hot_lane * segment + hot_pos)
+                hot_pos = hot_pos[order]
+                hot_lane = hot_lane[order]
+                sids = hist[hot_pos, hot_lane]
+                flows = lane_flow[hot_lane]
+                # Run-collapse: a mask-pair op is idempotent, so a hit whose
+                # immediate predecessor (same flow, payload order) is the
+                # same state is a no-op and never reaches the Python loop.
+                keep = _np.empty(hot_lane.size, dtype=bool)
+                keep[0] = True
+                _np.not_equal(sids[1:], sids[:-1], out=keep[1:])
+                keep[1:] |= sids[1:] >= self._thr_full
+                keep[1:] |= flows[1:] != flows[:-1]
+                offs = lane_off[hot_lane] + hot_pos
+                flows_l = flows[keep].tolist()
+                offs_l = offs[keep].tolist()
+                sids_l = sids[keep].tolist()
+                ops_by_rid = self._ops_by_rid
+                engine_process = self.mfa.engine.process
+                thr_full = self._thr_full
+                current = -1
+                memory = None
+                bits = 0
+                base = 0
+                append = None
+                for f, off, sid in zip(flows_l, offs_l, sids_l):
+                    if f != current:
+                        if memory is not None:
+                            memory.bits = bits
+                        current = f
+                        memory = contexts[f].memory
+                        bits = memory.bits
+                        base = contexts[f].offset
+                        append = results[f].append
+                    ops = ops_by_rid[sid // ncols]
+                    if sid < thr_full:  # mask pair, inlined for the hot case
+                        bits = bits & ops[1] | ops[0]
+                    else:
+                        memory.bits = bits
+                        _apply_ops(ops, memory, base + off, engine_process, append)
+                        bits = memory.bits
+                if memory is not None:
+                    memory.bits = bits
+
+        for f, context in enumerate(contexts):
+            if n_lanes_per[f]:
+                context.state = finals[f]
+            context.offset += len(payloads[f])
+        return results
+
+    # -- scalar fallback -----------------------------------------------------
+
+    def _feed_scalar(
+        self, contexts: Sequence[FlowContext], payloads: Sequence[bytes]
+    ) -> list[list[MatchEvent]]:
+        feed = self.mfa.feed
+        return [list(feed(ctx, payload)) for ctx, payload in zip(contexts, payloads)]
+
+
+def build_fastpath(mfa: MFA, segment_bytes: int | None = None) -> FastPathMFA:
+    """Wrap a compiled MFA in the lockstep batch engine."""
+    return FastPathMFA(mfa, segment_bytes=segment_bytes)

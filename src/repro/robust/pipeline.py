@@ -72,10 +72,14 @@ class ResilientCompiler:
         limits: CompileLimits | None = None,
         splitter_options: SplitterOptions | None = None,
         parser_options: ParserOptions | None = None,
+        cache=None,
     ) -> None:
         self.limits = limits or CompileLimits()
         self.splitter_options = splitter_options
         self.parser_options = parser_options
+        # Optional repro.fastpath.ArtifactCache: MFA attempts consult it
+        # before building and store fresh builds for the next run.
+        self.cache = cache
 
     # -- rule isolation ------------------------------------------------------
 
@@ -148,6 +152,29 @@ class ResilientCompiler:
             budgets = [None] if engine_name == "nfa" else self.limits.budget_schedule
             for budget in budgets:
                 start = time.perf_counter()
+                cache_key = None
+                if engine_name == "mfa" and self.cache is not None:
+                    from ..fastpath.cache import cache_key as make_key
+
+                    cache_key = make_key(
+                        patterns,
+                        splitter_options=self.splitter_options,
+                        parser_options=self.parser_options,
+                        state_budget=budget or 0,
+                    )
+                    cached = self.cache.load(cache_key)
+                    if cached is not None:
+                        report.attempts.append(
+                            EngineAttempt(
+                                engine_name,
+                                budget,
+                                time.perf_counter() - start,
+                                True,
+                                "loaded from artifact cache",
+                            )
+                        )
+                        report.engine_name = engine_name
+                        return CompileResult(cached, engine_name, report, patterns)
                 try:
                     engine = self._attempt(engine_name, patterns, budget or 0)
                 except DfaExplosionError as exc:
@@ -176,6 +203,8 @@ class ResilientCompiler:
                     EngineAttempt(engine_name, budget, time.perf_counter() - start, True)
                 )
                 report.engine_name = engine_name
+                if cache_key is not None:
+                    self.cache.store(cache_key, engine)
                 return CompileResult(engine, engine_name, report, patterns)
         return CompileResult(None, None, report, patterns)
 
@@ -197,6 +226,7 @@ def resilient_scan(
     engine,
     capture: BinaryIO | bytes | str | PathLike | Iterable[Packet],
     limits: FlowLimits | None = None,
+    batch_size: int | None = None,
 ) -> tuple[list[FlowMatch], ScanReport]:
     """Scan a capture end-to-end in degradation-tolerant mode.
 
@@ -207,13 +237,19 @@ def resilient_scan(
     and every flow is matched in isolation — an engine failure poisons
     that flow only.  Returns the confirmed matches plus a
     :class:`ScanReport` of everything that degraded.
+
+    ``batch_size`` groups reassembled flows into lockstep batches when
+    the engine exposes ``run_batch`` (the fastpath engine).  Batches run
+    over fresh per-flow contexts, so a failing batch is simply retried
+    flow by flow through the scalar path — isolation semantics and the
+    per-flow match streams are unchanged.
     """
     report = ScanReport()
     alerts: list[FlowMatch] = []
+    batching = bool(batch_size and batch_size > 1 and hasattr(engine, "run_batch"))
+    pending: list[Flow] = []
 
-    def scan_flow(flow: Flow) -> None:
-        if not flow.payload:
-            return
+    def scan_one(flow: Flow) -> None:
         report.n_flows += 1
         try:
             events = engine.run(flow.payload)
@@ -223,9 +259,34 @@ def resilient_scan(
             return
         alerts.extend(FlowMatch(flow.key, event) for event in events)
 
+    def flush() -> None:
+        batch = pending[:]
+        pending.clear()
+        if not batch:
+            return
+        try:
+            batch_events = engine.run_batch([flow.payload for flow in batch])
+        except Exception:  # noqa: BLE001 - retry each flow in isolation
+            for flow in batch:
+                scan_one(flow)
+            return
+        report.n_flows += len(batch)
+        for flow, events in zip(batch, batch_events):
+            alerts.extend(FlowMatch(flow.key, event) for event in events)
+
+    def scan_flow(flow: Flow) -> None:
+        if not flow.payload:
+            return
+        if not batching:
+            scan_one(flow)
+            return
+        pending.append(flow)
+        if len(pending) >= batch_size:
+            flush()
+
     if isinstance(capture, (str, PathLike)):
         with open(capture, "rb") as stream:
-            return resilient_scan(engine, stream, limits)
+            return resilient_scan(engine, stream, limits, batch_size=batch_size)
     if isinstance(capture, bytes):
         capture = BytesIO(capture)
     if hasattr(capture, "read"):
@@ -240,5 +301,6 @@ def resilient_scan(
     report.assembler = assembler.stats
     for flow in assembler.flows():
         scan_flow(flow)
+    flush()
     report.n_alerts = len(alerts)
     return alerts, report

@@ -98,7 +98,12 @@ class CompileReport:
             lines.append(f"  quarantined {{{{{rule.match_id}}}}} {source!r}: {rule.error}")
         for attempt in self.attempts:
             budget = f" budget={attempt.state_budget}" if attempt.state_budget else ""
-            outcome = "ok" if attempt.ok else f"failed ({attempt.error})"
+            if attempt.ok:
+                # `error` doubles as a note on successful attempts (e.g.
+                # "loaded from artifact cache").
+                outcome = "ok" if attempt.error is None else f"ok ({attempt.error})"
+            else:
+                outcome = f"failed ({attempt.error})"
             lines.append(
                 f"  {attempt.engine}{budget}: {outcome} in {attempt.seconds:.2f}s"
             )

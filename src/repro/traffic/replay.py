@@ -83,6 +83,7 @@ def replay(
     collect_alerts: bool = True,
     errors: str = "raise",
     max_flows: int | None = None,
+    batch_size: int | None = None,
 ) -> ReplayStats:
     """Drive ``engine`` (an MFA or anything with ``new_context``/``feed``/
     ``finish``) over packets in the given order, timing each packet.
@@ -96,6 +97,14 @@ def replay(
     and the replay continues.  ``max_flows`` bounds the live context
     table; opening a flow past it finishes and evicts the least-recently-
     fed context, modelling a fixed-size flow table under port-scan load.
+
+    ``batch_size`` switches to lockstep replay when the engine exposes
+    ``feed_batch`` (the fastpath engine): up to that many packets from
+    *distinct* flows are scanned in one batch call.  The match stream is
+    unchanged; per-packet latency becomes the batch cost shared among its
+    packets in proportion to payload bytes.  In ``isolate`` mode a batch
+    failure poisons every flow that was in the failing batch (the batch
+    advances flows jointly, so blame cannot be pinned to one of them).
     """
     if errors not in ("raise", "isolate"):
         raise ValueError(f"errors must be 'raise' or 'isolate', not {errors!r}")
@@ -119,6 +128,12 @@ def replay(
             stats.n_alerts += 1
             if collect_alerts:
                 stats.alerts.append((key, event))
+
+    if batch_size is not None and batch_size > 1 and hasattr(engine, "feed_batch"):
+        return _replay_batched(
+            engine, packets, stats, contexts, poisoned, seen,
+            drain, collect_alerts, isolate, max_flows, batch_size,
+        )
 
     for packet in packets:
         if not packet.payload:
@@ -157,6 +172,101 @@ def replay(
             stats.n_alerts += len(events)
             if collect_alerts:
                 stats.alerts.extend((key, event) for event in events)
+    for key, context in contexts.items():
+        drain(key, context)
+    stats.n_flows = len(seen)
+    return stats
+
+
+def _replay_batched(
+    engine,
+    packets: Iterable[Packet],
+    stats: ReplayStats,
+    contexts: dict,
+    poisoned: set,
+    seen: set,
+    drain,
+    collect_alerts: bool,
+    isolate: bool,
+    max_flows: int | None,
+    batch_size: int,
+) -> ReplayStats:
+    """Lockstep replay loop: gather distinct-flow packets, flush as a batch."""
+    perf = time.perf_counter_ns
+    pending_keys: list = []
+    pending_payloads: list[bytes] = []
+    pending_contexts: list = []
+    pending_set: set = set()
+
+    def flush() -> None:
+        if not pending_keys:
+            return
+        start = perf()
+        try:
+            batch_events = engine.feed_batch(pending_contexts, pending_payloads)
+        except Exception as exc:  # noqa: BLE001
+            if not isolate:
+                raise
+            # The batch advances its flows jointly; a failure mid-batch can
+            # leave any of their contexts partially advanced, so all of them
+            # are poisoned rather than guessing which flow is to blame.
+            for key in pending_keys:
+                poisoned.add(key)
+                contexts.pop(key, None)
+                stats.n_poisoned += 1
+                stats.errors.append((key, f"engine error in batch: {exc}"))
+            pending_keys.clear()
+            pending_payloads.clear()
+            pending_contexts.clear()
+            pending_set.clear()
+            return
+        elapsed = perf() - start
+        batch_bytes = sum(len(p) for p in pending_payloads)
+        for key, payload, events in zip(pending_keys, pending_payloads, batch_events):
+            stats.n_packets += 1
+            stats.total_payload += len(payload)
+            stats.packet_ns.append(
+                round(elapsed * len(payload) / batch_bytes) if batch_bytes else elapsed
+            )
+            if events:
+                stats.n_alerts += len(events)
+                if collect_alerts:
+                    stats.alerts.extend((key, event) for event in events)
+        pending_keys.clear()
+        pending_payloads.clear()
+        pending_contexts.clear()
+        pending_set.clear()
+
+    for packet in packets:
+        if not packet.payload:
+            continue
+        key = packet.key
+        if key in poisoned:
+            stats.n_skipped += 1
+            continue
+        if key in pending_set:
+            # One chunk per flow per batch: a second packet of the same
+            # flow forces the current batch out first, preserving order.
+            flush()
+        context = contexts.pop(key, None)
+        if context is None:
+            if max_flows is not None and len(contexts) >= max_flows:
+                flush()  # never evict a context that is sitting in a batch
+                if len(contexts) >= max_flows:
+                    victim, victim_context = next(iter(contexts.items()))
+                    del contexts[victim]
+                    drain(victim, victim_context)
+                    stats.n_evicted += 1
+            context = engine.new_context()
+            seen.add(key)
+        contexts[key] = context
+        pending_keys.append(key)
+        pending_payloads.append(packet.payload)
+        pending_contexts.append(context)
+        pending_set.add(key)
+        if len(pending_keys) >= batch_size:
+            flush()
+    flush()
     for key, context in contexts.items():
         drain(key, context)
     stats.n_flows = len(seen)

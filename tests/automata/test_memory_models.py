@@ -53,3 +53,44 @@ class TestModelInvariants:
         assert nfa.memory_bytes() < mfa.memory_bytes()
         assert mfa.memory_bytes() < hfa.memory_bytes()
         assert mfa.memory_bytes() < dfa.memory_bytes()
+
+
+class TestCompressedAccounting:
+    """Byte-class compressed image sizes (what alphabet-compressed engines
+    actually store) versus the paper's dense per-state accounting."""
+
+    def test_compressed_smaller_than_dense(self, patterns):
+        dfa = build_dfa(patterns)
+        assert dfa.n_groups is not None and dfa.n_groups < 256
+        assert dfa.memory_bytes(compressed=True) < dfa.memory_bytes()
+
+    def test_compressed_formula(self, patterns):
+        dfa = build_dfa(patterns)
+        decisions = sum(len(a) for a in dfa.accepts) + sum(
+            len(a) for a in dfa.accepts_end
+        )
+        expected = dfa.n_states * (dfa.n_groups * 4 + 4) + 256 + 4 * decisions
+        assert dfa.memory_bytes(compressed=True) == expected
+
+    def test_default_stays_dense(self, patterns):
+        # compressed=None keeps the dense model the paper's figures use.
+        dfa = build_dfa(patterns)
+        assert dfa.memory_bytes() == dfa.memory_bytes(compressed=None)
+        assert dfa.memory_bytes() == dfa.n_states * 1028 + 4 * (
+            sum(len(a) for a in dfa.accepts) + sum(len(a) for a in dfa.accepts_end)
+        )
+
+    def test_no_group_map_falls_back_to_dense(self, patterns):
+        dfa = build_dfa(patterns)
+        dfa.group_of_byte = None
+        dfa.n_groups = None
+        assert dfa.memory_bytes(compressed=True) == dfa.memory_bytes()
+
+    def test_minimized_dfa_keeps_group_map(self, patterns):
+        from repro.automata import minimize_dfa
+
+        dfa = build_dfa(patterns)
+        mdfa = minimize_dfa(dfa)
+        assert mdfa.n_groups == dfa.n_groups
+        assert list(mdfa.group_of_byte) == list(dfa.group_of_byte)
+        assert mdfa.memory_bytes(compressed=True) <= dfa.memory_bytes(compressed=True)

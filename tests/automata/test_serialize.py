@@ -44,3 +44,25 @@ class TestErrors:
         blob = dumps_dfa(dfa)
         with pytest.raises(ValueError, match="truncated"):
             loads_dfa(blob[:-16])
+
+
+class TestGroupMapRoundTrip:
+    """The alphabet-compression provenance must survive serialization —
+    the fastpath engine rebuilds its compressed tables from it."""
+
+    def test_group_map_preserved(self, dfa):
+        assert dfa.group_of_byte is not None
+        restored = loads_dfa(dumps_dfa(dfa))
+        assert restored.n_groups == dfa.n_groups
+        assert list(restored.group_of_byte) == list(dfa.group_of_byte)
+        assert restored.memory_bytes(compressed=True) == dfa.memory_bytes(
+            compressed=True
+        )
+
+    def test_blob_without_group_map_loads(self, dfa):
+        # Pre-compression blobs (no group map in the header) stay loadable.
+        dfa.group_of_byte = None
+        dfa.n_groups = None
+        restored = loads_dfa(dumps_dfa(dfa))
+        assert restored.group_of_byte is None
+        assert restored.run(b"acdb xz") == dfa.run(b"acdb xz")

@@ -1,0 +1,105 @@
+"""The artifact cache must be transparent: hit or miss, same engine.
+
+Covers round-trip match equality through store/load, key sensitivity to
+every compile input, corruption tolerance (a bad entry is a miss that is
+also removed), atomicity of stores, and the global kill switch.
+"""
+
+import pytest
+
+from repro.core import compile_mfa
+from repro.core.splitter import SplitterOptions
+from repro.fastpath import ArtifactCache, compile_mfa_cached
+from repro.fastpath.cache import cache_enabled, cache_key, default_cache_dir
+from repro.regex.parser import ParserOptions
+
+RULES = [".*alpha.*omega", ".*abc[^\\n]*xyz", "^HELO "]
+PAYLOAD = b"HELO alpha abc 12 xyz omega alpha\nomega"
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_miss_then_hit_same_matches(self, cache):
+        built, hit = compile_mfa_cached(RULES, cache=cache)
+        assert not hit
+        loaded, hit = compile_mfa_cached(RULES, cache=cache)
+        assert hit
+        assert loaded.run(PAYLOAD) == built.run(PAYLOAD) == compile_mfa(RULES).run(PAYLOAD)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_store_load_explicit(self, cache):
+        mfa = compile_mfa(RULES)
+        key = cache_key(RULES)
+        path = cache.store(key, mfa)
+        assert path is not None and path.exists() and path.suffix == ".mfab"
+        assert cache.load(key).run(PAYLOAD) == mfa.run(PAYLOAD)
+        # No stray tmp files left behind by the atomic write.
+        assert list(path.parent.glob("*.tmp")) == []
+
+
+class TestKey:
+    def test_deterministic(self):
+        assert cache_key(RULES) == cache_key(list(RULES))
+
+    def test_sensitive_to_every_input(self):
+        base = cache_key(RULES)
+        assert cache_key(RULES[:-1]) != base
+        assert cache_key(RULES, state_budget=7) != base
+        assert cache_key(RULES, minimize=True) != base
+        assert cache_key(RULES, splitter_options=SplitterOptions(max_class_size=64)) != base
+        assert cache_key(RULES, parser_options=ParserOptions(dotall=False)) != base
+        assert cache_key(RULES, extra={"v": 2}) != base
+
+    def test_rule_order_matters(self):
+        # match_id is positional, so reordering compiles a different engine.
+        assert cache_key(RULES) != cache_key(list(reversed(RULES)))
+
+
+class TestCorruption:
+    def test_corrupt_entry_is_removed_miss(self, cache):
+        compile_mfa_cached(RULES, cache=cache)
+        key = cache_key(RULES)
+        path = cache.path_for(key)
+        path.write_bytes(b"not a bundle at all")
+        assert cache.load(key) is None
+        assert not path.exists()
+        # The next cached compile rebuilds and re-stores cleanly.
+        rebuilt, hit = compile_mfa_cached(RULES, cache=cache)
+        assert not hit
+        assert rebuilt.run(PAYLOAD) == compile_mfa(RULES).run(PAYLOAD)
+
+    def test_truncated_entry_is_miss(self, cache):
+        compile_mfa_cached(RULES, cache=cache)
+        path = cache.path_for(cache_key(RULES))
+        path.write_bytes(path.read_bytes()[:20])
+        assert cache.load(cache_key(RULES)) is None
+
+
+class TestKillSwitch:
+    def test_disabled_never_touches_disk(self, cache, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILE_CACHE", "0")
+        assert not cache_enabled()
+        mfa, hit = compile_mfa_cached(RULES, cache=cache)
+        assert not hit
+        assert not cache.directory.exists()
+        assert cache.store(cache_key(RULES), mfa) is None
+
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPILE_CACHE", raising=False)
+        assert cache_enabled()
+
+
+class TestDirectoryResolution:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+        assert ArtifactCache().directory == tmp_path / "elsewhere"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "repro-mfa"
