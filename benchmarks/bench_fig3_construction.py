@@ -31,6 +31,29 @@ def test_cheap_constructions(benchmark, set_name, engine_name):
     assert engine.n_states > 0
 
 
+@pytest.mark.parametrize("set_name", ["S31p", "C8"])
+def test_sharded_construction(benchmark, set_name):
+    """The sharded parallel compiler (repro.fastcompile) builds the same
+    stream-identical engine; benchmark it at shards=4, jobs=2."""
+    benchmark.group = "construct-mfa-sharded"
+    from repro.core import compile_mfa
+    from repro.bench.harness import STATE_BUDGET
+    from repro.patterns import ruleset
+
+    rules = list(ruleset(set_name).rules)
+    engine = benchmark.pedantic(
+        lambda: compile_mfa(rules, state_budget=STATE_BUDGET, shards=4, jobs=2),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert engine.n_states > 0
+    assert engine.n_shards == 4
+    single = build_engine(set_name, "mfa")
+    probe = b"pqsusr/bin/idabcdefabcdefwhoamixyz" * 8
+    assert sorted(single.engine.run(probe)) == list(engine.run(probe))
+
+
 @pytest.mark.slow
 def test_dfa_explodes_on_b217p(benchmark):
     """The paper could not construct B217p as a DFA; neither can we."""

@@ -18,6 +18,7 @@ payload byte; their ids are kept in a separate decision set.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -152,6 +153,45 @@ class NFA:
         # Lazily-built run tables (alphabet-compressed moves); see _prepare.
         self._alpha_map: list[int] | None = None
         self._moves: list[list[tuple[int, ...]]] | None = None
+        self._alpha_groups: tuple[array, list[int]] | None = None
+
+    def alphabet_groups(self) -> tuple[array, list[int]]:
+        """Partition the 256 byte values into edge-equivalence groups.
+
+        Two bytes share a group when every edge class contains both or
+        neither.  The per-byte signature is built as an integer bitmask over
+        the distinct-class list (one bit per class the byte belongs to)
+        rather than a 256-tuple of bools, so computing the partition costs
+        one pass over the class memberships instead of 256 tuple
+        allocations.  The result is cached on the NFA — subset construction,
+        the simulation tables and the hybrid/bit-parallel builders all want
+        the same partition.
+
+        Returns ``(group_of_byte, representatives)``; callers must treat
+        both as read-only (they are shared with every other caller).
+        """
+        if self._alpha_groups is not None:
+            return self._alpha_groups
+        classes = sorted(self.distinct_classes())
+        signature = [0] * 256
+        for index, bits in enumerate(classes):
+            marker = 1 << index
+            while bits:
+                low = bits & -bits
+                signature[low.bit_length() - 1] |= marker
+                bits ^= low
+        group_of: dict[int, int] = {}
+        group_of_byte = array("i", [0] * 256)
+        representatives: list[int] = []
+        for byte in range(256):
+            group = group_of.get(signature[byte])
+            if group is None:
+                group = len(representatives)
+                group_of[signature[byte]] = group
+                representatives.append(byte)
+            group_of_byte[byte] = group
+        self._alpha_groups = (group_of_byte, representatives)
+        return self._alpha_groups
 
     def _prepare(self) -> tuple[list[int], list[list[tuple[int, ...]]]]:
         """Build per-state move tables indexed by alphabet group.
@@ -163,19 +203,8 @@ class NFA:
         """
         if self._moves is not None:
             return self._alpha_map, self._moves  # type: ignore[return-value]
-        classes = sorted(self.distinct_classes())
-        signatures: dict[tuple[bool, ...], int] = {}
-        alpha_map = [0] * 256
-        representatives: list[int] = []
-        for byte in range(256):
-            bit = 1 << byte
-            signature = tuple(bool(bits & bit) for bits in classes)
-            group = signatures.get(signature)
-            if group is None:
-                group = len(representatives)
-                signatures[signature] = group
-                representatives.append(byte)
-            alpha_map[byte] = group
+        group_of_byte, representatives = self.alphabet_groups()
+        alpha_map = list(group_of_byte)
         moves: list[list[tuple[int, ...]]] = []
         for edges in self.transitions:
             per_group: list[tuple[int, ...]] = []

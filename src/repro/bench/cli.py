@@ -10,6 +10,7 @@ Examples::
     mfa-bench explosion         # the state-explosion law sweep
     mfa-bench report            # regenerate EXPERIMENTS.md (everything)
     mfa-bench compile C7p       # compile one set, print its stats
+    mfa-bench compile S31p --shards 4 --jobs 4  # + sharded compiler timing
     mfa-bench scan S24 cap.pcap # compile a set and scan a capture
     mfa-bench rcompile B217p    # resilient compile: fallback chain + report
     mfa-bench rscan S24 cap.pcap  # tolerant scan: skip corrupt, isolate flows
@@ -32,7 +33,7 @@ from .report import generate_all
 from .tables import fig2_rows, table5_rows
 
 
-def _cmd_compile(set_name: str) -> None:
+def _cmd_compile(set_name: str, shards: int = 1, jobs: int = 1) -> None:
     from ..core.explain import explain_lines
 
     for engine_name in ("nfa", "dfa", "hfa", "xfa", "mfa"):
@@ -42,11 +43,41 @@ def _cmd_compile(set_name: str) -> None:
             print(f"{engine_name}: {states} states in {result.seconds:.2f}s")
         else:
             print(f"{engine_name}: failed ({result.error}) after {result.seconds:.2f}s")
+    if shards > 1 or jobs > 1:
+        _print_sharded_compile(set_name, shards, jobs)
     mfa = build_engine(set_name, "mfa")
     if mfa.ok:
         print()
         for line in explain_lines(mfa.engine):  # type: ignore[arg-type]
             print(line)
+
+
+def _print_sharded_compile(set_name: str, shards: int, jobs: int) -> None:
+    """Time the sharded parallel compiler and print its phase breakdown."""
+    import time
+
+    from ..core import compile_mfa
+    from ..patterns import ruleset
+    from .harness import STATE_BUDGET
+
+    phases: dict[str, float] = {}
+    start = time.perf_counter()
+    engine = compile_mfa(
+        list(ruleset(set_name).rules),
+        state_budget=STATE_BUDGET,
+        shards=shards,
+        jobs=jobs,
+        phases=phases,
+    )
+    seconds = time.perf_counter() - start
+    n_shards = getattr(engine, "n_shards", 1)
+    print(
+        f"mfa sharded (shards={n_shards}, jobs={jobs}): "
+        f"{engine.n_states} states in {seconds:.2f}s"
+    )
+    for name in ("parse", "split", "determinize", "minimize", "filter-gen"):
+        if name in phases:
+            print(f"  {name}: {phases[name]:.2f}s")
 
 
 def _cmd_rcompile(set_name: str) -> int:
@@ -156,6 +187,19 @@ def main(argv: list[str] | None = None) -> int:
         help="scan engine for 'scan'/'rscan': scalar MFA or the lockstep "
         "batch fastpath (numpy; falls back to scalar without it)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="for 'compile': also time the sharded parallel compiler "
+        "(rule set split into N shards)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="for 'compile': worker processes for the sharded compiler",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "table5":
@@ -180,7 +224,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.set_name not in all_set_names():
             parser.error(f"unknown set {args.set_name!r}; have {all_set_names()}")
         if args.command == "compile":
-            _cmd_compile(args.set_name)
+            _cmd_compile(args.set_name, shards=args.shards, jobs=args.jobs)
         elif args.command == "rcompile":
             return _cmd_rcompile(args.set_name)
         else:

@@ -46,6 +46,8 @@ __all__ = [
     "BuildResult",
     "TRACE_SCALE",
     "STATE_BUDGET",
+    "COMPILE_SHARDS",
+    "COMPILE_JOBS",
     "results_dir",
     "patterns_for",
     "build_engine",
@@ -61,6 +63,11 @@ ENGINES: tuple[str, ...] = ("nfa", "dfa", "hfa", "xfa", "mfa")
 TRACE_SCALE = float(os.environ.get("REPRO_TRACE_SCALE", "0.125"))
 STATE_BUDGET = int(os.environ.get("REPRO_STATE_BUDGET", "150000"))
 DFA_TIME_BUDGET = float(os.environ.get("REPRO_DFA_TIME_BUDGET", "60"))
+# Sharded parallel compilation (repro.fastcompile): number of rule shards
+# and worker processes for MFA builds.  Defaults keep the historical
+# single-shot path so figure tables measure the paper's construction.
+COMPILE_SHARDS = int(os.environ.get("REPRO_COMPILE_SHARDS", "1"))
+COMPILE_JOBS = int(os.environ.get("REPRO_COMPILE_JOBS", "1"))
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,6 +112,15 @@ def _build_mfa(patterns: Sequence[Pattern]) -> object:
             list(patterns), state_budget=STATE_BUDGET, cache=ArtifactCache()
         )
         return mfa
+    if COMPILE_SHARDS > 1:
+        from ..core import compile_mfa
+
+        return compile_mfa(
+            list(patterns),
+            state_budget=STATE_BUDGET,
+            shards=COMPILE_SHARDS,
+            jobs=COMPILE_JOBS,
+        )
     return build_mfa(patterns, state_budget=STATE_BUDGET)
 
 
@@ -158,7 +174,8 @@ def build_resilient(set_name: str):
     MFA attempts go through the on-disk artifact cache unless
     ``REPRO_COMPILE_CACHE=0`` — repeated ``rcompile``/``rscan`` runs of
     the same set load in milliseconds instead of re-running subset
-    construction.
+    construction.  ``REPRO_COMPILE_SHARDS``/``REPRO_COMPILE_JOBS`` (>1)
+    switch on the sharded parallel compiler with per-shard degradation.
     """
     from ..fastpath import ArtifactCache
     from ..fastpath.cache import cache_enabled
@@ -168,6 +185,8 @@ def build_resilient(set_name: str):
     compiler = ResilientCompiler(
         limits=compile_limits_from_env(),
         cache=ArtifactCache() if cache_enabled() else None,
+        shards=COMPILE_SHARDS,
+        jobs=COMPILE_JOBS,
     )
     return compiler.compile(list(ruleset(set_name).rules))
 

@@ -55,10 +55,53 @@ def compile_mfa(
     splitter_options: SplitterOptions | None = None,
     parser_options: ParserOptions | None = None,
     state_budget: int = DEFAULT_STATE_BUDGET,
+    *,
+    shards: int = 1,
+    jobs: int = 1,
+    time_budget: float | None = None,
+    cache=None,
+    phases: dict[str, float] | None = None,
 ) -> MFA:
-    """Parse, split and compile a rule set into a match-filtering automaton."""
+    """Parse, split and compile a rule set into a match-filtering automaton.
+
+    ``shards``/``jobs`` route the build through the sharded parallel
+    compiler (:mod:`repro.fastcompile`): the rule set is partitioned into
+    ``shards`` contiguous chunks compiled across ``jobs`` worker
+    processes, and the result is a :class:`~repro.fastcompile.ShardedMFA`
+    whose confirmed-match stream is the single-shot stream in canonical
+    ``(pos, match_id)`` order.  ``cache`` (a
+    :class:`repro.fastpath.ArtifactCache`) keys each shard separately so
+    one-rule edits rebuild one shard.  ``phases`` is an out-dict
+    accumulating per-phase wall time (``parse``/``split``/``determinize``/
+    ``minimize``/``filter-gen``).
+    """
+    if shards > 1 or cache is not None:
+        from ..fastcompile.shards import compile_mfa_sharded
+
+        return compile_mfa_sharded(  # type: ignore[return-value]
+            rules,
+            splitter_options,
+            parser_options,
+            state_budget=state_budget,
+            time_budget=time_budget,
+            shards=shards,
+            jobs=jobs,
+            cache=cache,
+            phases=phases,
+        )
+    import time as _time
+
+    tick = _time.perf_counter()
     patterns = compile_patterns(rules, parser_options)
-    return build_mfa(patterns, splitter_options, state_budget=state_budget)
+    if phases is not None:
+        phases["parse"] = phases.get("parse", 0.0) + (_time.perf_counter() - tick)
+    return build_mfa(
+        patterns,
+        splitter_options,
+        state_budget=state_budget,
+        time_budget=time_budget,
+        phases=phases,
+    )
 
 
 def compile_dfa(

@@ -266,6 +266,7 @@ def build_mfa(
     state_budget: int = DEFAULT_STATE_BUDGET,
     minimize: bool = False,
     time_budget: float | None = None,
+    phases: dict[str, float] | None = None,
 ) -> MFA:
     """Split a rule set and compile the component DFA (paper Figure 1).
 
@@ -274,11 +275,30 @@ def build_mfa(
     off (the ablation benchmark measures the residual savings).
     ``time_budget`` bounds the subset construction's wall time in seconds
     (see :func:`~repro.automata.dfa.build_dfa_from_nfa`).
+
+    ``phases`` is an out-parameter: pass a dict and the wall time of each
+    compile phase (``split``, ``determinize``, ``minimize``,
+    ``filter-gen``) is *added* to it, so repeated/sharded builds
+    accumulate into one breakdown.
     """
+    import time as _time
+
+    def _mark(phase: str, since: float) -> float:
+        now = _time.perf_counter()
+        if phases is not None:
+            phases[phase] = phases.get(phase, 0.0) + (now - since)
+        return now
+
+    tick = _time.perf_counter()
     split = split_patterns(patterns, splitter_options)
+    tick = _mark("split", tick)
     dfa = build_dfa(split.components, state_budget=state_budget, time_budget=time_budget)
+    tick = _mark("determinize", tick)
     if minimize:
         from ..automata.minimize import minimize_dfa
 
         dfa = minimize_dfa(dfa)
-    return MFA(dfa, split.program, split)
+        tick = _mark("minimize", tick)
+    mfa = MFA(dfa, split.program, split)
+    _mark("filter-gen", tick)
+    return mfa

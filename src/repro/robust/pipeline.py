@@ -73,13 +73,24 @@ class ResilientCompiler:
         splitter_options: SplitterOptions | None = None,
         parser_options: ParserOptions | None = None,
         cache=None,
+        shards: int = 1,
+        jobs: int = 1,
     ) -> None:
         self.limits = limits or CompileLimits()
         self.splitter_options = splitter_options
         self.parser_options = parser_options
         # Optional repro.fastpath.ArtifactCache: MFA attempts consult it
-        # before building and store fresh builds for the next run.
+        # before building and store fresh builds for the next run.  In
+        # sharded mode each shard is keyed separately, so one-rule edits
+        # rebuild one shard.
         self.cache = cache
+        # shards > 1 partitions the surviving rules into contiguous chunks
+        # compiled across `jobs` worker processes.  Degradation is then
+        # per-shard: a shard that explodes walks the fallback chain alone
+        # while the others stay MFAs, and the combined engine is a
+        # repro.fastcompile.ShardedMFA over the per-shard winners.
+        self.shards = max(1, shards)
+        self.jobs = max(1, jobs)
 
     # -- rule isolation ------------------------------------------------------
 
@@ -115,7 +126,13 @@ class ResilientCompiler:
 
     # -- engine fallback -----------------------------------------------------
 
-    def _attempt(self, engine_name: str, patterns: list[Pattern], budget: int):
+    def _attempt(
+        self,
+        engine_name: str,
+        patterns: list[Pattern],
+        budget: int,
+        phases: dict[str, float] | None = None,
+    ):
         time_budget = self.limits.time_budget
         if engine_name == "mfa":
             from ..core.mfa import build_mfa
@@ -125,6 +142,7 @@ class ResilientCompiler:
                 self.splitter_options,
                 state_budget=budget,
                 time_budget=time_budget,
+                phases=phases,
             )
         if engine_name == "dfa":
             return build_dfa(patterns, state_budget=budget, time_budget=time_budget)
@@ -134,22 +152,30 @@ class ResilientCompiler:
             return build_nfa(patterns)
         raise ValueError(f"unknown engine {engine_name!r}")
 
-    def compile(self, rules: Sequence[str | Pattern]) -> CompileResult:
-        report = CompileReport()
-        patterns = self._prepare_rules(rules, report)
-        if not patterns:
-            # Nothing survived quarantine: an empty NFA is still a valid
-            # (never-matching) engine, so scans keep running.
-            engine = build_nfa([])
-            report.attempts.append(EngineAttempt("nfa", None, 0.0, True))
-            report.engine_name = "nfa"
-            return CompileResult(engine, "nfa", report, [])
+    def _compile_chain(
+        self,
+        patterns: list[Pattern],
+        report: CompileReport,
+        shard: int | None = None,
+        mfa_budget_start: int = 0,
+        skip_mfa: bool = False,
+    ) -> tuple[object | None, str | None]:
+        """Walk the fallback chain for one pattern list (a shard, or all).
 
+        ``mfa_budget_start``/``skip_mfa`` let the sharded path resume the
+        chain after a parallel first-budget MFA pass already failed (the
+        failed attempt is recorded by the caller, so the chain must not
+        repeat it).
+        """
         for engine_name in self.limits.fallback_chain:
             # The NFA takes no budget and never explodes; DFA-backed
             # engines walk the escalation schedule on explosion.
             budgets: Sequence[int | None]
             budgets = [None] if engine_name == "nfa" else self.limits.budget_schedule
+            if engine_name == "mfa":
+                if skip_mfa:
+                    continue
+                budgets = budgets[mfa_budget_start:]
             for budget in budgets:
                 start = time.perf_counter()
                 cache_key = None
@@ -171,12 +197,14 @@ class ResilientCompiler:
                                 time.perf_counter() - start,
                                 True,
                                 "loaded from artifact cache",
+                                shard,
                             )
                         )
-                        report.engine_name = engine_name
-                        return CompileResult(cached, engine_name, report, patterns)
+                        return cached, engine_name
                 try:
-                    engine = self._attempt(engine_name, patterns, budget or 0)
+                    engine = self._attempt(
+                        engine_name, patterns, budget or 0, phases=report.phases
+                    )
                 except DfaExplosionError as exc:
                     report.attempts.append(
                         EngineAttempt(
@@ -185,6 +213,7 @@ class ResilientCompiler:
                             time.perf_counter() - start,
                             False,
                             f"exceeded {exc.budget} {exc.reason}",
+                            shard,
                         )
                     )
                     continue  # escalate the budget
@@ -196,17 +225,127 @@ class ResilientCompiler:
                             time.perf_counter() - start,
                             False,
                             f"{type(exc).__name__}: {exc}",
+                            shard,
                         )
                     )
                     break  # not a budget problem: next engine
                 report.attempts.append(
-                    EngineAttempt(engine_name, budget, time.perf_counter() - start, True)
+                    EngineAttempt(
+                        engine_name, budget, time.perf_counter() - start, True, None, shard
+                    )
                 )
-                report.engine_name = engine_name
                 if cache_key is not None:
                     self.cache.store(cache_key, engine)
-                return CompileResult(engine, engine_name, report, patterns)
-        return CompileResult(None, None, report, patterns)
+                return engine, engine_name
+        return None, None
+
+    def _compile_sharded(
+        self, patterns: list[Pattern], report: CompileReport
+    ) -> tuple[object | None, str | None]:
+        """Per-shard compile with per-shard degradation.
+
+        A parallel first pass builds every shard as an MFA at the first
+        scheduled budget (``jobs`` worker processes, per-shard artifact
+        cache).  Shards that explode there re-enter the ordinary fallback
+        chain *individually* — escalating budgets, then weaker engines —
+        so one pathological shard degrades alone while the rest stay
+        MFAs.  The winners recombine into a
+        :class:`repro.fastcompile.ShardedMFA`.
+        """
+        from ..fastcompile.shards import ShardedMFA, compile_shards, partition_patterns
+
+        shard_patterns = partition_patterns(patterns, self.shards)
+        report.n_shards = len(shard_patterns)
+        first_budget = self.limits.budget_schedule[0] if self.limits.budget_schedule else 0
+        mfa_first = "mfa" in self.limits.fallback_chain and bool(
+            self.limits.budget_schedule
+        )
+        builds = None
+        if mfa_first:
+            builds = compile_shards(
+                shard_patterns,
+                self.splitter_options,
+                self.parser_options,
+                state_budget=first_budget,
+                time_budget=self.limits.time_budget,
+                jobs=self.jobs,
+                cache=self.cache,
+                phases=report.phases,
+            )
+        engines: list[object] = []
+        names: list[str] = []
+        for index, shard in enumerate(shard_patterns):
+            if builds is not None:
+                build = builds[index]
+                if build.ok:
+                    report.attempts.append(
+                        EngineAttempt(
+                            "mfa",
+                            first_budget,
+                            build.seconds,
+                            True,
+                            "loaded from artifact cache" if build.cached else None,
+                            index,
+                        )
+                    )
+                    engines.append(build.engine)
+                    names.append("mfa")
+                    continue
+                exploded = isinstance(build.error, DfaExplosionError)
+                error = build.error
+                report.attempts.append(
+                    EngineAttempt(
+                        "mfa",
+                        first_budget,
+                        build.seconds,
+                        False,
+                        f"exceeded {error.budget} {error.reason}"
+                        if exploded
+                        else f"{type(error).__name__}: {error}",
+                        index,
+                    )
+                )
+                engine, name = self._compile_chain(
+                    shard,
+                    report,
+                    shard=index,
+                    mfa_budget_start=1,
+                    skip_mfa=not exploded,
+                )
+            else:
+                engine, name = self._compile_chain(shard, report, shard=index)
+            if engine is not None:
+                engines.append(engine)
+                names.append(name)
+        if not engines:
+            return None, None
+        # Hybrid-FA/NFA shards run in-process (those engines are not
+        # serializable), so a degraded shard costs its build time in the
+        # parent — the resilience trade the chain already makes.
+        unique_names = list(dict.fromkeys(names))
+        if len(engines) == 1:
+            return engines[0], unique_names[0]
+        return ShardedMFA(engines), f"sharded({','.join(unique_names)})"
+
+    def compile(self, rules: Sequence[str | Pattern]) -> CompileResult:
+        report = CompileReport()
+        tick = time.perf_counter()
+        patterns = self._prepare_rules(rules, report)
+        report.phases["parse"] = time.perf_counter() - tick
+        if not patterns:
+            # Nothing survived quarantine: an empty NFA is still a valid
+            # (never-matching) engine, so scans keep running.
+            engine = build_nfa([])
+            report.attempts.append(EngineAttempt("nfa", None, 0.0, True))
+            report.engine_name = "nfa"
+            return CompileResult(engine, "nfa", report, [])
+
+        if self.shards > 1 and len(patterns) > 1:
+            engine, engine_name = self._compile_sharded(patterns, report)
+        else:
+            engine, engine_name = self._compile_chain(patterns, report)
+        report.engine_name = engine_name
+        return CompileResult(engine, engine_name, report, patterns)
 
 
 def compile_resilient(
@@ -214,9 +353,14 @@ def compile_resilient(
     limits: CompileLimits | None = None,
     splitter_options: SplitterOptions | None = None,
     parser_options: ParserOptions | None = None,
+    shards: int = 1,
+    jobs: int = 1,
 ) -> CompileResult:
     """One-call convenience over :class:`ResilientCompiler`."""
-    return ResilientCompiler(limits, splitter_options, parser_options).compile(rules)
+    compiler = ResilientCompiler(
+        limits, splitter_options, parser_options, shards=shards, jobs=jobs
+    )
+    return compiler.compile(rules)
 
 
 # -- scan side ----------------------------------------------------------------

@@ -38,13 +38,19 @@ class RuleOutcome:
 
 @dataclass(frozen=True, slots=True)
 class EngineAttempt:
-    """One engine construction attempt and its budget/outcome."""
+    """One engine construction attempt and its budget/outcome.
+
+    ``shard`` is the 0-based shard index when the compiler ran in sharded
+    mode (``ResilientCompiler(shards=...)``); ``None`` for whole-set
+    attempts.
+    """
 
     engine: str
     state_budget: int | None
     seconds: float
     ok: bool
     error: str | None = None
+    shard: int | None = None
 
 
 @dataclass(slots=True)
@@ -54,6 +60,10 @@ class CompileReport:
     rules: list[RuleOutcome] = field(default_factory=list)
     attempts: list[EngineAttempt] = field(default_factory=list)
     engine_name: str | None = None
+    # Wall time per compile phase (parse/split/determinize/minimize/
+    # filter-gen), accumulated across shards and worker processes.
+    phases: dict[str, float] = field(default_factory=dict)
+    n_shards: int = 1
 
     @property
     def ok(self) -> bool:
@@ -85,6 +95,8 @@ class CompileReport:
             "engine": self.engine_name,
             "rules": [asdict(rule) for rule in self.rules],
             "attempts": [asdict(attempt) for attempt in self.attempts],
+            "phases": dict(self.phases),
+            "n_shards": self.n_shards,
         }
 
     def describe(self) -> list[str]:
@@ -98,6 +110,7 @@ class CompileReport:
             lines.append(f"  quarantined {{{{{rule.match_id}}}}} {source!r}: {rule.error}")
         for attempt in self.attempts:
             budget = f" budget={attempt.state_budget}" if attempt.state_budget else ""
+            shard = f" shard {attempt.shard}" if attempt.shard is not None else ""
             if attempt.ok:
                 # `error` doubles as a note on successful attempts (e.g.
                 # "loaded from artifact cache").
@@ -105,8 +118,13 @@ class CompileReport:
             else:
                 outcome = f"failed ({attempt.error})"
             lines.append(
-                f"  {attempt.engine}{budget}: {outcome} in {attempt.seconds:.2f}s"
+                f"  {attempt.engine}{shard}{budget}: {outcome} in {attempt.seconds:.2f}s"
             )
+        if self.phases:
+            breakdown = ", ".join(
+                f"{name} {seconds:.2f}s" for name, seconds in self.phases.items()
+            )
+            lines.append(f"phases: {breakdown}")
         if self.engine_name is None:
             lines.append("no engine constructed")
         else:

@@ -1,0 +1,91 @@
+"""Bitset subset construction: equivalence with the reference walk.
+
+The bitset core replaced the frozenset walk *behind the same API*, so the
+contract is strong: byte-identical automata — same state numbering, same
+rows, same decision sets — plus identical budget/explosion semantics for
+both the ``states`` and ``seconds`` reasons.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+import repro.fastcompile.bitset as bitset_module
+from repro.automata.dfa import DfaExplosionError, build_dfa, build_dfa_from_nfa_reference
+from repro.automata.nfa import build_nfa
+from repro.fastcompile.bitset import subset_construct
+from repro.regex import parse_many
+from repro.regex.ast import Pattern
+
+from ..regex.test_parser import node_trees
+
+
+def assert_same_dfa(got, want):
+    assert got.n_states == want.n_states
+    assert got.start == want.start
+    assert [list(row) for row in got.rows] == [list(row) for row in want.rows]
+    assert got.accepts == want.accepts
+    assert got.accepts_end == want.accepts_end
+    assert list(got.group_of_byte) == list(want.group_of_byte)
+
+
+class TestEquivalence:
+    RULES = [
+        "^GET /[a-z]+",
+        ".*vi.*emacs",
+        "ab{2,4}c",
+        "x(y|z)*w$",
+        "[a-f]{3}",
+        ".*root.*login",
+    ]
+
+    def test_byte_identical_small_set(self):
+        nfa = build_nfa(parse_many(self.RULES))
+        assert_same_dfa(subset_construct(nfa), build_dfa_from_nfa_reference(nfa))
+
+    def test_fallback_mode_identical(self, monkeypatch):
+        """Below the packed-vector limit the walk ORs per-group masks;
+        force that path and demand the same automaton."""
+        monkeypatch.setattr(bitset_module, "PACKED_LIMIT_BITS", 0)
+        nfa = build_nfa(parse_many(self.RULES))
+        assert_same_dfa(subset_construct(nfa), build_dfa_from_nfa_reference(nfa))
+
+    @given(node_trees, node_trees)
+    @settings(max_examples=60, deadline=None)
+    def test_random_patterns_identical(self, tree_a, tree_b):
+        nfa = build_nfa([Pattern(tree_a, match_id=1), Pattern(tree_b, match_id=2)])
+        assert_same_dfa(
+            subset_construct(nfa), build_dfa_from_nfa_reference(nfa)
+        )
+
+
+class TestExplosion:
+    EXPLOSIVE = [f".*{a}{b}.*{c}{d}" for a in "ab" for b in "cd" for c in "ef" for d in "gh"]
+
+    def test_state_budget_reason(self):
+        nfa = build_nfa(parse_many(self.EXPLOSIVE))
+        with pytest.raises(DfaExplosionError) as info:
+            subset_construct(nfa, state_budget=50)
+        assert info.value.budget == 50
+        assert info.value.reason == "states"
+
+    def test_time_budget_reason(self):
+        nfa = build_nfa(parse_many(self.EXPLOSIVE))
+        with pytest.raises(DfaExplosionError) as info:
+            subset_construct(nfa, time_budget=0.0)
+        assert info.value.reason == "seconds"
+
+    def test_reasons_surface_through_build_dfa(self):
+        patterns = parse_many(self.EXPLOSIVE)
+        with pytest.raises(DfaExplosionError) as states_info:
+            build_dfa(patterns, state_budget=50)
+        assert states_info.value.reason == "states"
+        with pytest.raises(DfaExplosionError) as time_info:
+            build_dfa(patterns, time_budget=0.0)
+        assert time_info.value.reason == "seconds"
+
+    def test_fallback_mode_budget(self, monkeypatch):
+        monkeypatch.setattr(bitset_module, "PACKED_LIMIT_BITS", 0)
+        nfa = build_nfa(parse_many(self.EXPLOSIVE))
+        with pytest.raises(DfaExplosionError) as info:
+            subset_construct(nfa, state_budget=50)
+        assert info.value.reason == "states"

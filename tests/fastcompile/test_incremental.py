@@ -1,0 +1,73 @@
+"""Incremental recompiles: a one-rule edit rebuilds exactly one shard.
+
+Each shard is keyed separately in the :class:`repro.fastpath.ArtifactCache`
+(contiguous partitioning keeps unedited shards' keys stable), so the
+cache's hit/miss counters are the observable: first compile misses every
+shard, an identical recompile hits every shard, and editing one rule
+misses only the shard containing it.
+"""
+
+import pytest
+
+from repro.core import compile_mfa
+from repro.fastpath import ArtifactCache
+from repro.patterns import ruleset
+
+RULES = list(ruleset("S31p").rules)
+SHARDS = 4
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(tmp_path)
+
+
+def reset(cache):
+    cache.hits = cache.misses = 0
+
+
+class TestIncremental:
+    def test_first_compile_misses_every_shard(self, cache):
+        compile_mfa(RULES, shards=SHARDS, cache=cache)
+        assert cache.misses == SHARDS
+        assert cache.hits == 0
+
+    def test_identical_recompile_hits_every_shard(self, cache):
+        compile_mfa(RULES, shards=SHARDS, cache=cache)
+        reset(cache)
+        compile_mfa(RULES, shards=SHARDS, cache=cache)
+        assert cache.hits == SHARDS
+        assert cache.misses == 0
+
+    def test_one_rule_edit_rebuilds_one_shard(self, cache):
+        compile_mfa(RULES, shards=SHARDS, cache=cache)
+        reset(cache)
+        edited = RULES[:-1] + [RULES[-1] + "z"]
+        engine = compile_mfa(edited, shards=SHARDS, cache=cache)
+        assert cache.hits == SHARDS - 1
+        assert cache.misses == 1
+        # The cached-shard recombination behaves exactly like a fresh
+        # compile of the edited set.
+        fresh = compile_mfa(edited, shards=SHARDS)
+        probe = b"pqsusr/bin/idabcdefabcdefwhoamixyz" * 10
+        assert engine.run(probe) == fresh.run(probe)
+
+    def test_edit_in_first_shard(self, cache):
+        compile_mfa(RULES, shards=SHARDS, cache=cache)
+        reset(cache)
+        edited = [RULES[0] + "q"] + RULES[1:]
+        compile_mfa(edited, shards=SHARDS, cache=cache)
+        assert cache.hits == SHARDS - 1
+        assert cache.misses == 1
+
+    def test_resilient_compiler_reuses_shard_cache(self, cache):
+        from repro.robust import ResilientCompiler
+
+        compiler = ResilientCompiler(cache=cache, shards=SHARDS)
+        compiler.compile(RULES)
+        reset(cache)
+        result = compiler.compile(RULES)
+        assert cache.hits == SHARDS
+        assert cache.misses == 0
+        notes = [a.error for a in result.report.attempts]
+        assert notes == ["loaded from artifact cache"] * SHARDS
