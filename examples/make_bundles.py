@@ -1,0 +1,38 @@
+"""Serialize example MFA bundles for the CI artifact lint gate.
+
+Usage::
+
+    python examples/make_bundles.py [out_dir]
+
+Compiles a few representative rule sets — including one whose plain DFA
+is infeasible (B217p is skipped here to keep the gate fast; C7p carries
+the decomposition-heavy shape) — and writes each as a ``.mfab`` bundle.
+The CI ``analyze-gate`` job then runs ``mfa-bench lint`` over every file:
+the serialized artifact, not just the in-memory engine, must pass the
+static verifier with zero error findings.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import patterns_for  # noqa: E402
+from repro.core import compile_mfa, dumps_mfa  # noqa: E402
+
+SETS = ("C8", "C7p", "S24")
+
+
+def main() -> int:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results/bundles")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for set_name in SETS:
+        mfa = compile_mfa(patterns_for(set_name))
+        path = out_dir / f"{set_name}.mfab"
+        path.write_bytes(dumps_mfa(mfa))
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

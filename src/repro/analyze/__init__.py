@@ -1,0 +1,59 @@
+"""Static verifier & lint suite for MFA artifacts, bytecode, and rule sets.
+
+Four analyzers, one report type, zero traffic:
+
+* :mod:`~repro.analyze.bytecode` — proves invariants of the
+  ``(test, set, clear, report)`` filter programs: references, liveness,
+  guard-chain connectivity;
+* :mod:`~repro.analyze.automaton` — transition-table completeness,
+  reachability, match-id referential integrity, serialize fixpoints for
+  DFA / MFA / ShardedMFA;
+* :mod:`~repro.analyze.safety` — re-derives the splitter's decomposition
+  safety conditions independently and flags any split it cannot prove;
+* :mod:`~repro.analyze.explosion` — predicts state-explosion risk from a
+  static census, the signal :class:`~repro.robust.pipeline.ResilientCompiler`
+  uses to skip hopeless compile attempts.
+
+:mod:`~repro.analyze.bundle` applies the first two tolerantly to
+serialized bundles, so a corrupt artifact yields findings instead of one
+load exception.  The runtime counterpart — diffing match streams against
+an oracle — lives in :mod:`repro.core.verify`; this package is the
+compile-time half of the same correctness argument.
+"""
+
+from .automaton import analyze_dfa, analyze_engine, analyze_mfa
+from .bundle import analyze_bundle
+from .bytecode import analyze_program, dead_bits, strip_dead_bits
+from .explosion import (
+    RISK_HIGH,
+    RISK_LOW,
+    RISK_MEDIUM,
+    PatternCensus,
+    TriageResult,
+    triage_patterns,
+)
+from .report import ERROR, INFO, SEVERITIES, WARNING, AnalysisReport, Finding
+from .safety import audit_split
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+    "Finding",
+    "AnalysisReport",
+    "analyze_program",
+    "dead_bits",
+    "strip_dead_bits",
+    "analyze_dfa",
+    "analyze_mfa",
+    "analyze_engine",
+    "analyze_bundle",
+    "audit_split",
+    "triage_patterns",
+    "TriageResult",
+    "PatternCensus",
+    "RISK_LOW",
+    "RISK_MEDIUM",
+    "RISK_HIGH",
+]

@@ -1,0 +1,301 @@
+"""Static invariant checker for compiled automata (DFA / MFA / ShardedMFA).
+
+Everything here is provable from the transition table alone:
+
+* **table completeness** — every state owns a full 256-entry row, every
+  target (and the start state) lands inside the table;
+* **reachability** — states unreachable from the start state are flagged
+  (they inflate the image for nothing), states that can never reach a
+  decision are reported at info severity (one sink is normal for anchored
+  rule sets);
+* **referential integrity** — with a filter program in hand, every
+  match-id the DFA can emit must be meaningful to the filter (an action
+  or a final id), and every filter action must be triggerable by some
+  decision set;
+* **serialize fixpoint** — ``dumps → loads → dumps`` must be
+  byte-identical, the contract the offline-compile/data-plane split
+  relies on.
+"""
+
+from __future__ import annotations
+
+from ..automata.dfa import DFA
+from .bytecode import RawProgram, analyze_program, raw_program
+from .report import ERROR, INFO, WARNING, AnalysisReport
+
+__all__ = ["analyze_dfa", "analyze_mfa", "analyze_engine"]
+
+COMPONENT = "dfa"
+
+
+def analyze_dfa(
+    dfa: DFA,
+    program: "RawProgram | None" = None,
+    report: AnalysisReport | None = None,
+    roundtrip: bool = True,
+) -> AnalysisReport:
+    """Audit one DFA's invariants; ``program`` adds referential checks."""
+    out = report if report is not None else AnalysisReport()
+    structure_ok = _check_table(dfa, out)
+    if structure_ok:
+        _check_reachability(dfa, out)
+        _check_groups(dfa, out)
+    if program is not None:
+        _check_referential(dfa, program, out)
+    if roundtrip and structure_ok:
+        _check_roundtrip(dfa, out)
+    return out
+
+
+# -- table structure ----------------------------------------------------------
+
+
+def _check_table(dfa: DFA, out: AnalysisReport) -> bool:
+    n = dfa.n_states
+    ok = True
+    if n == 0:
+        out.add("AU103", ERROR, COMPONENT, "automaton has no states at all")
+        return False
+    if not 0 <= dfa.start < n:
+        out.add(
+            "AU103", ERROR, COMPONENT, f"start state {dfa.start} outside [0,{n})"
+        )
+        ok = False
+    for q, row in enumerate(dfa.rows):
+        if len(row) != 256:
+            out.add(
+                "AU101",
+                ERROR,
+                COMPONENT,
+                f"transition row has {len(row)} entries, want 256 "
+                f"(incomplete alphabet coverage)",
+                f"state {q}",
+            )
+            ok = False
+            continue
+        bad = next((t for t in row if not 0 <= t < n), None)
+        if bad is not None:
+            out.add(
+                "AU102",
+                ERROR,
+                COMPONENT,
+                f"transition targets state {bad} outside [0,{n})",
+                f"state {q}",
+            )
+            ok = False
+    for name, decisions in (("accepts", dfa.accepts), ("accepts_end", dfa.accepts_end)):
+        if len(decisions) != n:
+            out.add(
+                "AU104",
+                ERROR,
+                COMPONENT,
+                f"{name} covers {len(decisions)} states, want {n}",
+            )
+            ok = False
+    return ok
+
+
+# -- reachability -------------------------------------------------------------
+
+
+def _check_reachability(dfa: DFA, out: AnalysisReport) -> None:
+    n = dfa.n_states
+    reachable = {dfa.start}
+    frontier = [dfa.start]
+    while frontier:
+        state = frontier.pop()
+        for target in set(dfa.rows[state]):
+            if target not in reachable:
+                reachable.add(target)
+                frontier.append(target)
+    unreachable = [q for q in range(n) if q not in reachable]
+    if unreachable:
+        out.add(
+            "AU110",
+            WARNING,
+            COMPONENT,
+            f"{len(unreachable)} of {n} states unreachable from start "
+            f"(first: state {unreachable[0]}): dead table weight",
+        )
+    # Co-reachability of a decision: states from which no accepting state
+    # can ever be reached again.  One such sink is the normal fate of
+    # anchored rule sets, so this is informational.
+    deciding = [
+        q for q in range(n) if dfa.accepts[q] or dfa.accepts_end[q]
+    ]
+    if not deciding:
+        out.add(
+            "AU112",
+            WARNING,
+            COMPONENT,
+            "no state carries any decision: the automaton can never match",
+        )
+        return
+    reverse: list[set[int]] = [set() for _ in range(n)]
+    for src in range(n):
+        for dst in set(dfa.rows[src]):
+            reverse[dst].add(src)
+    useful = set(deciding)
+    frontier = list(deciding)
+    while frontier:
+        state = frontier.pop()
+        for prev in reverse[state]:
+            if prev not in useful:
+                useful.add(prev)
+                frontier.append(prev)
+    dead = [q for q in sorted(reachable) if q not in useful]
+    if dead:
+        out.add(
+            "AU111",
+            INFO,
+            COMPONENT,
+            f"{len(dead)} reachable state(s) can never reach a decision "
+            f"(first: state {dead[0]}); one sink is expected for anchored sets",
+        )
+
+
+def _check_groups(dfa: DFA, out: AnalysisReport) -> None:
+    """The recorded byte->group map must agree with the actual columns."""
+    if dfa.group_of_byte is None:
+        return
+    if len(dfa.group_of_byte) != 256:
+        out.add(
+            "AU130",
+            ERROR,
+            COMPONENT,
+            f"group_of_byte maps {len(dfa.group_of_byte)} bytes, want 256",
+        )
+        return
+    # Two bytes in one group must be indistinguishable in every row.
+    representative: dict[int, int] = {}
+    for byte, group in enumerate(dfa.group_of_byte):
+        representative.setdefault(group, byte)
+    for q, row in enumerate(dfa.rows):
+        for byte, group in enumerate(dfa.group_of_byte):
+            if row[byte] != row[representative[group]]:
+                out.add(
+                    "AU131",
+                    ERROR,
+                    COMPONENT,
+                    f"byte {byte} and byte {representative[group]} share "
+                    f"alphabet group {group} but disagree in state {q}",
+                    f"state {q}",
+                )
+                return  # one witness is enough; this check is O(states*256)
+
+
+# -- referential integrity ----------------------------------------------------
+
+
+def _check_referential(dfa: DFA, program: RawProgram, out: AnalysisReport) -> None:
+    emitted: set[int] = set()
+    for decisions in dfa.accepts:
+        emitted.update(decisions)
+    for decisions in dfa.accepts_end:
+        emitted.update(decisions)
+    known = set(program.actions) | set(program.final_ids)
+    for match_id in sorted(emitted - known):
+        out.add(
+            "AU120",
+            ERROR,
+            COMPONENT,
+            f"decision emits match-id {match_id} that the filter neither "
+            f"actions nor passes through (dangling id)",
+        )
+    for match_id in sorted(set(program.actions) - emitted):
+        out.add(
+            "AU121",
+            WARNING,
+            "filter",
+            f"action {match_id} can never trigger: no DFA decision emits it",
+        )
+
+
+# -- serialize fixpoint -------------------------------------------------------
+
+
+def _check_roundtrip(dfa: DFA, out: AnalysisReport) -> None:
+    from ..automata.serialize import dumps_dfa, loads_dfa
+
+    try:
+        first = dumps_dfa(dfa)
+        again = dumps_dfa(loads_dfa(first))
+    except Exception as exc:  # noqa: BLE001 - any failure is the finding
+        out.add(
+            "AU140",
+            ERROR,
+            COMPONENT,
+            f"serialize round-trip failed: {type(exc).__name__}: {exc}",
+        )
+        return
+    if first != again:
+        out.add(
+            "AU140",
+            ERROR,
+            COMPONENT,
+            "serialize round-trip is not a fixpoint: dumps(loads(dumps)) "
+            "differs from dumps",
+        )
+
+
+# -- engine-level entry points ------------------------------------------------
+
+
+def analyze_mfa(mfa, report: AnalysisReport | None = None) -> AnalysisReport:
+    """Audit an MFA: bytecode + automaton + referential + bundle fixpoint."""
+    out = report if report is not None else AnalysisReport()
+    program = raw_program(mfa.program)
+    analyze_program(program, out)
+    analyze_dfa(mfa.dfa, program, out, roundtrip=False)
+    _check_bundle_roundtrip(mfa, out)
+    if mfa.split.decompositions:
+        from .safety import audit_split
+
+        audit_split(mfa.split, out)
+    return out
+
+
+def _check_bundle_roundtrip(mfa, out: AnalysisReport) -> None:
+    from ..core.serialize import dumps_mfa, loads_mfa
+
+    try:
+        first = dumps_mfa(mfa)
+        again = dumps_mfa(loads_mfa(first))
+    except Exception as exc:  # noqa: BLE001
+        out.add(
+            "AU140",
+            ERROR,
+            "bundle",
+            f"bundle round-trip failed: {type(exc).__name__}: {exc}",
+        )
+        return
+    if first != again:
+        out.add(
+            "AU140",
+            ERROR,
+            "bundle",
+            "bundle round-trip is not a fixpoint: dumps(loads(dumps)) differs",
+        )
+
+
+def analyze_engine(engine, report: AnalysisReport | None = None) -> AnalysisReport:
+    """Dispatch on engine type: MFA, ShardedMFA, plain DFA, or other."""
+    out = report if report is not None else AnalysisReport()
+    from ..core.mfa import MFA
+
+    if isinstance(engine, MFA):
+        return analyze_mfa(engine, out)
+    if isinstance(engine, DFA):
+        return analyze_dfa(engine, report=out)
+    shards = getattr(engine, "shards", None)
+    if shards is not None:
+        for index, shard in enumerate(shards):
+            out.extend(analyze_engine(shard).relocated(f"shard {index}"))
+        return out
+    out.add(
+        "AU100",
+        INFO,
+        "engine",
+        f"no static checks for engine type {type(engine).__name__}",
+    )
+    return out

@@ -1,0 +1,171 @@
+"""Tolerant audit of serialized MFA bundles.
+
+The strict loader (:func:`repro.core.serialize.loads_mfa`) refuses a
+corrupt bundle with a single exception.  The analyzer instead decodes
+each layer tolerantly and keeps going, so one pass over a damaged
+artifact names *every* defect: framing (``BN1xx``), then the filter
+table through the bytecode verifier (``FB*``), then the transition table
+through the automaton checker (``AU*``), then cross-references between
+the two.  A bundle that decodes cleanly is additionally checked for
+canonical encoding — re-serialising must reproduce the input bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from array import array
+from os import PathLike
+from pathlib import Path
+
+from ..automata.dfa import DFA
+from ..automata.serialize import decode_dfa_header
+from ..core.serialize import split_bundle
+from .automaton import analyze_dfa
+from .bytecode import RawProgram, analyze_program, raw_program
+from .report import ERROR, WARNING, AnalysisReport
+
+__all__ = ["analyze_bundle"]
+
+COMPONENT = "bundle"
+
+# A sanity ceiling on the header's claimed state count: anything past this
+# would allocate gigabytes from four header bytes, which in a *bundle
+# auditor* is itself the finding.
+_MAX_CLAIMED_STATES = 16_000_000
+
+
+def analyze_bundle(source: bytes | str | PathLike) -> AnalysisReport:
+    """Audit a serialized MFA bundle without trusting any of it."""
+    out = AnalysisReport()
+    if isinstance(source, (str, PathLike)):
+        try:
+            blob = Path(source).read_bytes()
+        except OSError as exc:
+            out.add("BN100", ERROR, COMPONENT, f"cannot read bundle: {exc}")
+            return out
+    else:
+        blob = source
+
+    try:
+        program_bytes, dfa_bytes = split_bundle(blob)
+    except ValueError as exc:
+        out.add("BN101", ERROR, COMPONENT, str(exc))
+        return out
+
+    program = _decode_program(program_bytes, out)
+    dfa = _decode_dfa(dfa_bytes, out)
+    if program is not None:
+        analyze_program(program, out)
+    if dfa is not None:
+        analyze_dfa(dfa, program, out, roundtrip=False)
+    if program is not None and dfa is not None and not out.has_errors:
+        _check_canonical(blob, out)
+    return out
+
+
+def _decode_program(program_bytes: bytes, out: AnalysisReport) -> RawProgram | None:
+    try:
+        blob = json.loads(program_bytes)
+    except ValueError as exc:
+        out.add("BN103", ERROR, "filter", f"filter table is not valid JSON: {exc}")
+        return None
+    try:
+        return raw_program(blob)
+    except (TypeError, ValueError, KeyError, AttributeError) as exc:
+        out.add(
+            "BN103",
+            ERROR,
+            "filter",
+            f"filter table JSON has the wrong shape: {type(exc).__name__}: {exc}",
+        )
+        return None
+
+
+def _decode_dfa(dfa_bytes: bytes, out: AnalysisReport) -> DFA | None:
+    try:
+        header, table_bytes = decode_dfa_header(dfa_bytes)
+    except ValueError as exc:
+        out.add("BN104", ERROR, "dfa", str(exc))
+        return None
+    try:
+        n_states = int(header["n_states"])
+        start = int(header["start"])
+        accepts = [tuple(int(i) for i in a) for a in header["accepts"]]
+        accepts_end = [tuple(int(i) for i in a) for a in header["accepts_end"]]
+        group_blob = header.get("group_of_byte")
+    except (KeyError, TypeError, ValueError) as exc:
+        out.add(
+            "BN104",
+            ERROR,
+            "dfa",
+            f"DFA header missing or malformed field: {type(exc).__name__}: {exc}",
+        )
+        return None
+    if not 0 <= n_states <= _MAX_CLAIMED_STATES:
+        out.add(
+            "BN106",
+            ERROR,
+            "dfa",
+            f"header claims {n_states} states, outside the plausible range",
+        )
+        return None
+
+    table = array("i")
+    usable = len(table_bytes) - len(table_bytes) % 4
+    table.frombytes(table_bytes[:usable])
+    want_entries = n_states * 256
+    if len(table) != want_entries:
+        out.add(
+            "BN105",
+            ERROR,
+            "dfa",
+            f"transition table holds {len(table)} entries, header wants "
+            f"{want_entries} ({n_states} states x 256): truncated or overlong table",
+        )
+    rows = [table[i * 256 : (i + 1) * 256] for i in range(min(n_states, len(table) // 256))]
+    if not rows:
+        return None
+    group_of_byte = None
+    if group_blob is not None:
+        try:
+            group_of_byte = array("i", (int(g) for g in group_blob))
+        except (TypeError, ValueError):
+            out.add("BN104", ERROR, "dfa", "group_of_byte field is malformed")
+    # Decision lists are padded out to the row count so the automaton
+    # checker sees the length mismatch as its own finding rather than an
+    # index crash.
+    dfa = DFA(rows, start, accepts, accepts_end, group_of_byte=group_of_byte)
+    if len(accepts) != n_states or len(accepts_end) != n_states or len(rows) != n_states:
+        out.add(
+            "BN105",
+            ERROR,
+            "dfa",
+            f"header n_states={n_states} disagrees with decoded content "
+            f"({len(rows)} rows, {len(accepts)} accepts, {len(accepts_end)} "
+            f"accepts_end)",
+        )
+    return dfa
+
+
+def _check_canonical(blob: bytes, out: AnalysisReport) -> None:
+    from ..core.serialize import dumps_mfa, loads_mfa
+
+    try:
+        again = dumps_mfa(loads_mfa(blob))
+    except Exception as exc:  # noqa: BLE001 - strict load disagreeing is a finding
+        out.add(
+            "BN110",
+            ERROR,
+            COMPONENT,
+            f"analyzer found no defects but the strict loader refused the "
+            f"bundle: {type(exc).__name__}: {exc}",
+        )
+        return
+    if again != blob:
+        out.add(
+            "BN110",
+            WARNING,
+            COMPONENT,
+            "bundle is valid but not canonically encoded: re-serialising "
+            "produces different bytes",
+        )

@@ -1,0 +1,385 @@
+"""Static verifier for filter-bytecode programs (paper §III-A actions).
+
+The filter half of an MFA is a tiny ``(test, set, clear, report)``
+bytecode — exactly the kind of object whose invariants can be *proved*
+without traffic.  This verifier checks, per program:
+
+* **references** — every bit index inside ``[0, width)``, every register
+  inside ``[0, n_registers)``, every reported id inside the final set;
+* **conflicts** — no action sets and clears the same bit, no malformed
+  distance window;
+* **liveness** — bits set but never tested (dead bits — removable without
+  changing the filtered stream, see :func:`dead_bits`), bits tested but
+  never set (the guarded action can never fire), registers recorded but
+  never distance-tested and vice versa;
+* **guard-chain connectivity** — the ``Test i to Set j`` chains emitted
+  for ``.*A.*B.*C`` must bottom out at an unguarded set; a guard cycle
+  (bits only settable when already set) makes every downstream report
+  unreachable, and any report action behind an unsatisfiable guard is
+  flagged.
+
+The verifier accepts a validated :class:`~repro.core.filters.FilterProgram`
+*or* the raw JSON dict of a serialized bundle, so corrupted bundles that
+the strict loader would refuse still get precise findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..core.filters import NONE, WINDOW_BITS, FilterAction, FilterProgram
+from .report import ERROR, INFO, WARNING, AnalysisReport
+
+__all__ = ["RawAction", "RawProgram", "raw_program", "analyze_program", "dead_bits", "strip_dead_bits"]
+
+COMPONENT = "filter"
+
+
+@dataclass(frozen=True, slots=True)
+class RawAction:
+    """A filter action as raw integers, with no constructor validation."""
+
+    test: int = NONE
+    set: int = NONE
+    clear: int = NONE
+    report: int = NONE
+    record: int = NONE
+    distance: Optional[tuple[int, int, Optional[int]]] = None
+
+
+@dataclass(frozen=True, slots=True)
+class RawProgram:
+    """An unvalidated filter program, as found in a (possibly corrupt) bundle."""
+
+    actions: dict[int, RawAction]
+    width: int
+    n_registers: int
+    final_ids: frozenset[int]
+
+
+def raw_program(source: FilterProgram | Mapping) -> RawProgram:
+    """Normalise a validated program or a bundle JSON dict to raw form."""
+    if isinstance(source, FilterProgram):
+        return RawProgram(
+            actions={
+                match_id: RawAction(
+                    test=a.test,
+                    set=a.set,
+                    clear=a.clear,
+                    report=a.report,
+                    record=a.record,
+                    distance=a.distance,
+                )
+                for match_id, a in source.actions.items()
+            },
+            width=source.width,
+            n_registers=source.n_registers,
+            final_ids=frozenset(source.final_ids),
+        )
+    actions: dict[int, RawAction] = {}
+    for key, fields in dict(source.get("actions", {})).items():
+        distance = fields.get("distance")
+        actions[int(key)] = RawAction(
+            test=int(fields.get("test", NONE)),
+            set=int(fields.get("set", NONE)),
+            clear=int(fields.get("clear", NONE)),
+            report=int(fields.get("report", NONE)),
+            record=int(fields.get("record", NONE)),
+            distance=tuple(distance) if distance else None,
+        )
+    return RawProgram(
+        actions=actions,
+        width=int(source.get("width", 0)),
+        n_registers=int(source.get("n_registers", 0)),
+        final_ids=frozenset(int(i) for i in source.get("final_ids", ())),
+    )
+
+
+def analyze_program(
+    source: FilterProgram | Mapping | RawProgram,
+    report: AnalysisReport | None = None,
+) -> AnalysisReport:
+    """Run every bytecode check; returns (or extends) an :class:`AnalysisReport`."""
+    program = source if isinstance(source, RawProgram) else raw_program(source)
+    out = report if report is not None else AnalysisReport()
+    _check_structure(program, out)
+    _check_liveness(program, out)
+    _check_guard_chains(program, out)
+    return out
+
+
+# -- structural checks --------------------------------------------------------
+
+
+def _check_structure(program: RawProgram, out: AnalysisReport) -> None:
+    if program.width < 0:
+        out.add("FB106", ERROR, COMPONENT, f"negative memory width {program.width}")
+    if program.n_registers < 0:
+        out.add("FB106", ERROR, COMPONENT, f"negative register count {program.n_registers}")
+    for match_id in sorted(program.actions):
+        action = program.actions[match_id]
+        where = f"action {match_id}"
+        for name, bit in (("test", action.test), ("set", action.set), ("clear", action.clear)):
+            if bit != NONE and not 0 <= bit < program.width:
+                out.add(
+                    "FB101",
+                    ERROR,
+                    COMPONENT,
+                    f"{name} references bit {bit} outside the {program.width}-bit memory",
+                    where,
+                )
+        if action.set != NONE and action.set == action.clear:
+            out.add(
+                "FB103",
+                ERROR,
+                COMPONENT,
+                f"sets and clears the same bit {action.set}",
+                where,
+            )
+        if action.record != NONE and not 0 <= action.record < program.n_registers:
+            out.add(
+                "FB102",
+                ERROR,
+                COMPONENT,
+                f"records register {action.record} outside the "
+                f"{program.n_registers}-register file",
+                where,
+            )
+        if action.distance is not None:
+            if len(action.distance) != 3:
+                out.add("FB104", ERROR, COMPONENT, "malformed distance tuple", where)
+            else:
+                reg, lo, hi = action.distance
+                if not 0 <= reg < program.n_registers:
+                    out.add(
+                        "FB102",
+                        ERROR,
+                        COMPONENT,
+                        f"distance tests register {reg} outside the "
+                        f"{program.n_registers}-register file",
+                        where,
+                    )
+                upper = lo if hi is None else hi
+                if lo < 0 or upper < lo or upper >= WINDOW_BITS:
+                    out.add(
+                        "FB104",
+                        ERROR,
+                        COMPONENT,
+                        f"distance window [{lo},{hi}] outside [0,{WINDOW_BITS})",
+                        where,
+                    )
+        if action.report != NONE and action.report not in program.final_ids:
+            out.add(
+                "FB105",
+                ERROR,
+                COMPONENT,
+                f"reports id {action.report} which is not in the final set",
+                where,
+            )
+
+
+# -- liveness -----------------------------------------------------------------
+
+
+def _bit_uses(program: RawProgram) -> tuple[set[int], set[int], set[int]]:
+    """(set bits, cleared bits, tested bits), range-checked uses only."""
+    set_bits: set[int] = set()
+    clear_bits: set[int] = set()
+    test_bits: set[int] = set()
+    for action in program.actions.values():
+        if 0 <= action.set < program.width:
+            set_bits.add(action.set)
+        if 0 <= action.clear < program.width:
+            clear_bits.add(action.clear)
+        if 0 <= action.test < program.width:
+            test_bits.add(action.test)
+    return set_bits, clear_bits, test_bits
+
+
+def dead_bits(source: FilterProgram | Mapping | RawProgram) -> set[int]:
+    """Bits that are set but never tested.
+
+    Setting (or clearing) such a bit can never influence a guard, so the
+    bit can be stripped without changing the filtered match stream — the
+    property the hypothesis suite checks against :func:`strip_dead_bits`.
+    """
+    program = source if isinstance(source, RawProgram) else raw_program(source)
+    set_bits, clear_bits, test_bits = _bit_uses(program)
+    return (set_bits | clear_bits) - test_bits
+
+
+def strip_dead_bits(program: FilterProgram) -> FilterProgram:
+    """Remove every set/clear of a dead bit (the stream-preserving rewrite)."""
+    dead = dead_bits(program)
+    if not dead:
+        return program
+    actions = {}
+    for match_id, action in program.actions.items():
+        new_set = NONE if action.set in dead else action.set
+        new_clear = NONE if action.clear in dead else action.clear
+        actions[match_id] = FilterAction(
+            test=action.test,
+            set=new_set,
+            clear=new_clear,
+            report=action.report,
+            record=action.record,
+            distance=action.distance,
+        )
+    return FilterProgram(
+        actions=actions,
+        width=program.width,
+        n_registers=program.n_registers,
+        final_ids=program.final_ids,
+    )
+
+
+def _check_liveness(program: RawProgram, out: AnalysisReport) -> None:
+    set_bits, clear_bits, test_bits = _bit_uses(program)
+    for bit in sorted(set_bits - test_bits):
+        out.add(
+            "FB110",
+            WARNING,
+            COMPONENT,
+            f"bit {bit} is set but never tested (dead bit: removable "
+            f"without changing the filtered stream)",
+        )
+    for bit in sorted(test_bits - set_bits):
+        out.add(
+            "FB111",
+            ERROR,
+            COMPONENT,
+            f"bit {bit} is tested but no action ever sets it "
+            f"(the guarded action can never fire)",
+        )
+    for bit in sorted(clear_bits - set_bits - test_bits):
+        out.add(
+            "FB112",
+            WARNING,
+            COMPONENT,
+            f"bit {bit} is cleared but never set or tested",
+        )
+    used = set_bits | clear_bits | test_bits
+    unused = [bit for bit in range(program.width) if bit not in used]
+    if unused:
+        out.add(
+            "FB113",
+            INFO,
+            COMPONENT,
+            f"{len(unused)} of {program.width} memory bits are never "
+            f"referenced (first: {unused[0]})",
+        )
+    recorded: set[int] = set()
+    dist_tested: set[int] = set()
+    for action in program.actions.values():
+        if 0 <= action.record < program.n_registers:
+            recorded.add(action.record)
+        if action.distance is not None and len(action.distance) == 3:
+            reg = action.distance[0]
+            if 0 <= reg < program.n_registers:
+                dist_tested.add(reg)
+    for reg in sorted(dist_tested - recorded):
+        out.add(
+            "FB114",
+            ERROR,
+            COMPONENT,
+            f"register {reg} is distance-tested but no action ever records it",
+        )
+    for reg in sorted(recorded - dist_tested):
+        out.add(
+            "FB115",
+            WARNING,
+            COMPONENT,
+            f"register {reg} is recorded but never distance-tested",
+        )
+
+
+# -- guard-chain connectivity -------------------------------------------------
+
+
+def _satisfiable_guards(program: RawProgram) -> tuple[set[int], set[int]]:
+    """Fixpoint of (settable bits, recordable registers).
+
+    A guard ``test=b`` is satisfiable only if some action can actually set
+    ``b``; that setter may itself be guarded, so satisfiability is the
+    least fixpoint over the guard graph.  Distance guards are satisfiable
+    when their register is recordable under the same rules.
+    """
+    settable: set[int] = set()
+    recordable: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for action in program.actions.values():
+            if not _guard_ok(action, settable, recordable, program):
+                continue
+            if 0 <= action.set < program.width and action.set not in settable:
+                settable.add(action.set)
+                changed = True
+            if (
+                0 <= action.record < program.n_registers
+                and action.record not in recordable
+            ):
+                recordable.add(action.record)
+                changed = True
+    return settable, recordable
+
+
+def _guard_ok(
+    action: RawAction,
+    settable: set[int],
+    recordable: set[int],
+    program: RawProgram,
+) -> bool:
+    if action.test != NONE and action.test not in settable:
+        return False
+    if action.distance is not None:
+        if len(action.distance) != 3:
+            return False
+        if action.distance[0] not in recordable:
+            return False
+    return True
+
+
+def _check_guard_chains(program: RawProgram, out: AnalysisReport) -> None:
+    settable, recordable = _satisfiable_guards(program)
+    set_bits, _clear_bits, _test_bits = _bit_uses(program)
+    # Bits that have setters yet are unsatisfiable form a guard cycle: every
+    # path to them is guarded on bits inside the same strongly-guarded knot.
+    for bit in sorted(set_bits - settable):
+        out.add(
+            "FB121",
+            ERROR,
+            COMPONENT,
+            f"bit {bit} sits in a guard cycle: every action setting it is "
+            f"itself guarded on an unsettable bit",
+        )
+    reportable: set[int] = set()
+    for match_id in sorted(program.actions):
+        action = program.actions[match_id]
+        ok = _guard_ok(action, settable, recordable, program)
+        if action.report != NONE:
+            if ok:
+                reportable.add(action.report)
+            else:
+                out.add(
+                    "FB120",
+                    ERROR,
+                    COMPONENT,
+                    f"report of id {action.report} is unreachable: its guard "
+                    f"can never be satisfied",
+                    f"action {match_id}",
+                )
+    # Every final id must remain confirmable: either implicitly (no action
+    # at all — the engine passes it through) or via a reachable report.
+    for final_id in sorted(program.final_ids):
+        if final_id not in program.actions:
+            continue
+        if final_id not in reportable:
+            out.add(
+                "FB122",
+                ERROR,
+                COMPONENT,
+                f"final id {final_id} has actions but no reachable report: "
+                f"the original pattern can never be confirmed",
+            )

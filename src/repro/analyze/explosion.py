@@ -1,0 +1,322 @@
+"""Rule-set explosion triage: predict state blow-up before compiling.
+
+The resilient compiler's historical posture is try-fail-fallback: burn a
+full subset construction against each budget, catch
+:class:`~repro.automata.dfa.DfaExplosionError`, escalate, repeat.  This
+module gives it a *predictive* signal instead, from three static
+measurements the state-explosion literature ties to blow-up:
+
+* **separator census** — internal dot-star / almost-dot-star separators
+  multiply the reachable subset space: each one adds a "prefix already
+  seen" flag the subset construction tracks concurrently with every other
+  pattern's progress, so each non-decomposable separator contributes a
+  multiplicative factor of two;
+* **counted repetitions** — ``.{n,m}`` contributes ``m`` states per
+  nesting level and squares under interaction;
+* **class-overlap density** — the fraction of pattern pairs whose
+  alphabets intersect; disjoint-alphabet patterns cannot co-activate, so
+  a low density discounts the interaction product.
+
+Two bounds come out: ``predicted_dfa_states`` for the plain (undecomposed)
+DFA and ``predicted_mfa_states`` for the component DFA after every
+separator that passes the safety re-check has been split off.  The
+second is what :class:`~repro.robust.pipeline.ResilientCompiler` compares
+against its budget schedule to skip hopeless attempts up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..automata.dfa import DEFAULT_STATE_BUDGET
+from ..regex.analysis import alphabet
+from ..regex.ast import ClassNode, Node, Pattern, Repeat, node_size
+from ..core.splitter import SplitterOptions, split_patterns
+from .report import INFO, WARNING, AnalysisReport
+
+__all__ = ["PatternCensus", "TriageResult", "triage_patterns", "RISK_LOW", "RISK_MEDIUM", "RISK_HIGH"]
+
+COMPONENT = "ruleset"
+
+RISK_LOW = "low"
+RISK_MEDIUM = "medium"
+RISK_HIGH = "high"
+
+# Interaction products are capped here: beyond any realistic budget, the
+# exact magnitude stops mattering and would only overflow JSON consumers.
+_PRODUCT_CAP = 10**15
+
+
+@dataclass(frozen=True, slots=True)
+class PatternCensus:
+    """Static complexity measurements of one pattern."""
+
+    match_id: int
+    source: str
+    size: int                   # AST node count (~ NFA state proxy)
+    n_dot_star: int             # top-level .* separators
+    n_almost: int               # top-level [^X]* separators
+    n_counted: int              # top-level .{n,m} separators
+    counted_span: int           # total bounded-repetition span anywhere
+    anchored: bool
+    raw_factor: int             # multiplicative factor, nothing decomposed
+    residual_factor: int        # factor left after provable decompositions
+
+    @property
+    def explosive(self) -> bool:
+        return self.raw_factor > 1
+
+    def to_dict(self) -> dict:
+        return {
+            "match_id": self.match_id,
+            "source": self.source,
+            "size": self.size,
+            "n_dot_star": self.n_dot_star,
+            "n_almost": self.n_almost,
+            "n_counted": self.n_counted,
+            "counted_span": self.counted_span,
+            "anchored": self.anchored,
+            "raw_factor": self.raw_factor,
+            "residual_factor": self.residual_factor,
+        }
+
+
+@dataclass(slots=True)
+class TriageResult:
+    """The triager's verdict over one rule set."""
+
+    risk: str
+    predicted_dfa_states: int
+    predicted_mfa_states: int
+    overlap_density: float
+    state_budget: int
+    census: list[PatternCensus] = field(default_factory=list)
+    report: AnalysisReport = field(default_factory=AnalysisReport)
+
+    @property
+    def dfa_feasible(self) -> bool:
+        return self.predicted_dfa_states <= self.state_budget
+
+    @property
+    def mfa_feasible(self) -> bool:
+        return self.predicted_mfa_states <= self.state_budget
+
+    def to_dict(self) -> dict:
+        return {
+            "risk": self.risk,
+            "predicted_dfa_states": self.predicted_dfa_states,
+            "predicted_mfa_states": self.predicted_mfa_states,
+            "overlap_density": round(self.overlap_density, 4),
+            "state_budget": self.state_budget,
+            "n_explosive": sum(1 for c in self.census if c.explosive),
+            "findings": [f.to_dict() for f in self.report],
+        }
+
+    def describe(self) -> list[str]:
+        lines = [
+            f"triage: risk={self.risk}, predicted states "
+            f"dfa~{self.predicted_dfa_states} mfa~{self.predicted_mfa_states} "
+            f"(budget {self.state_budget}), overlap density "
+            f"{self.overlap_density:.2f}"
+        ]
+        lines.extend(f.describe() for f in self.report)
+        return lines
+
+
+# -- per-pattern census -------------------------------------------------------
+
+
+def _top_parts(root: Node) -> tuple[Node, ...]:
+    from ..regex import ast as _ast
+
+    if isinstance(root, _ast.Concat):
+        return root.parts
+    if isinstance(root, _ast.Empty):
+        return ()
+    return (root,)
+
+
+def _separator_kind(part: Node) -> Optional[str]:
+    """Classify a top-level part the way the splitter would, independently."""
+    if not isinstance(part, Repeat) or not isinstance(part.child, ClassNode):
+        return None
+    klass = part.child.cls
+    if part.min == 0 and part.max is None:
+        if klass.is_full():
+            return "dot"
+        if 0 < len(~klass) < 128:
+            return "almost"
+        return None
+    if klass.is_full() and part.min > 0:
+        return "counted"
+    return None
+
+
+def _counted_span(node: Node) -> int:
+    """Total span of bounded repetitions anywhere in the tree."""
+    if isinstance(node, Repeat):
+        inner = _counted_span(node.child)
+        if node.max is not None and node.max > 1:
+            return node.max * max(1, inner)
+        return inner
+    parts: tuple[Node, ...] = ()
+    if hasattr(node, "parts"):
+        parts = node.parts
+    elif hasattr(node, "options"):
+        parts = node.options
+    return sum(_counted_span(p) for p in parts)
+
+
+def _interaction_factor(parts: Sequence[Node]) -> int:
+    """``2**s`` where ``s`` counts the pattern's *internal* separators.
+
+    A leading ``.*`` only says "unanchored" — Aho-Corasick-style additive
+    — so leading separators are stripped first.  Every separator after
+    that adds one "prefix already seen" flag the subset construction must
+    track concurrently with all other patterns' progress: a binary
+    dimension of the state space, i.e. a factor of two (the law the
+    explosion sweep in :mod:`repro.bench.sweep` measures empirically).
+    """
+    index = 0
+    while index < len(parts) and _separator_kind(parts[index]) is not None:
+        index += 1
+    internal = sum(
+        1 for part in parts[index:] if _separator_kind(part) is not None
+    )
+    return 1 << min(internal, 50)
+
+
+def _census_one(
+    pattern: Pattern, splitter_options: SplitterOptions | None
+) -> PatternCensus:
+    parts = _top_parts(pattern.root)
+    kinds = [k for k in (_separator_kind(p) for p in parts) if k is not None]
+    raw_factor = 1 if pattern.anchored else _interaction_factor(parts)
+    residual_factor = raw_factor
+    if raw_factor > 1:
+        # How much of the blow-up does decomposition provably remove?  Run
+        # the splitter on this one pattern (cheap: no DFA build) and
+        # re-measure the factor over the surviving components.
+        try:
+            result = split_patterns([pattern], splitter_options)
+        except Exception:  # noqa: BLE001 - unsplittable counts as residual
+            result = None
+        if result is not None:
+            residual_factor = 1
+            for component in result.components:
+                component_factor = (
+                    1
+                    if component.anchored
+                    else _interaction_factor(_top_parts(component.root))
+                )
+                residual_factor = min(
+                    _PRODUCT_CAP, residual_factor * component_factor
+                )
+    return PatternCensus(
+        match_id=pattern.match_id,
+        source=pattern.source or f"<pattern {pattern.match_id}>",
+        size=node_size(pattern.root),
+        n_dot_star=sum(1 for k in kinds if k == "dot"),
+        n_almost=sum(1 for k in kinds if k == "almost"),
+        n_counted=sum(1 for k in kinds if k == "counted"),
+        counted_span=_counted_span(pattern.root),
+        anchored=pattern.anchored,
+        raw_factor=raw_factor,
+        residual_factor=residual_factor,
+    )
+
+
+# -- set-level triage ---------------------------------------------------------
+
+
+def _overlap_density(patterns: Sequence[Pattern]) -> float:
+    """Fraction of pattern pairs whose alphabets intersect."""
+    if len(patterns) < 2:
+        return 0.0
+    alphabets = [alphabet(p.root) for p in patterns]
+    overlapping = 0
+    pairs = 0
+    for i in range(len(alphabets)):
+        for j in range(i + 1, len(alphabets)):
+            pairs += 1
+            if alphabets[i].overlaps(alphabets[j]):
+                overlapping += 1
+    return overlapping / pairs if pairs else 0.0
+
+
+def triage_patterns(
+    patterns: Sequence[Pattern],
+    state_budget: int = DEFAULT_STATE_BUDGET,
+    splitter_options: SplitterOptions | None = None,
+) -> TriageResult:
+    """Statically predict the explosion risk of a rule set."""
+    census = [_census_one(p, splitter_options) for p in patterns]
+    base = sum(c.size for c in census) + 1
+    density = _overlap_density(patterns)
+
+    raw_product = 1
+    residual_product = 1
+    for c in census:
+        raw_product = min(_PRODUCT_CAP, raw_product * c.raw_factor)
+        residual_product = min(_PRODUCT_CAP, residual_product * c.residual_factor)
+    # Disjoint-alphabet patterns cannot co-activate: discount the
+    # interaction by how often pairs can actually interleave.
+    discount = max(density, 0.1)
+    predicted_dfa = min(_PRODUCT_CAP, base + int(base * (raw_product - 1) * discount))
+    predicted_mfa = min(
+        _PRODUCT_CAP, base + int(base * (residual_product - 1) * discount)
+    )
+
+    report = AnalysisReport()
+    n_separators = sum(c.n_dot_star + c.n_almost + c.n_counted for c in census)
+    report.add(
+        "EX101",
+        INFO,
+        COMPONENT,
+        f"census: {len(census)} patterns, {n_separators} top-level separators, "
+        f"{sum(1 for c in census if c.explosive)} explosive, "
+        f"overlap density {density:.2f}",
+    )
+    for c in census:
+        if c.residual_factor > 1:
+            report.add(
+                "EX110",
+                WARNING,
+                COMPONENT,
+                f"explosion driver survives decomposition: interaction factor "
+                f"{c.residual_factor} remains (of raw {c.raw_factor})",
+                f"rule {c.match_id}",
+            )
+    if predicted_dfa > state_budget:
+        report.add(
+            "EX120",
+            WARNING,
+            COMPONENT,
+            f"plain DFA likely infeasible: predicted ~{predicted_dfa} states "
+            f"exceeds the {state_budget}-state budget",
+        )
+    if predicted_mfa > state_budget:
+        report.add(
+            "EX121",
+            WARNING,
+            COMPONENT,
+            f"even the decomposed component DFA looks risky: predicted "
+            f"~{predicted_mfa} states exceeds the {state_budget}-state budget",
+        )
+
+    if predicted_mfa > state_budget:
+        risk = RISK_HIGH
+    elif predicted_dfa > state_budget:
+        risk = RISK_MEDIUM
+    else:
+        risk = RISK_LOW
+    return TriageResult(
+        risk=risk,
+        predicted_dfa_states=predicted_dfa,
+        predicted_mfa_states=predicted_mfa,
+        overlap_density=density,
+        state_budget=state_budget,
+        census=census,
+        report=report,
+    )

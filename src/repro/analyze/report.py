@@ -1,0 +1,184 @@
+"""Findings and reports for the static-analysis pass.
+
+Every analyzer in :mod:`repro.analyze` emits :class:`Finding` objects into
+an :class:`AnalysisReport`.  A finding is one provable fact about an
+artifact — "filter action 7 tests bit 3 but no action ever sets bit 3" —
+with a stable machine code, a severity, and a location inside the named
+component.  Reports render two ways: ``describe()`` for humans and the
+CLI, ``to_dict()``/``to_json()`` for CI logs and tests.
+
+Finding order is **deterministic**: reports sort by (severity rank, code,
+component, location, message), so two runs over the same artifact produce
+byte-identical JSON — a hard requirement for diffable CI gate logs.
+
+Code namespaces (see ``docs/static-analysis.md`` for the full registry):
+
+* ``BN*`` — bundle framing (magic, lengths, JSON syntax)
+* ``FB*`` — filter-bytecode verifier (:mod:`repro.analyze.bytecode`)
+* ``AU*`` — automaton invariants (:mod:`repro.analyze.automaton`)
+* ``DS*`` — decomposition-safety audit (:mod:`repro.analyze.safety`)
+* ``EX*`` — explosion triage (:mod:`repro.analyze.explosion`)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["ERROR", "WARNING", "INFO", "SEVERITIES", "Finding", "AnalysisReport"]
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+# Rank order for sorting and gating: errors first.
+SEVERITIES: tuple[str, ...] = (ERROR, WARNING, INFO)
+_SEVERITY_RANK = {severity: rank for rank, severity in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One statically-proven fact about an artifact.
+
+    ``component`` names what was audited (``filter``, ``dfa``, ``split``,
+    ``ruleset``, ``bundle``); ``location`` pins the finding inside it
+    (``action 7``, ``state 12``, ``rule 3``) and may be empty for
+    whole-component findings.
+    """
+
+    code: str
+    severity: str
+    component: str
+    message: str
+    location: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def sort_key(self) -> tuple:
+        return (
+            _SEVERITY_RANK[self.severity],
+            self.code,
+            self.component,
+            self.location,
+            self.message,
+        )
+
+    def describe(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        return f"{self.severity.upper():7s} {self.code} {self.component}{where}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "component": self.component,
+            "location": self.location,
+            "message": self.message,
+        }
+
+
+class AnalysisReport:
+    """An ordered, mergeable collection of findings.
+
+    ``findings`` is always returned in the deterministic sort order, no
+    matter the order analyzers ran or merged in.
+    """
+
+    def __init__(self, findings: Iterable[Finding] = ()):
+        self._findings: list[Finding] = list(findings)
+
+    # -- building ------------------------------------------------------------
+
+    def add(
+        self,
+        code: str,
+        severity: str,
+        component: str,
+        message: str,
+        location: str = "",
+    ) -> Finding:
+        finding = Finding(code, severity, component, message, location)
+        self._findings.append(finding)
+        return finding
+
+    def extend(self, other: "AnalysisReport | Iterable[Finding]") -> "AnalysisReport":
+        findings = other._findings if isinstance(other, AnalysisReport) else other
+        self._findings.extend(findings)
+        return self
+
+    def relocated(self, prefix: str) -> "AnalysisReport":
+        """A copy with every location prefixed (e.g. ``shard 2: state 5``)."""
+        return AnalysisReport(
+            Finding(
+                f.code,
+                f.severity,
+                f.component,
+                f.message,
+                f"{prefix}: {f.location}" if f.location else prefix,
+            )
+            for f in self._findings
+        )
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def findings(self) -> list[Finding]:
+        return sorted(self._findings, key=lambda f: f.sort_key)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self._findings)
+
+    def __bool__(self) -> bool:
+        return bool(self._findings)
+
+    def by_severity(self, severity: str) -> list[Finding]:
+        return [f for f in self.findings if f.severity == severity]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return self.by_severity(ERROR)
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return self.by_severity(WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity == ERROR for f in self._findings)
+
+    def counts(self) -> dict[str, int]:
+        out = {severity: 0 for severity in SEVERITIES}
+        for finding in self._findings:
+            out[finding.severity] += 1
+        return out
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        counts = self.counts()
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "counts": counts,
+            "ok": counts[ERROR] == 0,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def describe(self) -> list[str]:
+        counts = self.counts()
+        lines = [
+            f"{len(self._findings)} finding(s): "
+            f"{counts[ERROR]} error, {counts[WARNING]} warning, {counts[INFO]} info"
+        ]
+        lines.extend(finding.describe() for finding in self.findings)
+        if not self._findings:
+            lines.append("clean: no findings")
+        return lines

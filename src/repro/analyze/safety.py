@@ -1,0 +1,233 @@
+"""Decomposition-safety auditor (paper §IV-A/B, re-derived independently).
+
+The splitter records a :class:`~repro.core.splitter.Decomposition` for
+every split it applies.  This auditor *re-proves* each record's safety
+conditions straight from :mod:`repro.regex.analysis` and
+:mod:`repro.core.overlap` — it shares no state with the splitter's own
+decision path, so a splitter bug that emits an unsafe decomposition
+surfaces here as an error finding rather than as a wrong match stream in
+production:
+
+* both sides non-nullable (a nullable side makes the filter fire on the
+  empty word, DS101);
+* dot-star / almost-dot-star: the strengthened overlap test — no
+  non-empty string may be simultaneously a suffix of ``.*A`` and a prefix
+  of ``B`` (DS102);
+* almost-dot-star: ``X`` must not intersect the alphabet of B (DS103)
+  nor the final-position class of A (DS104);
+* counted gaps: B must have one fixed length and the shifted window must
+  fit the engine's offset window (DS106);
+* the emitted filter actions must wire the recorded bit/register exactly
+  as the decomposition claims (DS107) — the contract between splitter
+  and bytecode generator.
+"""
+
+from __future__ import annotations
+
+from ..core.filters import WINDOW_BITS
+from ..core.overlap import segments_overlap
+from ..core.splitter import Decomposition, SplitResult
+from ..regex.analysis import alphabet, last_class, max_length, min_length
+from .report import ERROR, AnalysisReport
+
+__all__ = ["audit_split", "audit_decomposition"]
+
+COMPONENT = "split"
+
+
+def audit_split(
+    split: SplitResult, report: AnalysisReport | None = None
+) -> AnalysisReport:
+    """Re-prove the safety of every recorded decomposition."""
+    out = report if report is not None else AnalysisReport()
+    for decomposition in split.decompositions:
+        audit_decomposition(decomposition, split, out)
+    return out
+
+
+def audit_decomposition(
+    dec: Decomposition, split: SplitResult, out: AnalysisReport
+) -> None:
+    where = f"rule {dec.origin} ({dec.kind} split {dec.a_id}|{dec.b_id})"
+    try:
+        _audit_one(dec, split, out, where)
+    except Exception as exc:  # noqa: BLE001 - an unprovable split is unsafe
+        out.add(
+            "DS100",
+            ERROR,
+            COMPONENT,
+            f"safety re-check itself failed ({type(exc).__name__}: {exc}); "
+            f"the decomposition cannot be proved safe",
+            where,
+        )
+
+
+def _audit_one(
+    dec: Decomposition, split: SplitResult, out: AnalysisReport, where: str
+) -> None:
+    a_min = min_length(dec.a_node)
+    b_min = min_length(dec.b_node)
+    if a_min == 0 or b_min == 0:
+        side = "A" if a_min == 0 else "B"
+        out.add(
+            "DS101",
+            ERROR,
+            COMPONENT,
+            f"side {side} is nullable: the filter would fire on the empty word",
+            where,
+        )
+        return
+
+    if dec.kind in ("dot", "almost"):
+        if dec.kind == "almost":
+            x_class = dec.x_class
+            if x_class is None:
+                out.add(
+                    "DS100",
+                    ERROR,
+                    COMPONENT,
+                    "almost-dot-star decomposition lost its X class",
+                    where,
+                )
+                return
+            if x_class.overlaps(alphabet(dec.b_node)):
+                out.add(
+                    "DS103",
+                    ERROR,
+                    COMPONENT,
+                    "class X intersects the alphabet of B: a clear event can "
+                    "fire inside B's own span",
+                    where,
+                )
+            if x_class.overlaps(last_class(dec.a_node)):
+                out.add(
+                    "DS104",
+                    ERROR,
+                    COMPONENT,
+                    "class X intersects final positions of A: the clear can "
+                    "cancel the set at the very byte A completes",
+                    where,
+                )
+        if segments_overlap(dec.a_node, dec.b_node):
+            out.add(
+                "DS102",
+                ERROR,
+                COMPONENT,
+                "strengthened overlap test fails: some non-empty string is "
+                "both a suffix of .*A and a prefix of B",
+                where,
+            )
+        _check_bit_wiring(dec, split, out, where)
+        return
+
+    if dec.kind == "counted":
+        gap = dec.gap
+        if gap is None:
+            out.add("DS100", ERROR, COMPONENT, "counted split lost its gap", where)
+            return
+        gap_lo, gap_hi = gap
+        b_max = max_length(dec.b_node)
+        if b_max is None or b_max != b_min:
+            out.add(
+                "DS106",
+                ERROR,
+                COMPONENT,
+                "counted split needs a fixed-length B; its length varies, so "
+                "offset arithmetic cannot place the gap",
+                where,
+            )
+            return
+        upper = gap_lo if gap_hi is None else gap_hi
+        if b_min + upper >= WINDOW_BITS:
+            out.add(
+                "DS106",
+                ERROR,
+                COMPONENT,
+                f"window |B|+{upper} = {b_min + upper} does not fit the "
+                f"{WINDOW_BITS}-bit offset window",
+                where,
+            )
+        _check_register_wiring(dec, split, out, where, b_min)
+        return
+
+    out.add("DS100", ERROR, COMPONENT, f"unknown decomposition kind {dec.kind!r}", where)
+
+
+def _check_bit_wiring(
+    dec: Decomposition, split: SplitResult, out: AnalysisReport, where: str
+) -> None:
+    """The A side must set the recorded bit; the B side must test it."""
+    actions = split.program.actions
+    bit = dec.bit
+    if bit is None:
+        out.add("DS107", ERROR, COMPONENT, "bit-plane split recorded no bit", where)
+        return
+    a_action = actions.get(dec.a_id)
+    if a_action is None or a_action.set != bit:
+        got = "no action" if a_action is None else f"set={a_action.set}"
+        out.add(
+            "DS107",
+            ERROR,
+            COMPONENT,
+            f"A side (id {dec.a_id}) should set bit {bit}, found {got}",
+            where,
+        )
+    b_action = actions.get(dec.b_id)
+    if b_action is None or b_action.test != bit:
+        got = "no action" if b_action is None else f"test={b_action.test}"
+        out.add(
+            "DS107",
+            ERROR,
+            COMPONENT,
+            f"B side (id {dec.b_id}) should test bit {bit}, found {got}",
+            where,
+        )
+    if dec.kind == "almost":
+        clear_action = actions.get(dec.clear_id) if dec.clear_id is not None else None
+        if clear_action is None or clear_action.clear != bit:
+            got = "no action" if clear_action is None else f"clear={clear_action.clear}"
+            out.add(
+                "DS107",
+                ERROR,
+                COMPONENT,
+                f"clear component (id {dec.clear_id}) should clear bit {bit}, "
+                f"found {got}",
+                where,
+            )
+
+
+def _check_register_wiring(
+    dec: Decomposition,
+    split: SplitResult,
+    out: AnalysisReport,
+    where: str,
+    b_len: int,
+) -> None:
+    """The A side must record the register; B must test the shifted window."""
+    actions = split.program.actions
+    register = dec.register
+    if register is None:
+        out.add("DS107", ERROR, COMPONENT, "counted split recorded no register", where)
+        return
+    a_action = actions.get(dec.a_id)
+    if a_action is None or a_action.record != register:
+        got = "no action" if a_action is None else f"record={a_action.record}"
+        out.add(
+            "DS107",
+            ERROR,
+            COMPONENT,
+            f"A side (id {dec.a_id}) should record register {register}, found {got}",
+            where,
+        )
+    gap_lo, gap_hi = dec.gap  # type: ignore[misc]
+    want = (register, b_len + gap_lo, None if gap_hi is None else b_len + gap_hi)
+    b_action = actions.get(dec.b_id)
+    if b_action is None or b_action.distance != want:
+        got = "no action" if b_action is None else f"distance={b_action.distance}"
+        out.add(
+            "DS107",
+            ERROR,
+            COMPONENT,
+            f"B side (id {dec.b_id}) should test distance {want}, found {got}",
+            where,
+        )

@@ -102,7 +102,12 @@ class _Builder:
             self.add_eps(out, hub)
             self.add_eps(hub, star_in)
             self.add_eps(star_out, hub)
-            return entry, hub
+            # The exit must be inert (no outgoing edges): enclosing
+            # fragments ε-jump straight to it, and via the hub they could
+            # otherwise sneak back into the loop — (aa+)? would accept "a".
+            exit_ = self.new_state()
+            self.add_eps(hub, exit_)
+            return entry, exit_
         # child{lo,hi}: lo mandatory copies then (hi-lo) optional ones.
         entry = out = self.new_state()
         for _ in range(lo):

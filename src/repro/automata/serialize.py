@@ -16,9 +16,12 @@ from typing import BinaryIO
 
 from .dfa import DFA
 
-__all__ = ["save_dfa", "load_dfa", "dumps_dfa", "loads_dfa"]
+__all__ = ["DFA_MAGIC", "save_dfa", "load_dfa", "dumps_dfa", "loads_dfa", "decode_dfa_header"]
 
 _MAGIC = b"MFADFA1\n"
+
+# Public alias for tolerant decoders (repro.analyze.bundle).
+DFA_MAGIC = _MAGIC
 
 
 def dumps_dfa(dfa: DFA) -> bytes:
@@ -41,6 +44,31 @@ def dumps_dfa(dfa: DFA) -> bytes:
         table = array("l", table)  # pragma: no cover - platform fallback
     body = table.tobytes()
     return _MAGIC + struct.pack("<I", len(header_bytes)) + header_bytes + body
+
+
+def decode_dfa_header(blob: bytes) -> tuple[dict, bytes]:
+    """Split a DFA blob into its decoded JSON header and raw table bytes.
+
+    Only the framing is validated (magic, header length, JSON syntax); the
+    table bytes are returned undecoded so tolerant consumers — the static
+    analyzer — can diagnose truncation themselves.  Raises
+    :class:`ValueError` naming the structural defect.
+    """
+    if not blob.startswith(_MAGIC):
+        raise ValueError("not a serialised DFA (bad magic)")
+    offset = len(_MAGIC)
+    if len(blob) < offset + 4:
+        raise ValueError("truncated DFA blob (missing header length)")
+    (header_len,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    header_bytes = blob[offset : offset + header_len]
+    if len(header_bytes) != header_len:
+        raise ValueError("truncated DFA blob (incomplete header)")
+    try:
+        header = json.loads(header_bytes)
+    except ValueError as exc:
+        raise ValueError(f"corrupt DFA header JSON: {exc}") from None
+    return header, blob[offset + header_len :]
 
 
 def loads_dfa(blob: bytes) -> DFA:

@@ -16,6 +16,13 @@ Examples::
     mfa-bench rscan S24 cap.pcap  # tolerant scan: skip corrupt, isolate flows
     mfa-bench scan S24 cap.pcap --engine fastpath   # lockstep batch scan
     mfa-bench rscan S24 cap.pcap --engine fastpath  # tolerant + batched
+    mfa-bench lint C7p          # static verifier over one rule set
+    mfa-bench lint out.mfab     # ... or over a serialized bundle
+    mfa-bench lint --all --json # every shipped set, machine-readable
+    mfa-bench verify S24        # runtime oracle: MFA stream vs reference
+
+``lint`` exits non-zero when any error-severity finding survives;
+``verify`` exits non-zero on any stream divergence from the oracle.
 
 Compiled MFAs are cached on disk between runs of the resilient commands
 (``~/.cache/repro-mfa``, override with ``REPRO_CACHE_DIR``); set
@@ -25,7 +32,6 @@ Compiled MFAs are cached on disk between runs of the resilient commands
 from __future__ import annotations
 
 import argparse
-import sys
 
 from .figures import fig3_rows, fig4_collect, fig4_rows, fig5_collect, fig5_rows
 from .harness import all_set_names, build_engine, write_table
@@ -168,6 +174,103 @@ def _cmd_scan(set_name: str, pcap_path: str, engine_choice: str = "mfa") -> int:
     return 0
 
 
+def _lint_one_set(set_name: str):
+    """Static-analysis report of one shipped rule set: triage + engine audit."""
+    from ..analyze import AnalysisReport, triage_patterns
+    from ..analyze.report import ERROR
+    from .harness import STATE_BUDGET, patterns_for
+
+    report = AnalysisReport()
+    patterns = patterns_for(set_name)
+    triage = triage_patterns(patterns, state_budget=STATE_BUDGET)
+    report.extend(triage.report)
+    from ..core import compile_mfa
+
+    try:
+        mfa = compile_mfa(patterns, state_budget=STATE_BUDGET)
+    except Exception as exc:  # noqa: BLE001 - an uncompilable set is a finding
+        report.add(
+            "EX130",
+            ERROR,
+            "ruleset",
+            f"MFA does not compile under budget {STATE_BUDGET}: "
+            f"{type(exc).__name__}: {exc}",
+        )
+        return report
+    from ..analyze import analyze_mfa
+
+    analyze_mfa(mfa, report)
+    return report
+
+
+def _cmd_lint(target: str | None, lint_all: bool, json_out: bool) -> int:
+    """Run the static verifier over rule sets and/or bundle files."""
+    import json
+    from pathlib import Path
+
+    from ..analyze import analyze_bundle
+
+    if lint_all:
+        targets = list(all_set_names())
+    elif target is None:
+        print("lint needs a rule-set name, a bundle path, or --all")
+        return 2
+    else:
+        targets = [target]
+
+    reports = {}
+    for name in targets:
+        if name in all_set_names():
+            reports[name] = _lint_one_set(name)
+        elif Path(name).exists():
+            reports[name] = analyze_bundle(name)
+        else:
+            print(f"unknown target {name!r}: not a rule set {all_set_names()} "
+                  f"and not a file")
+            return 2
+
+    failed = False
+    if json_out:
+        print(json.dumps({name: r.to_dict() for name, r in reports.items()},
+                         indent=2, sort_keys=True))
+        failed = any(r.has_errors for r in reports.values())
+    else:
+        for name, report in reports.items():
+            counts = report.counts()
+            print(f"{name}: {counts['error']} error(s), {counts['warning']} "
+                  f"warning(s), {counts['info']} info")
+            for line in report.describe():
+                print(f"  {line}")
+            if report.has_errors:
+                failed = True
+    return 1 if failed else 0
+
+
+def _cmd_verify(set_name: str) -> int:
+    """Runtime oracle: the compiled MFA's stream must equal the reference."""
+    from ..core import compile_mfa, verify_equivalence
+    from .harness import STATE_BUDGET, patterns_for, synthetic_payload
+
+    patterns = patterns_for(set_name)
+    try:
+        mfa = compile_mfa(patterns, state_budget=STATE_BUDGET)
+    except Exception as exc:  # noqa: BLE001 - report, don't trace back
+        print(f"cannot compile {set_name}: {type(exc).__name__}: {exc}")
+        return 1
+    failed = False
+    for p_match in (0.35, 0.55, 0.75, 0.95):
+        payload = synthetic_payload(set_name, p_match)
+        outcome = verify_equivalence(patterns, payload, mfa)
+        status = "ok" if outcome.equal else (
+            f"DIVERGED ({len(outcome.missing)} missing, "
+            f"{len(outcome.spurious)} spurious)"
+        )
+        print(f"p_match={p_match}: {len(payload)} bytes vs "
+              f"{outcome.reference_engine}: {status}")
+        failed = failed or not outcome.equal
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="mfa-bench", description=__doc__)
     parser.add_argument(
@@ -175,11 +278,26 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "table5", "fig2", "fig3", "fig4", "fig5",
             "explosion", "report", "compile", "scan",
-            "rcompile", "rscan",
+            "rcompile", "rscan", "lint", "verify",
         ],
     )
-    parser.add_argument("set_name", nargs="?", help="pattern set for 'compile'/'scan'")
+    parser.add_argument(
+        "set_name",
+        nargs="?",
+        help="pattern set for 'compile'/'scan'/'verify', or a set name / "
+        "bundle path for 'lint'",
+    )
     parser.add_argument("pcap", nargs="?", help="capture file for 'scan'")
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="for 'lint': audit every shipped rule set",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="for 'lint': machine-readable findings (stable ordering)",
+    )
     parser.add_argument(
         "--engine",
         choices=("mfa", "fastpath"),
@@ -218,6 +336,14 @@ def main(argv: list[str] | None = None) -> int:
         write_table("explosion_law.txt", explosion_rows(explosion_sweep()))
     elif args.command == "report":
         generate_all()
+    elif args.command == "lint":
+        return _cmd_lint(args.set_name, args.all, args.json)
+    elif args.command == "verify":
+        if not args.set_name:
+            parser.error("verify needs a pattern set name")
+        if args.set_name not in all_set_names():
+            parser.error(f"unknown set {args.set_name!r}; have {all_set_names()}")
+        return _cmd_verify(args.set_name)
     elif args.command in ("compile", "scan", "rcompile", "rscan"):
         if not args.set_name:
             parser.error(f"{args.command} needs a pattern set name")

@@ -22,7 +22,19 @@ from ..regex.parser import ParserOptions, parse
 from .mfa import MFA, build_mfa
 from .splitter import SplitterOptions
 
-__all__ = ["compile_patterns", "compile_mfa", "compile_dfa", "compile_nfa"]
+__all__ = ["compile_patterns", "compile_mfa", "compile_dfa", "compile_nfa", "LintError"]
+
+
+class LintError(ValueError):
+    """Raised by ``compile_mfa(..., lint=True)`` on error-severity findings."""
+
+    def __init__(self, report) -> None:
+        self.report = report
+        errors = report.errors
+        summary = "; ".join(f.describe() for f in errors[:3])
+        if len(errors) > 3:
+            summary += f"; and {len(errors) - 3} more"
+        super().__init__(f"static analysis found {len(errors)} error(s): {summary}")
 
 
 def compile_patterns(
@@ -61,6 +73,7 @@ def compile_mfa(
     time_budget: float | None = None,
     cache=None,
     phases: dict[str, float] | None = None,
+    lint: bool = False,
 ) -> MFA:
     """Parse, split and compile a rule set into a match-filtering automaton.
 
@@ -74,7 +87,30 @@ def compile_mfa(
     one-rule edits rebuild one shard.  ``phases`` is an out-dict
     accumulating per-phase wall time (``parse``/``split``/``determinize``/
     ``minimize``/``filter-gen``).
+
+    ``lint=True`` runs the static verifier (:mod:`repro.analyze`) over the
+    compiled engine and raises :class:`LintError` if any error-severity
+    finding survives — the fail-closed mode for build pipelines that
+    would rather not ship a questionable artifact.
     """
+    if lint:
+        engine = compile_mfa(
+            rules,
+            splitter_options,
+            parser_options,
+            state_budget,
+            shards=shards,
+            jobs=jobs,
+            time_budget=time_budget,
+            cache=cache,
+            phases=phases,
+        )
+        from ..analyze import analyze_engine
+
+        audit = analyze_engine(engine)
+        if audit.has_errors:
+            raise LintError(audit)
+        return engine
     if shards > 1 or cache is not None:
         from ..fastcompile.shards import compile_mfa_sharded
 

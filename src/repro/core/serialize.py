@@ -16,9 +16,22 @@ from ..automata.serialize import dumps_dfa, loads_dfa
 from .filters import NONE, FilterAction, FilterProgram
 from .mfa import MFA
 
-__all__ = ["dumps_mfa", "loads_mfa", "save_mfa", "load_mfa", "program_to_json", "program_from_json"]
+__all__ = [
+    "BUNDLE_MAGIC",
+    "dumps_mfa",
+    "loads_mfa",
+    "save_mfa",
+    "load_mfa",
+    "program_to_json",
+    "program_from_json",
+    "split_bundle",
+]
 
 _MAGIC = b"MFABDL1\n"
+
+# Public alias: the static analyzer (repro.analyze.bundle) parses bundles
+# tolerantly and needs the framing constants without the decode logic.
+BUNDLE_MAGIC = _MAGIC
 
 
 def program_to_json(program: FilterProgram) -> dict:
@@ -75,11 +88,18 @@ def dumps_mfa(mfa: MFA) -> bytes:
     )
 
 
-def loads_mfa(blob: bytes) -> MFA:
-    """Deserialise an MFA bundle (provenance/stats are not preserved)."""
+def split_bundle(blob: bytes) -> tuple[bytes, bytes]:
+    """Split a bundle into its (filter-table JSON, DFA blob) halves.
+
+    Performs only the structural framing checks — neither half is decoded
+    — so the static analyzer can audit each part tolerantly.  Raises
+    :class:`ValueError` naming the structural defect.
+    """
     if not blob.startswith(_MAGIC):
         raise ValueError("not a serialised MFA bundle (bad magic)")
     offset = len(_MAGIC)
+    if len(blob) < offset + 8:
+        raise ValueError("truncated MFA bundle (missing section lengths)")
     program_len, dfa_len = struct.unpack_from("<II", blob, offset)
     offset += 8
     program_bytes = blob[offset : offset + program_len]
@@ -87,6 +107,12 @@ def loads_mfa(blob: bytes) -> MFA:
     dfa_bytes = blob[offset : offset + dfa_len]
     if len(program_bytes) != program_len or len(dfa_bytes) != dfa_len:
         raise ValueError("truncated MFA bundle")
+    return program_bytes, dfa_bytes
+
+
+def loads_mfa(blob: bytes) -> MFA:
+    """Deserialise an MFA bundle (provenance/stats are not preserved)."""
+    program_bytes, dfa_bytes = split_bundle(blob)
     program = program_from_json(json.loads(program_bytes))
     dfa = loads_dfa(dfa_bytes)
     return MFA(dfa, program)

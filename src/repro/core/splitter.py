@@ -46,7 +46,13 @@ from ..regex.simplify import simplify
 from .filters import NONE, WINDOW_BITS, FilterAction, FilterProgram
 from .overlap import segments_overlap
 
-__all__ = ["SplitterOptions", "SplitStats", "SplitResult", "split_patterns"]
+__all__ = [
+    "SplitterOptions",
+    "SplitStats",
+    "SplitResult",
+    "Decomposition",
+    "split_patterns",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -94,6 +100,33 @@ class SplitStats:
     n_intact: int = 0
 
 
+@dataclass(frozen=True, slots=True)
+class Decomposition:
+    """Provenance record of one split decision (paper Algorithm 1 step).
+
+    The splitter emits one record per applied separator so a *separate*
+    checker (:mod:`repro.analyze.safety`) can re-derive the safety
+    conditions from :mod:`repro.regex.analysis` without trusting the
+    splitter's own bookkeeping.  ``a_node``/``b_node`` are the two sides
+    of the split *as split* (before any further decomposition of the A
+    side); ``bit``/``register`` are the filter resources the split
+    consumed; ``a_id``/``b_id`` the component match-ids wired to them.
+    """
+
+    origin: int                      # original pattern's match-id
+    kind: str                        # "dot" | "almost" | "counted"
+    a_node: Node
+    b_node: Node
+    a_id: int
+    b_id: int
+    x_class: Optional[CharClass] = None    # "almost": the class X
+    gap: Optional[tuple[int, Optional[int]]] = None  # "counted": (lo, hi)
+    bit: Optional[int] = None              # "dot"/"almost": memory bit
+    register: Optional[int] = None         # "counted": offset register
+    clear_id: Optional[int] = None         # "almost": clear component id
+    source: str = ""                       # original rule text, when known
+
+
 @dataclass(slots=True)
 class SplitResult:
     """Everything the DFA builder and filter engine need after splitting."""
@@ -102,6 +135,7 @@ class SplitResult:
     program: FilterProgram
     component_ids: dict[int, list[int]]
     stats: SplitStats
+    decompositions: list[Decomposition] = field(default_factory=list)
 
     @property
     def width(self) -> int:
@@ -140,6 +174,7 @@ def split_patterns(
     actions: dict[int, FilterAction] = {}
     components: list[Pattern] = []
     component_ids: dict[int, list[int]] = {p.match_id: [] for p in patterns}
+    decompositions: list[Decomposition] = []
     bits_used = 0
     regs_used = 0
 
@@ -159,6 +194,7 @@ def split_patterns(
         separator, a_node, b_node = split
         inherited = actions.get(pattern.match_id, FilterAction(report=pattern.match_id))
         new_id = alloc.fresh()
+        clear_id: Optional[int] = None
 
         if separator.kind == "counted":
             register = regs_used
@@ -180,6 +216,19 @@ def split_patterns(
                 ),
             )
             stats.n_counted += 1
+            decompositions.append(
+                Decomposition(
+                    origin=origin,
+                    kind="counted",
+                    a_node=a_node,
+                    b_node=b_node,
+                    a_id=new_id,
+                    b_id=pattern.match_id,
+                    gap=separator.gap,
+                    register=register,
+                    source=pattern.source,
+                )
+            )
         else:
             bit = bits_used
             bits_used += 1
@@ -198,6 +247,20 @@ def split_patterns(
                 stats.n_almost_dot_star += 1
             else:
                 stats.n_dot_star += 1
+            decompositions.append(
+                Decomposition(
+                    origin=origin,
+                    kind=separator.kind,
+                    a_node=a_node,
+                    b_node=b_node,
+                    a_id=new_id,
+                    b_id=pattern.match_id,
+                    x_class=separator.x_class,
+                    bit=bit,
+                    clear_id=clear_id,
+                    source=pattern.source,
+                )
+            )
 
         a_side = Pattern(
             a_node,
@@ -244,6 +307,7 @@ def split_patterns(
         program=program,
         component_ids=component_ids,
         stats=stats,
+        decompositions=decompositions,
     )
 
 

@@ -17,6 +17,7 @@ and the benchmark harness:
  REPRO_BUDGET_SCHEDULE   full comma-separated schedule (overrides the above)
  REPRO_DFA_TIME_BUDGET   per-attempt subset-construction wall-time budget (s)
  REPRO_FALLBACK_CHAIN    comma-separated engines, e.g. ``mfa,hybridfa,nfa``
+ REPRO_COMPILE_ANALYZE   0 disables pre-compile triage / post-compile audit
  REPRO_MAX_FLOWS         concurrent-flow cap of the assembler / flow table
  REPRO_MAX_FLOW_BYTES    per-flow buffered-byte cap
  REPRO_MAX_FLOW_SEGS     per-flow buffered-segment cap
@@ -62,11 +63,18 @@ class CompileLimits:
     compiler abandons the engine and falls through ``fallback_chain``.
     ``time_budget`` (seconds, per attempt) bounds pathological sets whose
     individual subsets are expensive; ``None`` disables the clock.
+
+    ``analyze`` turns on the static-analysis escort (:mod:`repro.analyze`):
+    a pre-compile explosion triage whose state predictions let the chain
+    skip budgets the set cannot possibly fit (the last scheduled budget is
+    always tried for real), and a post-compile audit of the shipped
+    engine.  Both land on the :class:`~repro.robust.report.CompileReport`.
     """
 
     budget_schedule: tuple[int, ...] = (DEFAULT_STATE_BUDGET,)
     time_budget: float | None = None
     fallback_chain: tuple[str, ...] = DEFAULT_FALLBACK_CHAIN
+    analyze: bool = True
 
     def __post_init__(self) -> None:
         if not self.budget_schedule:
@@ -116,8 +124,12 @@ def compile_limits_from_env(environ: Mapping[str, str] | None = None) -> Compile
         if raw_chain
         else DEFAULT_FALLBACK_CHAIN
     )
+    analyze = environ.get("REPRO_COMPILE_ANALYZE", "1") not in ("0", "false", "no")
     return CompileLimits(
-        budget_schedule=schedule, time_budget=time_budget, fallback_chain=chain
+        budget_schedule=schedule,
+        time_budget=time_budget,
+        fallback_chain=chain,
+        analyze=analyze,
     )
 
 

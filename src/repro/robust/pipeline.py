@@ -176,7 +176,30 @@ class ResilientCompiler:
                 if skip_mfa:
                     continue
                 budgets = budgets[mfa_budget_start:]
-            for budget in budgets:
+            for position, budget in enumerate(budgets):
+                predicted = self._triage_prediction(report, engine_name)
+                if (
+                    budget is not None
+                    and predicted is not None
+                    and predicted > budget
+                    and position < len(budgets) - 1
+                ):
+                    # The triage says this budget cannot fit; the next
+                    # scheduled budget might.  The last budget is always
+                    # tried for real — the prediction is a heuristic, the
+                    # subset construction is the ground truth.
+                    report.attempts.append(
+                        EngineAttempt(
+                            engine_name,
+                            budget,
+                            0.0,
+                            False,
+                            f"skipped: triage predicts ~{predicted} states",
+                            shard,
+                            skipped=True,
+                        )
+                    )
+                    continue
                 start = time.perf_counter()
                 cache_key = None
                 if engine_name == "mfa" and self.cache is not None:
@@ -238,6 +261,23 @@ class ResilientCompiler:
                     self.cache.store(cache_key, engine)
                 return engine, engine_name
         return None, None
+
+    @staticmethod
+    def _triage_prediction(report: CompileReport, engine_name: str) -> int | None:
+        """The triage's state prediction for one engine family, if any.
+
+        Only the engines whose state count the triage actually models are
+        skippable: the MFA against the post-decomposition prediction, the
+        plain DFA against the undecomposed one.  Hybrid-FA bounds its head
+        differently and the NFA takes no budget, so neither is skipped.
+        """
+        if report.triage is None:
+            return None
+        if engine_name == "mfa":
+            return report.triage.predicted_mfa_states
+        if engine_name == "dfa":
+            return report.triage.predicted_dfa_states
+        return None
 
     def _compile_sharded(
         self, patterns: list[Pattern], report: CompileReport
@@ -340,12 +380,50 @@ class ResilientCompiler:
             report.engine_name = "nfa"
             return CompileResult(engine, "nfa", report, [])
 
+        if self.limits.analyze:
+            self._pretriage(patterns, report)
         if self.shards > 1 and len(patterns) > 1:
             engine, engine_name = self._compile_sharded(patterns, report)
         else:
             engine, engine_name = self._compile_chain(patterns, report)
         report.engine_name = engine_name
+        if self.limits.analyze and engine is not None:
+            self._audit(engine, report)
         return CompileResult(engine, engine_name, report, patterns)
+
+    def _pretriage(self, patterns: list[Pattern], report: CompileReport) -> None:
+        """Predict explosion risk before burning any subset construction."""
+        from ..analyze.explosion import triage_patterns
+
+        tick = time.perf_counter()
+        try:
+            report.triage = triage_patterns(
+                patterns,
+                state_budget=self.limits.budget_schedule[-1],
+                splitter_options=self.splitter_options,
+            )
+        except Exception:  # noqa: BLE001 - advisory analysis never kills a compile
+            report.triage = None
+        report.phases["triage"] = time.perf_counter() - tick
+
+    def _audit(self, engine: object, report: CompileReport) -> None:
+        """Statically audit whatever engine shipped; findings are advisory."""
+        from ..analyze import AnalysisReport, analyze_engine
+        from ..analyze.report import ERROR
+
+        tick = time.perf_counter()
+        try:
+            report.audit = analyze_engine(engine)
+        except Exception as exc:  # noqa: BLE001 - the audit crashing IS a finding
+            audit = AnalysisReport()
+            audit.add(
+                "AU100",
+                ERROR,
+                "engine",
+                f"post-compile audit crashed: {type(exc).__name__}: {exc}",
+            )
+            report.audit = audit
+        report.phases["audit"] = time.perf_counter() - tick
 
 
 def compile_resilient(

@@ -12,9 +12,14 @@ and tests can assert on (``to_dict()``).
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
 
 from ..traffic.flows import AssemblerStats, DispatchStats
 from ..traffic.pcap import PcapStats
+
+if TYPE_CHECKING:
+    from ..analyze.explosion import TriageResult
+    from ..analyze.report import AnalysisReport
 
 __all__ = ["RuleOutcome", "EngineAttempt", "CompileReport", "ScanReport"]
 
@@ -42,7 +47,9 @@ class EngineAttempt:
 
     ``shard`` is the 0-based shard index when the compiler ran in sharded
     mode (``ResilientCompiler(shards=...)``); ``None`` for whole-set
-    attempts.
+    attempts.  ``skipped`` marks a budget the chain never actually tried
+    because the pre-compile triage predicted it could not fit — recorded
+    so the trail stays complete, but excluded from ``budgets_consumed``.
     """
 
     engine: str
@@ -51,6 +58,7 @@ class EngineAttempt:
     ok: bool
     error: str | None = None
     shard: int | None = None
+    skipped: bool = False
 
 
 @dataclass(slots=True)
@@ -64,6 +72,11 @@ class CompileReport:
     # filter-gen), accumulated across shards and worker processes.
     phases: dict[str, float] = field(default_factory=dict)
     n_shards: int = 1
+    # Static-analysis escort (when CompileLimits.analyze is on): the
+    # pre-compile explosion triage and the post-compile audit of the
+    # shipped engine (repro.analyze.TriageResult / AnalysisReport).
+    triage: "TriageResult | None" = None
+    audit: "AnalysisReport | None" = None
 
     @property
     def ok(self) -> bool:
@@ -87,16 +100,20 @@ class CompileReport:
         return [
             attempt.state_budget
             for attempt in self.attempts
-            if not attempt.ok and attempt.state_budget is not None
+            if not attempt.ok and not attempt.skipped and attempt.state_budget is not None
         ]
 
     def to_dict(self) -> dict:
+        # Phases are sorted (insertion order varies with the attempt
+        # trail) so CI logs diff cleanly run against run.
         return {
             "engine": self.engine_name,
             "rules": [asdict(rule) for rule in self.rules],
             "attempts": [asdict(attempt) for attempt in self.attempts],
-            "phases": dict(self.phases),
+            "phases": {name: self.phases[name] for name in sorted(self.phases)},
             "n_shards": self.n_shards,
+            "triage": self.triage.to_dict() if self.triage is not None else None,
+            "audit": self.audit.to_dict() if self.audit is not None else None,
         }
 
     def describe(self) -> list[str]:
@@ -108,9 +125,14 @@ class CompileReport:
         for rule in self.quarantined:
             source = rule.source if len(rule.source) <= 40 else rule.source[:37] + "..."
             lines.append(f"  quarantined {{{{{rule.match_id}}}}} {source!r}: {rule.error}")
+        if self.triage is not None:
+            lines.extend(self.triage.describe())
         for attempt in self.attempts:
             budget = f" budget={attempt.state_budget}" if attempt.state_budget else ""
             shard = f" shard {attempt.shard}" if attempt.shard is not None else ""
+            if attempt.skipped:
+                lines.append(f"  {attempt.engine}{shard}{budget}: {attempt.error}")
+                continue
             if attempt.ok:
                 # `error` doubles as a note on successful attempts (e.g.
                 # "loaded from artifact cache").
@@ -122,9 +144,16 @@ class CompileReport:
             )
         if self.phases:
             breakdown = ", ".join(
-                f"{name} {seconds:.2f}s" for name, seconds in self.phases.items()
+                f"{name} {self.phases[name]:.2f}s" for name in sorted(self.phases)
             )
             lines.append(f"phases: {breakdown}")
+        if self.audit is not None:
+            counts = self.audit.counts()
+            lines.append(
+                f"audit: {counts['error']} error(s), {counts['warning']} "
+                f"warning(s), {counts['info']} info"
+            )
+            lines.extend(f"  {f.describe()}" for f in self.audit)
         if self.engine_name is None:
             lines.append("no engine constructed")
         else:

@@ -1,0 +1,124 @@
+"""Unit coverage of the filter-bytecode verifier (FB* findings)."""
+
+from repro.analyze import analyze_program, dead_bits, strip_dead_bits
+from repro.analyze.bytecode import RawAction, RawProgram
+from repro.core import split_patterns
+from repro.core.filters import NONE, FilterAction, FilterProgram
+from repro.regex import parse
+
+
+def raw(actions: dict[int, RawAction], width: int = 4, n_registers: int = 0,
+        final_ids=frozenset({1})) -> RawProgram:
+    return RawProgram(actions=actions, width=width, n_registers=n_registers,
+                      final_ids=frozenset(final_ids))
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+class TestRealPrograms:
+    def test_dot_star_split_program_is_clean(self):
+        split = split_patterns([parse(".*alpha.*omega", match_id=1)])
+        assert codes(analyze_program(split.program)) == []
+
+    def test_chained_split_program_is_clean(self):
+        split = split_patterns([parse(".*aaa.*bbb.*ccc", match_id=1)])
+        assert codes(analyze_program(split.program)) == []
+
+    def test_counted_split_program_is_clean(self):
+        split = split_patterns([parse(".*head.{3,9}tail", match_id=1)])
+        assert codes(analyze_program(split.program)) == []
+
+
+class TestStructure:
+    def test_fb101_bit_out_of_range(self):
+        program = raw({2: RawAction(set=9)}, width=4)
+        assert "FB101" in codes(analyze_program(program))
+
+    def test_fb102_register_out_of_range(self):
+        program = raw({2: RawAction(record=3)}, n_registers=1)
+        assert "FB102" in codes(analyze_program(program))
+
+    def test_fb103_set_equals_clear(self):
+        program = raw({2: RawAction(set=1, clear=1)})
+        assert "FB103" in codes(analyze_program(program))
+
+    def test_fb104_malformed_window(self):
+        program = raw({2: RawAction(distance=(0, 9, 3))}, n_registers=1)
+        assert "FB104" in codes(analyze_program(program))
+
+    def test_fb105_report_outside_final_set(self):
+        program = raw({2: RawAction(report=42)}, final_ids={1})
+        assert "FB105" in codes(analyze_program(program))
+
+
+class TestLiveness:
+    def test_fb110_dead_bit_is_warning_not_error(self):
+        program = FilterProgram(
+            actions={2: FilterAction(set=0), 1: FilterAction(report=1)},
+            width=1, final_ids=frozenset({1}),
+        )
+        report = analyze_program(program)
+        assert "FB110" in codes(report)
+        assert not report.has_errors
+
+    def test_fb111_tested_never_set(self):
+        program = raw({2: RawAction(test=0, report=1)}, width=1)
+        assert "FB111" in codes(analyze_program(program))
+
+    def test_fb114_distance_tested_never_recorded(self):
+        program = raw({2: RawAction(distance=(0, 1, 5), report=1)}, n_registers=1)
+        assert "FB114" in codes(analyze_program(program))
+
+
+class TestGuardChains:
+    def test_fb120_report_behind_unsatisfiable_guard(self):
+        # Nothing sets bit 0, so the chain into the report never fires.
+        program = raw(
+            {2: RawAction(test=0, set=1), 3: RawAction(test=1, report=1)},
+            width=2,
+        )
+        found = codes(analyze_program(program))
+        assert "FB120" in found
+        assert "FB121" in found  # bit 1's only setter is itself unsatisfiable
+
+    def test_fb121_guard_cycle(self):
+        program = raw(
+            {2: RawAction(test=0, set=1), 3: RawAction(test=1, set=0)},
+            width=2,
+        )
+        assert "FB121" in codes(analyze_program(program))
+
+    def test_fb122_final_id_never_confirmable(self):
+        program = raw({1: RawAction(test=0, report=1)}, width=1, final_ids={1})
+        assert "FB122" in codes(analyze_program(program))
+
+    def test_satisfiable_chain_is_clean(self):
+        program = raw(
+            {2: RawAction(set=0), 3: RawAction(test=0, set=1),
+             1: RawAction(test=1, report=1)},
+            width=2,
+        )
+        assert codes(analyze_program(program)) == []
+
+
+class TestDeadBits:
+    def test_dead_bits_found_and_stripped(self):
+        program = FilterProgram(
+            actions={
+                2: FilterAction(set=0),                # live: tested below
+                3: FilterAction(test=0, report=1),
+                4: FilterAction(set=1),                # dead: never tested
+            },
+            width=2, final_ids=frozenset({1}),
+        )
+        assert dead_bits(program) == {1}
+        stripped = strip_dead_bits(program)
+        assert stripped.actions[4].set == NONE
+        assert stripped.actions[2].set == 0
+        assert dead_bits(stripped) == set()
+
+    def test_strip_is_identity_on_clean_programs(self):
+        split = split_patterns([parse(".*one.*two", match_id=1)])
+        assert strip_dead_bits(split.program) is split.program

@@ -1,0 +1,68 @@
+"""CLI contract of the lint gate and the runtime-oracle verify command."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.harness import patterns_for
+from repro.core import compile_mfa, dumps_mfa
+
+
+@pytest.fixture(scope="module")
+def bundle_bytes() -> bytes:
+    return dumps_mfa(compile_mfa(patterns_for("C8")))
+
+
+class TestLintCommand:
+    def test_clean_ruleset_exits_zero(self, capsys):
+        assert main(["lint", "C8"]) == 0
+        out = capsys.readouterr().out
+        assert "C8: 0 error(s)" in out
+
+    def test_clean_bundle_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "c8.mfab"
+        path.write_bytes(dumps_mfa(compile_mfa(patterns_for("C8"))))
+        assert main(["lint", str(path)]) == 0
+
+    def test_corrupt_bundle_exits_nonzero(self, tmp_path, capsys, bundle_bytes):
+        blob = bytearray(bundle_bytes)
+        blob[len(blob) // 2] ^= 0xFF  # one flipped bit in the table
+        path = tmp_path / "corrupt.mfab"
+        path.write_bytes(bytes(blob))
+        assert main(["lint", str(path)]) == 1
+        assert "ERROR" in capsys.readouterr().out
+
+    def test_unknown_target_exits_two(self, capsys):
+        assert main(["lint", "no-such-thing"]) == 2
+
+    def test_missing_target_exits_two(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(["lint", "C8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["C8"]["ok"] is True
+        assert "findings" in payload["C8"]
+
+    def test_json_output_is_deterministic(self, capsys):
+        main(["lint", "C8", "--json"])
+        first = capsys.readouterr().out
+        main(["lint", "C8", "--json"])
+        assert capsys.readouterr().out == first
+
+
+class TestVerifyCommand:
+    def test_verify_clean_set_exits_zero(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["verify", "C8"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "DIVERGED" not in out
+
+    def test_verify_requires_set(self):
+        with pytest.raises(SystemExit):
+            main(["verify"])
+
+    def test_verify_unknown_set(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "nope"])

@@ -1,0 +1,178 @@
+"""Seeded-mutation corpus: every corruption must surface as a finding.
+
+Each mutation takes the known-good C8 bundle, damages exactly one thing a
+real bit-rot / bad-build / version-skew incident could damage, and asserts
+the bundle analyzer (which never trusts its input) flags it with the
+expected code.  The final test asserts 100% detection across the corpus —
+the acceptance bar of the static-analysis issue.
+"""
+
+import json
+import struct
+
+import pytest
+
+from repro.analyze import analyze_bundle
+from repro.automata.serialize import DFA_MAGIC, decode_dfa_header
+from repro.bench.harness import patterns_for
+from repro.core import compile_mfa, dumps_mfa
+from repro.core.serialize import BUNDLE_MAGIC, split_bundle
+
+
+@pytest.fixture(scope="module")
+def bundle() -> bytes:
+    return dumps_mfa(compile_mfa(patterns_for("C8")))
+
+
+def reframe(program_bytes: bytes, dfa_bytes: bytes) -> bytes:
+    return (
+        BUNDLE_MAGIC
+        + struct.pack("<II", len(program_bytes), len(dfa_bytes))
+        + program_bytes
+        + dfa_bytes
+    )
+
+
+def reframe_dfa(header: dict, table_bytes: bytes) -> bytes:
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
+    return DFA_MAGIC + struct.pack("<I", len(header_bytes)) + header_bytes + table_bytes
+
+
+def mutate_program(bundle: bytes, edit) -> bytes:
+    """Apply ``edit`` to the decoded filter-table JSON and reframe."""
+    program_bytes, dfa_bytes = split_bundle(bundle)
+    table = json.loads(program_bytes)
+    edit(table)
+    return reframe(json.dumps(table, separators=(",", ":")).encode(), dfa_bytes)
+
+
+def mutate_dfa(bundle: bytes, edit) -> bytes:
+    """Apply ``edit(header, table) -> table`` to the DFA half and reframe."""
+    program_bytes, dfa_bytes = split_bundle(bundle)
+    header, table_bytes = decode_dfa_header(dfa_bytes)
+    table_bytes = edit(header, table_bytes)
+    return reframe(program_bytes, reframe_dfa(header, table_bytes))
+
+
+def first_action_with(table: dict, field: str) -> str:
+    for key, fields in table["actions"].items():
+        if fields.get(field, -1) != -1:
+            return key
+    raise AssertionError(f"C8 program has no action with {field!r}")
+
+
+# -- the corpus ---------------------------------------------------------------
+
+
+def bad_magic(blob: bytes) -> bytes:
+    return b"NOTABDL!" + blob[8:]
+
+
+def truncated(blob: bytes) -> bytes:
+    return blob[: len(blob) // 2]
+
+
+def flip_bytecode_integer(blob: bytes) -> bytes:
+    # A version-skew classic: one bit index lands outside the memory.
+    def edit(table):
+        key = first_action_with(table, "set")
+        table["actions"][key]["set"] = table["width"] + 7
+
+    return mutate_program(blob, edit)
+
+
+def set_equals_clear(blob: bytes) -> bytes:
+    def edit(table):
+        key = first_action_with(table, "set")
+        table["actions"][key]["clear"] = table["actions"][key]["set"]
+
+    return mutate_program(blob, edit)
+
+
+def orphan_test_bit(blob: bytes) -> bytes:
+    # Remap a setter's bit so some guard tests a bit nothing sets.
+    def edit(table):
+        tested = {
+            f["test"] for f in table["actions"].values() if f.get("test", -1) != -1
+        }
+        target = sorted(tested)[0]
+        for fields in table["actions"].values():
+            if fields.get("set") == target:
+                fields["set"] = table["width"] - 1 if target != table["width"] - 1 else 0
+        table["width"] += 1
+
+    return mutate_program(blob, edit)
+
+
+def remap_match_id(blob: bytes) -> bytes:
+    # The DFA emits an id the filter has never heard of.
+    def edit(header, table_bytes):
+        for decisions in header["accepts"]:
+            if decisions:
+                decisions[0] = 9999
+                return table_bytes
+        raise AssertionError("C8 DFA has no mid-stream decisions")
+
+    return mutate_dfa(blob, edit)
+
+
+def drop_transition_row(blob: bytes) -> bytes:
+    def edit(header, table_bytes):
+        return table_bytes[: -256 * 4]
+
+    return mutate_dfa(blob, edit)
+
+
+def out_of_range_target(blob: bytes) -> bytes:
+    def edit(header, table_bytes):
+        bad = struct.pack("<i", header["n_states"] + 100)
+        return bad + table_bytes[4:]
+
+    return mutate_dfa(blob, edit)
+
+
+def lie_about_state_count(blob: bytes) -> bytes:
+    def edit(header, table_bytes):
+        header["n_states"] += 3
+        return table_bytes
+
+    return mutate_dfa(blob, edit)
+
+
+CORPUS = [
+    (bad_magic, "BN101"),
+    (truncated, "BN101"),
+    (flip_bytecode_integer, "FB101"),
+    (set_equals_clear, "FB103"),
+    (orphan_test_bit, "FB111"),
+    (remap_match_id, "AU120"),
+    (drop_transition_row, "BN105"),
+    (out_of_range_target, "AU102"),
+    (lie_about_state_count, "BN105"),
+]
+
+
+class TestMutationCorpus:
+    def test_pristine_bundle_is_clean(self, bundle):
+        report = analyze_bundle(bundle)
+        assert not report.has_errors
+        assert len(report.findings) == 0
+
+    @pytest.mark.parametrize("mutate,code", CORPUS, ids=[m.__name__ for m, _ in CORPUS])
+    def test_mutation_detected_with_expected_code(self, bundle, mutate, code):
+        report = analyze_bundle(mutate(bundle))
+        assert report.has_errors, f"{mutate.__name__} produced no error finding"
+        assert code in {f.code for f in report.errors}, (
+            f"{mutate.__name__}: wanted {code}, got "
+            f"{[f.describe() for f in report.errors]}"
+        )
+
+    def test_full_corpus_detection_rate_is_total(self, bundle):
+        detected = sum(1 for mutate, _ in CORPUS if analyze_bundle(mutate(bundle)).has_errors)
+        assert detected == len(CORPUS)
+
+    def test_findings_are_deterministic(self, bundle):
+        damaged = set_equals_clear(flip_bytecode_integer(bundle))
+        first = analyze_bundle(damaged).to_json()
+        second = analyze_bundle(damaged).to_json()
+        assert first == second

@@ -1,0 +1,74 @@
+"""Hypothesis property: verifier-reported dead bits really are dead.
+
+:func:`repro.analyze.dead_bits` claims a set-but-never-tested bit cannot
+influence the filtered match stream, so :func:`strip_dead_bits` must be a
+semantics-preserving rewrite.  The property drives randomly generated
+(valid) filter programs and random event streams through both the
+original and the stripped program and requires identical confirmed
+streams — state divergence is allowed, observable output is not.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analyze import dead_bits, strip_dead_bits
+from repro.core.filters import NONE, FilterAction, FilterEngine, FilterProgram
+
+WIDTH = 4
+N_IDS = 6
+FINAL_IDS = frozenset({1, 2})
+
+
+@st.composite
+def actions(draw):
+    bit = st.integers(min_value=0, max_value=WIDTH - 1)
+    test = draw(st.one_of(st.just(NONE), bit))
+    set_ = draw(st.one_of(st.just(NONE), bit))
+    clear = draw(st.one_of(st.just(NONE), bit))
+    if set_ != NONE and set_ == clear:
+        clear = NONE  # the engine's own invariant: set xor clear per bit
+    report = draw(st.one_of(st.just(NONE), st.sampled_from(sorted(FINAL_IDS))))
+    return FilterAction(test=test, set=set_, clear=clear, report=report)
+
+
+@st.composite
+def programs(draw):
+    ids = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=N_IDS),
+            min_size=1, max_size=N_IDS, unique=True,
+        )
+    )
+    table = {match_id: draw(actions()) for match_id in ids}
+    return FilterProgram(
+        actions=table, width=WIDTH, n_registers=0, final_ids=FINAL_IDS
+    )
+
+
+events = st.lists(
+    st.integers(min_value=1, max_value=N_IDS), min_size=0, max_size=40
+)
+
+
+def confirmed_stream(program: FilterProgram, stream) -> list[tuple[int, int]]:
+    engine = FilterEngine(program)
+    state = engine.new_state()
+    out = []
+    for pos, match_id in enumerate(stream):
+        confirmed = engine.process(state, pos, match_id)
+        if confirmed != NONE:
+            out.append((pos, confirmed))
+    return out
+
+
+class TestDeadBitProperty:
+    @settings(max_examples=300, deadline=None)
+    @given(program=programs(), stream=events)
+    def test_stripping_dead_bits_preserves_the_stream(self, program, stream):
+        stripped = strip_dead_bits(program)
+        assert confirmed_stream(program, stream) == confirmed_stream(stripped, stream)
+
+    @settings(max_examples=100, deadline=None)
+    @given(program=programs())
+    def test_stripped_programs_have_no_dead_bits(self, program):
+        assert dead_bits(strip_dead_bits(program)) == set()

@@ -1,0 +1,71 @@
+"""Report determinism: same findings, same bytes, any insertion order."""
+
+import json
+
+import pytest
+
+from repro.analyze import ERROR, INFO, WARNING, AnalysisReport, Finding
+
+
+def sample_findings():
+    return [
+        Finding("FB110", WARNING, "filter", "dead bit 3"),
+        Finding("AU102", ERROR, "dfa", "bad target", "state 7"),
+        Finding("EX101", INFO, "ruleset", "census"),
+        Finding("AU102", ERROR, "dfa", "bad target", "state 2"),
+        Finding("BN101", ERROR, "bundle", "bad magic"),
+    ]
+
+
+class TestOrdering:
+    def test_findings_sort_by_severity_then_code_then_location(self):
+        report = AnalysisReport(sample_findings())
+        ordered = report.findings
+        assert [f.severity for f in ordered] == [ERROR, ERROR, ERROR, WARNING, INFO]
+        assert [f.code for f in ordered[:3]] == ["AU102", "AU102", "BN101"]
+        assert [f.location for f in ordered[:2]] == ["state 2", "state 7"]
+
+    def test_insertion_order_never_leaks_into_json(self):
+        findings = sample_findings()
+        forward = AnalysisReport(findings).to_json()
+        backward = AnalysisReport(reversed(findings)).to_json()
+        assert forward == backward
+
+    def test_json_is_fully_key_sorted(self):
+        blob = AnalysisReport(sample_findings()).to_json()
+        parsed = json.loads(blob)
+        assert json.dumps(parsed, sort_keys=True) == blob
+
+
+class TestGating:
+    def test_has_errors_and_counts(self):
+        report = AnalysisReport(sample_findings())
+        assert report.has_errors
+        assert report.counts() == {"error": 3, "warning": 1, "info": 1}
+        assert len(report.errors) == 3
+        assert report.to_dict()["ok"] is False
+
+    def test_warnings_alone_do_not_gate(self):
+        report = AnalysisReport([Finding("FB110", WARNING, "filter", "dead bit")])
+        assert not report.has_errors
+        assert report.to_dict()["ok"] is True
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Finding("XX1", "fatal", "x", "boom")
+
+
+class TestComposition:
+    def test_extend_merges_and_resorts(self):
+        first = AnalysisReport([Finding("FB110", WARNING, "filter", "dead bit")])
+        second = AnalysisReport([Finding("AU102", ERROR, "dfa", "bad target")])
+        first.extend(second)
+        assert [f.code for f in first] == ["AU102", "FB110"]
+
+    def test_relocated_prefixes_locations(self):
+        report = AnalysisReport(
+            [Finding("AU102", ERROR, "dfa", "bad", "state 3"),
+             Finding("AU112", WARNING, "dfa", "no decisions")]
+        )
+        moved = report.relocated("shard 2")
+        assert [f.location for f in moved] == ["shard 2: state 3", "shard 2"]

@@ -1,0 +1,81 @@
+"""The decomposition-safety auditor re-proves the splitter's decisions.
+
+The auditor shares no code path with the splitter's own safety logic, so
+these tests doctor recorded :class:`Decomposition` provenance to simulate
+splitter bugs and assert the independent re-check catches each one.
+"""
+
+import dataclasses
+
+from repro.analyze import audit_split
+from repro.analyze.safety import audit_decomposition
+from repro.analyze.report import AnalysisReport
+from repro.core import split_patterns
+from repro.regex import parse
+
+
+def split_of(source: str):
+    return split_patterns([parse(source, match_id=1)])
+
+
+def audit_doctored(split, **changes):
+    """Audit the split with its first decomposition record doctored."""
+    doctored = dataclasses.replace(split.decompositions[0], **changes)
+    out = AnalysisReport()
+    audit_decomposition(doctored, split, out)
+    return [f.code for f in out.findings]
+
+
+class TestCleanSplits:
+    def test_dot_star_split_audits_clean(self):
+        assert len(audit_split(split_of(".*alpha.*omega"))) == 0
+
+    def test_almost_dot_star_split_audits_clean(self):
+        split = split_of(".*user[^\\n]*pass")
+        assert [d.kind for d in split.decompositions] == ["almost"]
+        assert len(audit_split(split)) == 0
+
+    def test_counted_split_audits_clean(self):
+        assert len(audit_split(split_of(".*head.{3,9}tail"))) == 0
+
+    def test_chained_split_audits_clean(self):
+        assert len(audit_split(split_of(".*aaa.*bbb.*ccc"))) == 0
+
+
+class TestDoctoredDecompositions:
+    def test_nullable_side_flagged(self):
+        split = split_of(".*alpha.*omega")
+        nullable = parse("x?", match_id=99).root
+        assert "DS101" in audit_doctored(split, b_node=nullable)
+
+    def test_overlapping_sides_flagged(self):
+        split = split_of(".*alpha.*omega")
+        # A suffix of .*ab ("b", "ab") is a prefix of B="ab..." — the
+        # strengthened overlap test must refuse this pairing.
+        overlapping = parse("phaX", match_id=99).root
+        assert "DS102" in audit_doctored(split, b_node=overlapping)
+
+    def test_wrong_bit_wiring_flagged(self):
+        split = split_of(".*alpha.*omega")
+        wrong_bit = split.decompositions[0].bit + 5
+        assert "DS107" in audit_doctored(split, bit=wrong_bit)
+
+    def test_x_class_intersecting_b_flagged(self):
+        split = split_of(".*user[^\\n]*pass")
+        from repro.regex.analysis import alphabet
+
+        bad_class = alphabet(split.decompositions[0].b_node)
+        assert "DS103" in audit_doctored(split, x_class=bad_class)
+
+    def test_counted_window_overflow_flagged(self):
+        split = split_of(".*head.{3,9}tail")
+        assert "DS106" in audit_doctored(split, gap=(3, 400))
+
+    def test_wrong_register_wiring_flagged(self):
+        split = split_of(".*head.{3,9}tail")
+        wrong = split.decompositions[0].register + 1
+        assert "DS107" in audit_doctored(split, register=wrong)
+
+    def test_unknown_kind_flagged(self):
+        split = split_of(".*alpha.*omega")
+        assert "DS100" in audit_doctored(split, kind="mystery")

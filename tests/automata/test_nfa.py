@@ -104,6 +104,14 @@ class TestMatching:
         nfa = build_nfa([parse(pattern)])
         assert end_positions(nfa, data) == re_end_positions(pattern, data)
 
+    def test_optional_plus_skip_cannot_enter_the_loop(self):
+        # Regression: (aa+)? once accepted "a".  The optional's skip edge
+        # landed on the plus's loop hub — which still had an ε into the
+        # star — instead of an inert exit state.
+        nfa = build_nfa([parse("^(?:a(?:a+))?")])
+        assert end_positions(nfa, b"a") == []
+        assert end_positions(nfa, b"aaa") == [1, 2]
+
     def test_count_active_on_flood(self):
         nfa = build_nfa([parse("aaaa")])
         flood = b"a" * 50
