@@ -1,6 +1,6 @@
 """Static verifier & lint suite for MFA artifacts, bytecode, and rule sets.
 
-Four analyzers, one report type, zero traffic:
+Five analyzers, one report type, zero traffic:
 
 * :mod:`~repro.analyze.bytecode` — proves invariants of the
   ``(test, set, clear, report)`` filter programs: references, liveness,
@@ -12,7 +12,11 @@ Four analyzers, one report type, zero traffic:
   safety conditions independently and flags any split it cannot prove;
 * :mod:`~repro.analyze.explosion` — predicts state-explosion risk from a
   static census, the signal :class:`~repro.robust.pipeline.ResilientCompiler`
-  uses to skip hopeless compile attempts.
+  uses to skip hopeless compile attempts;
+* :mod:`~repro.analyze.equivalence` — *proves* the paper's correctness
+  theorem per artifact: product-automaton bisimulation of the compiled
+  MFA against a reference automaton built from the un-decomposed pattern
+  ASTs, with shortest-counterexample extraction on inequivalence.
 
 :mod:`~repro.analyze.bundle` applies the first two tolerantly to
 serialized bundles, so a corrupt artifact yields findings instead of one
@@ -24,6 +28,14 @@ compile-time half of the same correctness argument.
 from .automaton import analyze_dfa, analyze_engine, analyze_mfa
 from .bundle import analyze_bundle
 from .bytecode import analyze_program, dead_bits, strip_dead_bits
+from .equivalence import (
+    DEFAULT_PRODUCT_BUDGET,
+    EquivalenceResult,
+    analyze_engine_equivalence,
+    analyze_equivalence,
+    prove_mfa,
+    prove_patterns,
+)
 from .explosion import (
     RISK_HIGH,
     RISK_LOW,
@@ -50,6 +62,12 @@ __all__ = [
     "analyze_engine",
     "analyze_bundle",
     "audit_split",
+    "DEFAULT_PRODUCT_BUDGET",
+    "EquivalenceResult",
+    "prove_mfa",
+    "prove_patterns",
+    "analyze_equivalence",
+    "analyze_engine_equivalence",
     "triage_patterns",
     "TriageResult",
     "PatternCensus",

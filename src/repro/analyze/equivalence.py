@@ -1,0 +1,712 @@
+"""Formal equivalence prover: product-automaton bisimulation of an MFA
+against its un-decomposed original patterns (the ``EQ`` finding family).
+
+The paper's central correctness claim — match filtering preserves the
+original patterns' match semantics — is checked at runtime by the sampled
+oracle of :mod:`repro.core.verify`.  Sampling can miss divergences that
+need one specific byte sequence to trigger; this module *proves* the claim
+instead, or produces the shortest byte string that refutes it.
+
+The construction is a reachability walk over the **filter-annotated
+product automaton**.  One side is the shipped artifact exactly as the hot
+loop executes it: a product state carries the component-DFA state, the
+w-bit filter memory, the offset-register masks (normalised to the current
+position, so per-byte aging is a shift) and the per-register sticky bits,
+and every transition replays the compiled decision ops of
+:class:`repro.core.mfa.MFA` — including the collapsed set/clear fast path.
+The other side is a reference automaton built directly from the pattern
+ASTs via the Thompson path of :mod:`repro.automata.nfa`, bypassing the
+splitter entirely; its subset states are packed int masks and successor
+computation reuses :func:`repro.fastcompile.bitset.move_masks`.  Both
+sides are deterministic, so bisimulation reduces to: at every reachable
+product state, both sides confirm the same match-id sets — per transition
+(mid-stream) and at end-of-input (``$``-anchored ids).
+
+The naive product is ``|DFA| * 2^w``; reachable states are explored
+on-the-fly with a hashed frontier, in breadth-first order so parent links
+reconstruct the **shortest distinguishing input** on inequivalence.  Every
+counterexample is replay-confirmed through the real engines
+(``mfa.run`` vs the reference NFA) before it is reported.  A configurable
+state budget degrades the proof to bounded-depth checking, reported as an
+explicit ``EQ110`` (*EQ-BOUNDED*) warning, never silently.
+
+``prove_patterns`` fans the per-pattern proofs out over a
+``ProcessPoolExecutor`` like :mod:`repro.fastcompile.shards` fans shard
+compiles.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional, Sequence, cast
+
+from ..automata.dfa import DEFAULT_STATE_BUDGET, DFA
+from ..automata.nfa import NFA, build_nfa
+from ..core.filters import NONE, WINDOW_BITS, FilterAction
+from ..core.mfa import MFA, build_mfa
+from ..core.splitter import SplitterOptions
+from ..regex.ast import Pattern
+from .report import ERROR, INFO, WARNING, AnalysisReport, Finding
+
+__all__ = [
+    "DEFAULT_PRODUCT_BUDGET",
+    "EquivalenceResult",
+    "prove_mfa",
+    "analyze_equivalence",
+    "analyze_engine_equivalence",
+    "prove_patterns",
+]
+
+COMPONENT = "equivalence"
+
+# Product-state budget: generous for the per-pattern proofs the CI gate
+# runs (those close in hundreds to a few thousand states) while keeping a
+# pathological whole-set product bounded instead of unbounded.
+DEFAULT_PRODUCT_BUDGET = 50_000
+
+_WINDOW_MASK = (1 << WINDOW_BITS) - 1
+
+# A compiled mid-stream op of MFA._compile_ops:
+# (match_id, test, set_mask, clear_mask, report, needs_engine).
+_Op = tuple[int, int, int, int, int, bool]
+
+MID_STREAM = "mid-stream"
+END_OF_INPUT = "end-of-input"
+
+
+@dataclass(frozen=True, slots=True)
+class EquivalenceResult:
+    """Outcome of one product-automaton proof.
+
+    ``equivalent`` is True only for a *full* proof: every reachable product
+    state was explored within ``budget`` and no divergence was found.
+    ``bounded`` marks a budget-truncated walk — ``verified_depth`` is then
+    the input length up to which equivalence *was* exhaustively checked.
+    On inequivalence, ``counterexample`` is the shortest distinguishing
+    input, ``kind`` says where the streams diverge (``mid-stream`` or
+    ``end-of-input``), ``expected_ids``/``actual_ids`` the reference/MFA
+    confirmed-id sets at the diverging step, and ``replay_confirmed``
+    whether re-running the real engines on the counterexample reproduces
+    the disagreement.
+    """
+
+    equivalent: bool
+    bounded: bool
+    states: int
+    verified_depth: int
+    n_symbols: int
+    budget: int
+    counterexample: Optional[bytes] = None
+    kind: Optional[str] = None
+    expected_ids: Optional[tuple[int, ...]] = None
+    actual_ids: Optional[tuple[int, ...]] = None
+    replay_confirmed: Optional[bool] = None
+
+
+def _apply_action(
+    actions: Mapping[int, FilterAction],
+    final_ids: frozenset[int],
+    match_id: int,
+    bits: int,
+    regs: tuple[int, ...],
+    sticky: int,
+) -> tuple[int, tuple[int, ...], int, int]:
+    """One filter action on the normalised register model.
+
+    Mirrors :meth:`repro.core.filters.FilterEngine.process` with the
+    register masks already aged to the current position (``delta == 0``),
+    which the product walk guarantees by shifting masks once per byte.
+    Returns ``(bits, regs, sticky, confirmed-id-or-NONE)``.
+    """
+    action = actions.get(match_id)
+    if action is None:
+        # Ids with no action pass through when final, drop otherwise.
+        return bits, regs, sticky, (match_id if match_id in final_ids else NONE)
+    if action.test != NONE and not bits >> action.test & 1:
+        return bits, regs, sticky, NONE
+    if action.distance is not None:
+        reg, lo, hi = action.distance
+        mask = regs[reg]
+        if hi is None:
+            if not mask >> lo and not sticky >> reg & 1:
+                return bits, regs, sticky, NONE
+        else:
+            window = ((1 << (hi - lo + 1)) - 1) << lo
+            if not mask & window:
+                return bits, regs, sticky, NONE
+    if action.set != NONE:
+        bits |= 1 << action.set
+    if action.clear != NONE:
+        bits &= ~(1 << action.clear)
+    if action.record != NONE:
+        reg = action.record
+        regs = regs[:reg] + (regs[reg] | 1,) + regs[reg + 1 :]
+    return bits, regs, sticky, action.report
+
+
+def _register_observations(
+    actions: Mapping[int, FilterAction], n_registers: int
+) -> tuple[list[int], int, list[int]]:
+    """Per-register observation profile for the bisimulation quotient.
+
+    Register masks are 256-bit position histories, so carrying them
+    verbatim in the product key makes the reachable space explode.  But
+    the only observations ever made of register ``r`` are its distance
+    tests: bounded windows ``[lo, hi]`` read bits up to the largest such
+    ``hi`` (call it ``H``), while open windows (``hi is None``) ask only
+    whether *any* bit sits at or above ``lo`` — which the single oldest
+    bit answers, since aging moves every bit up in lockstep and overflow
+    into the sticky bit is decided by the oldest bit alone.  Two masks
+    agreeing on bits ``0..H`` and on their highest above-``H`` bit are
+    therefore indistinguishable by every future observation, and once the
+    register's sticky bit is set the above-``H`` region is entirely dead
+    (open tests pass via sticky forever; sticky never clears).
+
+    Two sharpenings keep the above-``H`` tracking from itself blowing up
+    the product.  Aging only moves bits *up*, so when no open test reads
+    ``r`` at all, bits above ``H`` and the sticky bit can never influence
+    any observation and are dropped outright.  And once the oldest bit
+    reaches ``L`` — the largest ``lo`` of any open test on ``r`` — every
+    open test passes through the mask exactly as it would through
+    sticky, and keeps passing forever as the bit ages toward overflow;
+    such a state is observably identical to sticky-set, so the quotient
+    folds it into sticky immediately.  The oldest-bit position is
+    therefore only ever tracked in the narrow band ``H+1 .. L-1``.  The
+    quotient keeps the product exact while making it finite and small.
+
+    Returns ``(low_filters, open_mask, open_caps)``: the
+    ``(1 << (H+1)) - 1`` keep mask per register, a bitmask of registers
+    some open test reads, and ``L`` per register (0 when none).
+    """
+    highs = [-1] * n_registers
+    open_mask = 0
+    caps = [0] * n_registers
+    for action in actions.values():
+        if action.distance is not None:
+            reg, lo, hi = action.distance
+            if hi is None:
+                open_mask |= 1 << reg
+                if lo > caps[reg]:
+                    caps[reg] = lo
+            elif hi > highs[reg]:
+                highs[reg] = hi
+    return [(1 << (high + 1)) - 1 for high in highs], open_mask, caps
+
+
+def _dfa_byte_groups(dfa: DFA) -> list[int]:
+    """Byte -> equivalence group of the component DFA.
+
+    Always recomputed from the dense rows (two bytes are equivalent when
+    every state sends them to the same target) — never taken from the
+    ``group_of_byte`` provenance.  The prover's verdict rests on testing
+    one representative byte per joint group, so trusting recorded groups
+    that a corrupted or hand-edited artifact may contradict would let a
+    divergence hide behind a non-representative byte.
+    """
+    signature_of: dict[tuple[int, ...], int] = {}
+    groups: list[int] = []
+    for byte in range(256):
+        signature = tuple(row[byte] for row in dfa.rows)
+        groups.append(signature_of.setdefault(signature, len(signature_of)))
+    return groups
+
+
+def _product_walk(mfa: MFA, reference: NFA, state_budget: int) -> EquivalenceResult:
+    """The BFS over reachable ``(q, m) x reference-subset`` product states."""
+    from ..fastcompile.bitset import move_masks
+
+    dfa = mfa.dfa
+    program = mfa.program
+    actions = program.actions
+    final_ids = program.final_ids
+    n_registers = program.n_registers
+    ops_table = mfa._ops
+    end_table = mfa._ordered_accepts_end
+    rows = dfa.rows
+
+    ref_group_of_byte, ref_representatives = reference.alphabet_groups()
+    ref_moves = move_masks(reference, list(ref_representatives))
+    ref_accepts = reference.accepts
+    ref_accepts_end = reference.accepts_end
+    dfa_groups = _dfa_byte_groups(dfa)
+
+    # Joint alphabet: one symbol class per distinct (DFA group, reference
+    # group) pair, discovered in byte order so the walk is deterministic.
+    pair_of: dict[tuple[int, int], int] = {}
+    symbols: list[tuple[int, int]] = []  # (representative byte, ref group)
+    for byte in range(256):
+        pair = (dfa_groups[byte], ref_group_of_byte[byte])
+        if pair not in pair_of:
+            pair_of[pair] = len(symbols)
+            symbols.append((byte, pair[1]))
+
+    initial_mask = 0
+    for state in reference.initial:
+        initial_mask |= 1 << state
+
+    # Memoised reference-side helpers (masks recur across product states).
+    succ_cache: dict[tuple[int, int], int] = {}
+    mid_cache: dict[int, tuple[int, ...]] = {}
+    end_cache: dict[int, tuple[int, ...]] = {}
+
+    def mask_ids(
+        mask: int,
+        decisions: list[tuple[int, ...]],
+        cache: dict[int, tuple[int, ...]],
+    ) -> tuple[int, ...]:
+        got = cache.get(mask)
+        if got is None:
+            ids: set[int] = set()
+            rest = mask
+            while rest:
+                low = rest & -rest
+                ids.update(decisions[low.bit_length() - 1])
+                rest ^= low
+            got = tuple(sorted(ids))
+            cache[mask] = got
+        return got
+
+    def successor(mask: int, group: int) -> int:
+        key = (mask, group)
+        got = succ_cache.get(key)
+        if got is None:
+            got = 0
+            rest = mask
+            while rest:
+                low = rest & -rest
+                got |= ref_moves[low.bit_length() - 1][group]
+                rest ^= low
+            succ_cache[key] = got
+        return got
+
+    def run_ops(
+        ops: object, bits: int, regs: tuple[int, ...], sticky: int
+    ) -> tuple[int, tuple[int, ...], int, tuple[int, ...]]:
+        """Execute one state's compiled decision ops; returns the updated
+        memory plus the *set* of confirmed ids (the reference NFA reports
+        each id at most once per position, so duplicates are collapsed)."""
+        if ops is None:
+            return bits, regs, sticky, ()
+        if isinstance(ops, list):
+            # Collapsed fast path: unconditional set/clear masks only.
+            return bits & ops[1] | ops[0], regs, sticky, ()
+        reported: set[int] = set()
+        for match_id, test, set_mask, clear_mask, report, needs_engine in cast(
+            tuple[_Op, ...], ops
+        ):
+            if needs_engine:
+                bits, regs, sticky, confirmed = _apply_action(
+                    actions, final_ids, match_id, bits, regs, sticky
+                )
+                if confirmed != NONE:
+                    reported.add(confirmed)
+                continue
+            if test >= 0 and not bits >> test & 1:
+                continue
+            if set_mask or clear_mask:
+                bits = bits & ~clear_mask | set_mask
+            if report >= 0:
+                reported.add(report)
+        return bits, regs, sticky, tuple(sorted(reported))
+
+    def end_ids(q: int, bits: int, regs: tuple[int, ...], sticky: int) -> tuple[int, ...]:
+        """The MFA's end-of-input confirmations at this product state
+        (``MFA.finish`` semantics: actions run in priority order and see
+        each other's memory effects)."""
+        ids: set[int] = set()
+        for match_id in end_table[q]:
+            bits, regs, sticky, confirmed = _apply_action(
+                actions, final_ids, match_id, bits, regs, sticky
+            )
+            if confirmed != NONE:
+                ids.add(confirmed)
+        return tuple(sorted(ids))
+
+    def age(regs: tuple[int, ...], sticky: int) -> tuple[tuple[int, ...], int]:
+        """Advance every register mask by one byte; overflow saturates
+        into the sticky bit exactly as ``FilterEngine._aged_mask`` does."""
+        aged: list[int] = []
+        for index, mask in enumerate(regs):
+            shifted = mask << 1
+            if shifted >> WINDOW_BITS:
+                sticky |= 1 << index
+                shifted &= _WINDOW_MASK
+            aged.append(shifted)
+        return tuple(aged), sticky
+
+    low_filters, open_reg_mask, open_caps = _register_observations(actions, n_registers)
+
+    def canon(regs: tuple[int, ...], sticky: int) -> tuple[tuple[int, ...], int]:
+        """Quotient register state before hashing (see
+        :func:`_register_observations`): exact low window; for
+        open-tested registers at most one above-window bit (the oldest),
+        folded into sticky once it reaches every open ``lo``, nothing
+        once sticky; for bounded-only registers no above bits and no
+        sticky bit at all."""
+        out: list[int] = []
+        for index, mask in enumerate(regs):
+            low = mask & low_filters[index]
+            if open_reg_mask >> index & 1:
+                if not sticky >> index & 1:
+                    above = mask ^ low
+                    if above:
+                        oldest = above.bit_length() - 1
+                        if oldest >= open_caps[index]:
+                            sticky |= 1 << index
+                        else:
+                            low |= 1 << oldest
+            else:
+                sticky &= ~(1 << index)
+            out.append(low)
+        return tuple(out), sticky
+
+    ProductKey = tuple[int, int, tuple[int, ...], int, int]
+    start_key: ProductKey = (dfa.start, 0, (0,) * n_registers, 0, initial_mask)
+    index_of: dict[ProductKey, int] = {start_key: 0}
+    keys: list[ProductKey] = [start_key]
+    parents: list[tuple[int, int]] = [(-1, -1)]
+    depths: list[int] = [0]
+
+    def path_to(slot: int) -> bytes:
+        out = bytearray()
+        while slot > 0:
+            parent, byte = parents[slot]
+            out.append(byte)
+            slot = parent
+        out.reverse()
+        return bytes(out)
+
+    bounded = False
+    refused_depth: Optional[int] = None
+    divergence: Optional[tuple[bytes, str, tuple[int, ...], tuple[int, ...]]] = None
+
+    head = 0
+    while head < len(keys) and divergence is None:
+        q, bits, regs, sticky, ref_mask = keys[head]
+        depth = depths[head]
+        aged_regs, aged_sticky = age(regs, sticky) if n_registers else (regs, sticky)
+        for rep, ref_group in symbols:
+            q2 = rows[q][rep]
+            mask2 = successor(ref_mask, ref_group)
+            bits2, regs2, sticky2, got_mid = run_ops(
+                ops_table[q2], bits, aged_regs, aged_sticky
+            )
+            want_mid = mask_ids(mask2, ref_accepts, mid_cache)
+            if got_mid != want_mid:
+                divergence = (path_to(head) + bytes([rep]), MID_STREAM, want_mid, got_mid)
+                break
+            if n_registers:
+                regs2, sticky2 = canon(regs2, sticky2)
+            key2: ProductKey = (q2, bits2, regs2, sticky2, mask2)
+            if key2 in index_of:
+                continue
+            if len(keys) >= state_budget:
+                bounded = True
+                if refused_depth is None:
+                    refused_depth = depth + 1
+                continue
+            slot = len(keys)
+            index_of[key2] = slot
+            keys.append(key2)
+            parents.append((head, rep))
+            depths.append(depth + 1)
+            # End-of-input outputs are a property of the state; checking at
+            # discovery keeps counterexamples shortest (a depth-d state's
+            # end divergence is a length-d input).
+            got_end = end_ids(q2, bits2, regs2, sticky2)
+            want_end = mask_ids(mask2, ref_accepts_end, end_cache)
+            if got_end != want_end:
+                divergence = (path_to(slot), END_OF_INPUT, want_end, got_end)
+                break
+        head += 1
+
+    states = len(keys)
+    if divergence is not None:
+        data, kind, want, got = divergence
+        return EquivalenceResult(
+            equivalent=False,
+            bounded=False,
+            states=states,
+            verified_depth=max(len(data) - 1, 0),
+            n_symbols=len(symbols),
+            budget=state_budget,
+            counterexample=data,
+            kind=kind,
+            expected_ids=want,
+            actual_ids=got,
+        )
+    if bounded:
+        # Every state of depth < refused_depth was admitted and expanded,
+        # so all inputs up to refused_depth - 1 bytes are fully checked
+        # (mid-stream and end-of-input).
+        verified = max((refused_depth or 1) - 1, 0)
+        return EquivalenceResult(
+            equivalent=False,
+            bounded=True,
+            states=states,
+            verified_depth=verified,
+            n_symbols=len(symbols),
+            budget=state_budget,
+        )
+    return EquivalenceResult(
+        equivalent=True,
+        bounded=False,
+        states=states,
+        verified_depth=max(depths),
+        n_symbols=len(symbols),
+        budget=state_budget,
+    )
+
+
+def _replay_diverges(mfa: MFA, reference: NFA, data: bytes) -> bool:
+    """Ground truth: do the real engines actually disagree on ``data``?"""
+    got = {(event.pos, event.match_id) for event in mfa.run(data)}
+    want = {(event.pos, event.match_id) for event in reference.run(data)}
+    return got != want
+
+
+def prove_mfa(
+    mfa: MFA,
+    patterns: Sequence[Pattern],
+    *,
+    state_budget: int = DEFAULT_PRODUCT_BUDGET,
+) -> EquivalenceResult:
+    """Prove ``mfa`` equivalent to the un-decomposed ``patterns``.
+
+    The reference automaton is built straight from the pattern ASTs via
+    the Thompson path — the splitter is bypassed entirely, so nothing the
+    decomposition could get wrong is shared between the two sides.  Any
+    counterexample is replay-confirmed through the real engines.
+    """
+    reference = build_nfa(list(patterns))
+    result = _product_walk(mfa, reference, state_budget)
+    if result.counterexample is not None:
+        confirmed = _replay_diverges(mfa, reference, result.counterexample)
+        result = replace(result, replay_confirmed=confirmed)
+    return result
+
+
+# -- finding emission ---------------------------------------------------------
+
+
+def _render_input(data: bytes) -> str:
+    shown = data if len(data) <= 64 else data[:64]
+    suffix = "..." if len(data) > 64 else ""
+    return f"{shown!r}{suffix} (hex {shown.hex()}{suffix}, {len(data)} bytes)"
+
+
+def _render_ids(ids: tuple[int, ...]) -> str:
+    return "{" + ", ".join(str(i) for i in ids) + "}"
+
+
+def emit_findings(
+    result: EquivalenceResult,
+    report: AnalysisReport,
+    location: str = "",
+) -> None:
+    """Translate one proof outcome into ``EQ`` findings on ``report``."""
+    if result.counterexample is not None:
+        where = _render_input(result.counterexample)
+        want = _render_ids(result.expected_ids or ())
+        got = _render_ids(result.actual_ids or ())
+        if not result.replay_confirmed:
+            report.add(
+                "EQ103",
+                ERROR,
+                COMPONENT,
+                f"prover found a {result.kind} divergence on {where} that replay "
+                f"does not confirm (prover model drift: reference {want}, "
+                f"product model {got})",
+                location,
+            )
+            return
+        code = "EQ101" if result.kind == MID_STREAM else "EQ102"
+        report.add(
+            code,
+            ERROR,
+            COMPONENT,
+            f"{result.kind} divergence on shortest input {where}: reference "
+            f"confirms {want}, MFA confirms {got} (replay-confirmed)",
+            location,
+        )
+        return
+    if result.bounded:
+        report.add(
+            "EQ110",
+            WARNING,
+            COMPONENT,
+            f"EQ-BOUNDED: product budget of {result.budget} states exhausted "
+            f"after {result.states} reachable states; equivalence verified "
+            f"only for inputs up to {result.verified_depth} bytes",
+            location,
+        )
+        return
+    report.add(
+        "EQ130",
+        INFO,
+        COMPONENT,
+        f"proved equivalent: {result.states} product states, depth "
+        f"{result.verified_depth}, {result.n_symbols} symbol classes",
+        location,
+    )
+
+
+def analyze_equivalence(
+    mfa: MFA,
+    patterns: Sequence[Pattern],
+    report: AnalysisReport | None = None,
+    *,
+    state_budget: int = DEFAULT_PRODUCT_BUDGET,
+    location: str = "",
+) -> AnalysisReport:
+    """Run the prover and emit its outcome as ``EQ`` findings."""
+    out = report if report is not None else AnalysisReport()
+    try:
+        result = prove_mfa(mfa, patterns, state_budget=state_budget)
+    except Exception as exc:  # noqa: BLE001 - a prover crash IS a finding
+        out.add(
+            "EQ100",
+            ERROR,
+            COMPONENT,
+            f"prover failed: {type(exc).__name__}: {exc}",
+            location,
+        )
+        return out
+    emit_findings(result, out, location)
+    return out
+
+
+def analyze_engine_equivalence(
+    engine: object,
+    patterns: Sequence[Pattern],
+    report: AnalysisReport | None = None,
+    *,
+    state_budget: int = DEFAULT_PRODUCT_BUDGET,
+) -> AnalysisReport:
+    """Prove whatever engine shipped, shard by shard when sharded.
+
+    MFA shards are matched to their patterns through the program's final-id
+    set (robust to shards the resilient compiler dropped or degraded);
+    engine families without a filter program are outside the prover's
+    scope and reported as ``EQ120`` info.
+    """
+    out = report if report is not None else AnalysisReport()
+    if isinstance(engine, MFA):
+        return analyze_equivalence(engine, patterns, out, state_budget=state_budget)
+    shards = getattr(engine, "shards", None)
+    if shards is not None:
+        for index, shard in enumerate(shards):
+            where = f"shard {index}"
+            if not isinstance(shard, MFA):
+                out.add(
+                    "EQ120",
+                    INFO,
+                    COMPONENT,
+                    f"engine family {type(shard).__name__} is outside the "
+                    f"prover's scope (no filter program to prove)",
+                    where,
+                )
+                continue
+            shard_ids = shard.program.final_ids
+            shard_patterns = [p for p in patterns if p.match_id in shard_ids]
+            if frozenset(p.match_id for p in shard_patterns) != shard_ids:
+                out.add(
+                    "EQ100",
+                    ERROR,
+                    COMPONENT,
+                    f"cannot attribute original patterns to the shard: its "
+                    f"final ids are {sorted(shard_ids)} but the pattern list "
+                    f"provides {sorted(p.match_id for p in shard_patterns)}",
+                    where,
+                )
+                continue
+            analyze_equivalence(
+                shard, shard_patterns, out, state_budget=state_budget, location=where
+            )
+        return out
+    out.add(
+        "EQ120",
+        INFO,
+        COMPONENT,
+        f"engine family {type(engine).__name__} is outside the prover's "
+        f"scope (no filter program to prove)",
+    )
+    return out
+
+
+# -- per-pattern fan-out ------------------------------------------------------
+
+
+def _prove_one_pattern(
+    pattern: Pattern,
+    report: AnalysisReport,
+    state_budget: int,
+    dfa_budget: int,
+    splitter_options: SplitterOptions | None,
+) -> None:
+    where = f"pattern {pattern.match_id}"
+    try:
+        mfa = build_mfa([pattern], splitter_options, state_budget=dfa_budget)
+    except Exception as exc:  # noqa: BLE001 - an unbuildable pattern is a finding
+        report.add(
+            "EQ100",
+            ERROR,
+            COMPONENT,
+            f"cannot build the MFA to prove: {type(exc).__name__}: {exc}",
+            where,
+        )
+        return
+    analyze_equivalence(mfa, [pattern], report, state_budget=state_budget, location=where)
+
+
+_WorkerPayload = tuple[Pattern, int, int, Optional[SplitterOptions]]
+
+
+def _prove_pattern_worker(payload: _WorkerPayload) -> list[tuple[str, str, str, str, str]]:
+    """Pool worker: prove one pattern, return findings as plain tuples.
+
+    Findings cross the process boundary as 5-tuples (like the tagged
+    error tuples of :mod:`repro.fastcompile.shards`) so the parent never
+    depends on pickling dataclass internals.
+    """
+    pattern, state_budget, dfa_budget, splitter_options = payload
+    report = AnalysisReport()
+    _prove_one_pattern(pattern, report, state_budget, dfa_budget, splitter_options)
+    return [
+        (f.code, f.severity, f.component, f.message, f.location) for f in report.findings
+    ]
+
+
+def prove_patterns(
+    patterns: Sequence[Pattern],
+    report: AnalysisReport | None = None,
+    *,
+    state_budget: int = DEFAULT_PRODUCT_BUDGET,
+    dfa_budget: int = DEFAULT_STATE_BUDGET,
+    splitter_options: SplitterOptions | None = None,
+    jobs: int = 1,
+) -> AnalysisReport:
+    """Prove every pattern individually: ``MFA([p])`` vs its own reference.
+
+    This is the per-pattern decomposition check the paper's theorem is
+    stated over ("for each original pattern"), and it stays feasible even
+    for sets whose *combined* un-decomposed automaton explodes (B217p).
+    With ``jobs > 1`` the proofs fan out over a ``ProcessPoolExecutor``;
+    findings come back located as ``pattern <match_id>`` either way, so
+    the merged report is identical to a serial run.
+    """
+    out = report if report is not None else AnalysisReport()
+    items = list(patterns)
+    workers = min(jobs, len(items))
+    if workers > 1:
+        payloads: list[_WorkerPayload] = [
+            (pattern, state_budget, dfa_budget, splitter_options) for pattern in items
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for findings in pool.map(_prove_pattern_worker, payloads):
+                out.extend(Finding(*fields) for fields in findings)
+    else:
+        for pattern in items:
+            _prove_one_pattern(pattern, out, state_budget, dfa_budget, splitter_options)
+    return out

@@ -187,7 +187,7 @@ class DFA:
     def new_context(self) -> "DfaContext":
         return DfaContext(self)
 
-    def feed(self, context: "DfaContext", data: bytes):
+    def feed(self, context: "DfaContext", data: bytes) -> Iterator[MatchEvent]:
         state = context.state
         base = context.offset
         if not self._has_accepts:
@@ -206,7 +206,7 @@ class DFA:
         context.state = state
         context.offset = base + len(data)
 
-    def finish(self, context: "DfaContext"):
+    def finish(self, context: "DfaContext") -> Iterator[MatchEvent]:
         if context.offset:
             for match_id in self.accepts_end[context.state]:
                 yield MatchEvent(context.offset - 1, match_id)

@@ -23,11 +23,14 @@ points), so H-FA state counts track the component DFA's.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from ..regex.ast import Pattern
 from .dfa import DFA, DEFAULT_STATE_BUDGET, build_dfa
 from .nfa import MatchEvent
+
+if TYPE_CHECKING:
+    from ..core.filters import FilterProgram
 
 __all__ = ["HFA", "HfaEntry", "build_hfa"]
 
@@ -77,7 +80,7 @@ class HFA:
     def new_context(self) -> HfaContext:
         return HfaContext(self)
 
-    def feed(self, context: HfaContext, data: bytes):
+    def feed(self, context: HfaContext, data: bytes) -> Iterator[MatchEvent]:
         cells = self.cells
         state = context.state
         history = context.history
@@ -94,7 +97,7 @@ class HFA:
         context.history = history
         context.offset = base + len(data)
 
-    def finish(self, context: HfaContext):
+    def finish(self, context: HfaContext) -> Iterator[MatchEvent]:
         return iter(())
 
     def memory_bytes(self) -> int:
@@ -174,7 +177,9 @@ def build_hfa(
     return HFA(cells, dfa.start, program.width)
 
 
-def _entries_for(decisions: list[int], target: int, program) -> tuple[HfaEntry, ...]:
+def _entries_for(
+    decisions: list[int], target: int, program: "FilterProgram"
+) -> tuple[HfaEntry, ...]:
     """Compile a decision set into H-FA entry alternatives.
 
     With no decisions the cell is a single unconditional entry.  With

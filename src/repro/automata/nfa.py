@@ -286,7 +286,7 @@ class NFA:
     def new_context(self) -> "NfaContext":
         return NfaContext(self)
 
-    def feed(self, context: "NfaContext", data: bytes):
+    def feed(self, context: "NfaContext", data: bytes) -> Iterator[MatchEvent]:
         alpha_map, moves = self._prepare()
         accepts = self.accepts
         active = context.active
@@ -308,7 +308,7 @@ class NFA:
         context.active = active
         context.offset = base + len(data)
 
-    def finish(self, context: "NfaContext"):
+    def finish(self, context: "NfaContext") -> Iterator[MatchEvent]:
         if context.offset:
             ids: set[int] = set()
             for state in context.active:
@@ -328,7 +328,7 @@ class NFA:
                 nxt.update(moves[state][group])
             active = tuple(nxt)
             total += len(active)
-        return total / len(data) if data else float(len(initial))
+        return total / len(data) if data else float(len(self.initial))
 
 
 def build_nfa(patterns: Sequence[Pattern]) -> NFA:

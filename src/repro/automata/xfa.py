@@ -23,7 +23,7 @@ benchmarks measure, is its cost profile:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from ..regex.ast import Pattern
 from .dfa import DFA, DEFAULT_STATE_BUDGET, build_dfa
@@ -67,7 +67,7 @@ class XFA:
     def new_context(self) -> XfaContext:
         return XfaContext(self)
 
-    def feed(self, context: XfaContext, data: bytes):
+    def feed(self, context: XfaContext, data: bytes) -> Iterator[MatchEvent]:
         rows = self.dfa.rows
         programs = self.programs
         state = context.state
@@ -94,7 +94,7 @@ class XFA:
         context.state = state
         context.offset = base + len(data)
 
-    def finish(self, context: XfaContext):
+    def finish(self, context: XfaContext) -> Iterator[MatchEvent]:
         return iter(())
 
     def memory_bytes(self) -> int:

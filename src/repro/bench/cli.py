@@ -20,9 +20,16 @@ Examples::
     mfa-bench lint out.mfab     # ... or over a serialized bundle
     mfa-bench lint --all --json # every shipped set, machine-readable
     mfa-bench verify S24        # runtime oracle: MFA stream vs reference
+    mfa-bench prove S24         # equivalence proof, one per pattern
+    mfa-bench prove --all --jobs 4        # every set, proofs in parallel
+    mfa-bench prove out.mfab --patterns C8  # prove a serialized artifact
 
 ``lint`` exits non-zero when any error-severity finding survives;
-``verify`` exits non-zero on any stream divergence from the oracle.
+``verify`` exits non-zero on any stream divergence from the oracle;
+``prove`` exits non-zero on any error-severity ``EQ`` finding — a
+replay-confirmed divergence with its shortest distinguishing input, or a
+proof that could not run at all.  A budget-bounded proof (``EQ110``,
+``--budget``) is a warning, not a failure.
 
 Compiled MFAs are cached on disk between runs of the resilient commands
 (``~/.cache/repro-mfa``, override with ``REPRO_CACHE_DIR``); set
@@ -246,6 +253,121 @@ def _cmd_lint(target: str | None, lint_all: bool, json_out: bool) -> int:
     return 1 if failed else 0
 
 
+def _prove_one_set(set_name: str, budget: int, jobs: int):
+    """Per-pattern equivalence proofs of one shipped rule set.
+
+    Each pattern is compiled alone and proven against its own reference
+    automaton — the per-pattern shape the paper's theorem is stated over,
+    and the one that stays feasible even when the whole set's
+    un-decomposed automaton explodes (B217p).
+    """
+    from ..analyze import prove_patterns
+    from .harness import STATE_BUDGET, patterns_for
+
+    return prove_patterns(
+        patterns_for(set_name),
+        state_budget=budget,
+        dfa_budget=STATE_BUDGET,
+        jobs=jobs,
+    )
+
+
+def _prove_bundle(path: str, patterns_set: str | None, budget: int):
+    """Whole-artifact equivalence proof of a serialized bundle.
+
+    Bundles carry no original patterns, so the rule set they were
+    compiled from must be named with ``--patterns``.
+    """
+    from pathlib import Path
+
+    from ..analyze import AnalysisReport, analyze_engine_equivalence
+    from ..analyze.report import ERROR
+    from ..core import loads_mfa
+    from .harness import patterns_for
+
+    report = AnalysisReport()
+    if patterns_set is None:
+        report.add(
+            "EQ100",
+            ERROR,
+            "equivalence",
+            "a bundle carries no original patterns; pass --patterns <set> "
+            "naming the rule set it was compiled from",
+            path,
+        )
+        return report
+    try:
+        engine = loads_mfa(Path(path).read_bytes())
+    except Exception as exc:  # noqa: BLE001 - an unloadable artifact is a finding
+        report.add(
+            "EQ100",
+            ERROR,
+            "equivalence",
+            f"cannot load bundle: {type(exc).__name__}: {exc}",
+            path,
+        )
+        return report
+    return analyze_engine_equivalence(
+        engine, patterns_for(patterns_set), report, state_budget=budget
+    )
+
+
+def _cmd_prove(
+    target: str | None,
+    prove_all: bool,
+    json_out: bool,
+    budget: int,
+    jobs: int,
+    patterns_set: str | None,
+) -> int:
+    """Prove rule sets pattern-by-pattern and/or bundle files whole."""
+    import json
+    from pathlib import Path
+
+    if prove_all:
+        targets = list(all_set_names())
+    elif target is None:
+        print("prove needs a rule-set name, a bundle path, or --all")
+        return 2
+    else:
+        targets = [target]
+    if patterns_set is not None and patterns_set not in all_set_names():
+        print(f"unknown --patterns set {patterns_set!r}; have {all_set_names()}")
+        return 2
+
+    reports = {}
+    for name in targets:
+        if name in all_set_names():
+            reports[name] = _prove_one_set(name, budget, jobs)
+        elif Path(name).exists():
+            reports[name] = _prove_bundle(name, patterns_set, budget)
+        else:
+            print(f"unknown target {name!r}: not a rule set {all_set_names()} "
+                  f"and not a file")
+            return 2
+
+    failed = False
+    if json_out:
+        print(json.dumps({name: r.to_dict() for name, r in reports.items()},
+                         indent=2, sort_keys=True))
+        failed = any(r.has_errors for r in reports.values())
+    else:
+        for name, report in reports.items():
+            counts = report.counts()
+            bounded = sum(1 for f in report if f.code == "EQ110")
+            verdict = "FAILED" if report.has_errors else (
+                f"bounded ({bounded} proof(s) hit the budget)" if bounded
+                else "proved"
+            )
+            print(f"{name}: {verdict} — {counts['error']} error(s), "
+                  f"{counts['warning']} warning(s), {counts['info']} info")
+            for finding in report.errors + report.warnings:
+                print(f"  {finding.describe()}")
+            if report.has_errors:
+                failed = True
+    return 1 if failed else 0
+
+
 def _cmd_verify(set_name: str) -> int:
     """Runtime oracle: the compiled MFA's stream must equal the reference."""
     from ..core import compile_mfa, verify_equivalence
@@ -278,25 +400,25 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "table5", "fig2", "fig3", "fig4", "fig5",
             "explosion", "report", "compile", "scan",
-            "rcompile", "rscan", "lint", "verify",
+            "rcompile", "rscan", "lint", "verify", "prove",
         ],
     )
     parser.add_argument(
         "set_name",
         nargs="?",
         help="pattern set for 'compile'/'scan'/'verify', or a set name / "
-        "bundle path for 'lint'",
+        "bundle path for 'lint'/'prove'",
     )
     parser.add_argument("pcap", nargs="?", help="capture file for 'scan'")
     parser.add_argument(
         "--all",
         action="store_true",
-        help="for 'lint': audit every shipped rule set",
+        help="for 'lint'/'prove': run over every shipped rule set",
     )
     parser.add_argument(
         "--json",
         action="store_true",
-        help="for 'lint': machine-readable findings (stable ordering)",
+        help="for 'lint'/'prove': machine-readable findings (stable ordering)",
     )
     parser.add_argument(
         "--engine",
@@ -316,7 +438,22 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs",
         type=int,
         default=1,
-        help="for 'compile': worker processes for the sharded compiler",
+        help="for 'compile': worker processes for the sharded compiler; "
+        "for 'prove': parallel per-pattern proofs",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="for 'prove': product-automaton state budget before the proof "
+        "degrades to bounded-depth checking (EQ110)",
+    )
+    parser.add_argument(
+        "--patterns",
+        metavar="SET",
+        default=None,
+        help="for 'prove' on a bundle: the rule set the bundle was "
+        "compiled from (bundles carry no original patterns)",
     )
     args = parser.parse_args(argv)
 
@@ -338,6 +475,17 @@ def main(argv: list[str] | None = None) -> int:
         generate_all()
     elif args.command == "lint":
         return _cmd_lint(args.set_name, args.all, args.json)
+    elif args.command == "prove":
+        from ..analyze import DEFAULT_PRODUCT_BUDGET
+
+        return _cmd_prove(
+            args.set_name,
+            args.all,
+            args.json,
+            args.budget if args.budget is not None else DEFAULT_PRODUCT_BUDGET,
+            args.jobs,
+            args.patterns,
+        )
     elif args.command == "verify":
         if not args.set_name:
             parser.error("verify needs a pattern set name")

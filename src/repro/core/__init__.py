@@ -1,7 +1,14 @@
 """The paper's contribution: splitter, filter engine, and the MFA."""
 
 from .bpmfa import BitParallelMFA, build_bp_mfa
-from .compiler import LintError, compile_dfa, compile_mfa, compile_nfa, compile_patterns
+from .compiler import (
+    LintError,
+    ProofError,
+    compile_dfa,
+    compile_mfa,
+    compile_nfa,
+    compile_patterns,
+)
 from .explain import PatternReport, explain, explain_lines
 from .filters import FilterAction, FilterEngine, FilterProgram, FilterState
 from .mfa import MFA, FlowContext, build_mfa
@@ -16,6 +23,7 @@ __all__ = [
     "explain",
     "explain_lines",
     "LintError",
+    "ProofError",
     "compile_dfa",
     "compile_mfa",
     "compile_nfa",

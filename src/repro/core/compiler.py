@@ -13,7 +13,7 @@ interface so the benchmark harness can treat them uniformly.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..automata.dfa import DFA, DEFAULT_STATE_BUDGET, build_dfa
 from ..automata.nfa import NFA, build_nfa
@@ -22,19 +22,42 @@ from ..regex.parser import ParserOptions, parse
 from .mfa import MFA, build_mfa
 from .splitter import SplitterOptions
 
-__all__ = ["compile_patterns", "compile_mfa", "compile_dfa", "compile_nfa", "LintError"]
+if TYPE_CHECKING:
+    from ..analyze.report import AnalysisReport
+
+__all__ = [
+    "compile_patterns",
+    "compile_mfa",
+    "compile_dfa",
+    "compile_nfa",
+    "LintError",
+    "ProofError",
+]
 
 
 class LintError(ValueError):
     """Raised by ``compile_mfa(..., lint=True)`` on error-severity findings."""
 
-    def __init__(self, report) -> None:
+    def __init__(self, report: "AnalysisReport") -> None:
         self.report = report
         errors = report.errors
         summary = "; ".join(f.describe() for f in errors[:3])
         if len(errors) > 3:
             summary += f"; and {len(errors) - 3} more"
         super().__init__(f"static analysis found {len(errors)} error(s): {summary}")
+
+
+class ProofError(ValueError):
+    """Raised by ``compile_mfa(..., prove=True)`` when the equivalence
+    prover refutes (or cannot establish) the artifact's correctness."""
+
+    def __init__(self, report: "AnalysisReport") -> None:
+        self.report = report
+        errors = report.errors
+        summary = "; ".join(f.describe() for f in errors[:3])
+        if len(errors) > 3:
+            summary += f"; and {len(errors) - 3} more"
+        super().__init__(f"equivalence proof failed: {summary}")
 
 
 def compile_patterns(
@@ -74,6 +97,7 @@ def compile_mfa(
     cache=None,
     phases: dict[str, float] | None = None,
     lint: bool = False,
+    prove: bool = False,
 ) -> MFA:
     """Parse, split and compile a rule set into a match-filtering automaton.
 
@@ -92,8 +116,17 @@ def compile_mfa(
     compiled engine and raises :class:`LintError` if any error-severity
     finding survives — the fail-closed mode for build pipelines that
     would rather not ship a questionable artifact.
+
+    ``prove=True`` goes further: it runs the product-automaton
+    equivalence prover (:mod:`repro.analyze.equivalence`) against a
+    reference automaton built from the un-decomposed patterns and raises
+    :class:`ProofError` on any error-severity ``EQ`` finding — a
+    replay-confirmed divergence, an unprovable shard, or a prover crash.
+    A budget-truncated proof surfaces as an ``EQ110`` warning on the
+    report, which does not raise; gate on it explicitly if bounded
+    proofs are unacceptable.
     """
-    if lint:
+    if lint or prove:
         engine = compile_mfa(
             rules,
             splitter_options,
@@ -105,11 +138,20 @@ def compile_mfa(
             cache=cache,
             phases=phases,
         )
-        from ..analyze import analyze_engine
+        if lint:
+            from ..analyze import analyze_engine
 
-        audit = analyze_engine(engine)
-        if audit.has_errors:
-            raise LintError(audit)
+            audit = analyze_engine(engine)
+            if audit.has_errors:
+                raise LintError(audit)
+        if prove:
+            from ..analyze import analyze_engine_equivalence
+
+            proof = analyze_engine_equivalence(
+                engine, compile_patterns(rules, parser_options)
+            )
+            if proof.has_errors:
+                raise ProofError(proof)
         return engine
     if shards > 1 or cache is not None:
         from ..fastcompile.shards import compile_mfa_sharded

@@ -40,7 +40,7 @@ from array import array
 from ..automata.dfa import DEFAULT_STATE_BUDGET, DFA, DfaExplosionError
 from ..automata.nfa import NFA
 
-__all__ = ["subset_construct", "PACKED_LIMIT_BITS"]
+__all__ = ["subset_construct", "move_masks", "PACKED_LIMIT_BITS"]
 
 # Total packed-vector table size (bits) above which the core switches to
 # the per-group mask layout: n_states**2 * n_groups for the full table.
@@ -48,8 +48,12 @@ __all__ = ["subset_construct", "PACKED_LIMIT_BITS"]
 PACKED_LIMIT_BITS = 1 << 29
 
 
-def _move_masks(nfa: NFA, representatives: list[int]) -> list[list[int]]:
-    """Per-state, per-group successor bitmasks."""
+def move_masks(nfa: NFA, representatives: list[int]) -> list[list[int]]:
+    """Per-state, per-group successor bitmasks.
+
+    Public because the equivalence prover (:mod:`repro.analyze.equivalence`)
+    reuses the same packing for its reference-side successor computation.
+    """
     masks: list[list[int]] = []
     for edges in nfa.transitions:
         per_group = []
@@ -79,12 +83,12 @@ def subset_construct(
     n_groups = len(representatives)
     n = nfa.n_states
     width = n  # bits per packed field; OR never carries across fields
-    move_masks = _move_masks(nfa, representatives)
+    masks = move_masks(nfa, representatives)
 
     packed = n * n * n_groups <= PACKED_LIMIT_BITS
     if packed:
         vectors: list[int] = []
-        for per_group in move_masks:
+        for per_group in masks:
             vector = 0
             for group in range(n_groups - 1, -1, -1):
                 vector = (vector << width) | per_group[group]
@@ -138,7 +142,7 @@ def subset_construct(
             for group in range(n_groups):
                 key = 0
                 for state in states:
-                    key |= move_masks[state][group]
+                    key |= masks[state][group]
                 target = index_of.get(key)
                 if target is None:
                     target = len(subsets)

@@ -47,7 +47,7 @@ class CharClass:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("CharClass is immutable")
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type["CharClass"], tuple[int]]:
         # The immutability guard above blocks pickle's default slot
         # restoration; rebuild from the bitmap instead (the parallel shard
         # compiler ships Pattern trees to worker processes).

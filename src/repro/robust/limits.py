@@ -18,6 +18,7 @@ and the benchmark harness:
  REPRO_DFA_TIME_BUDGET   per-attempt subset-construction wall-time budget (s)
  REPRO_FALLBACK_CHAIN    comma-separated engines, e.g. ``mfa,hybridfa,nfa``
  REPRO_COMPILE_ANALYZE   0 disables pre-compile triage / post-compile audit
+ REPRO_COMPILE_PROVE     1 runs the equivalence prover on the shipped engine
  REPRO_MAX_FLOWS         concurrent-flow cap of the assembler / flow table
  REPRO_MAX_FLOW_BYTES    per-flow buffered-byte cap
  REPRO_MAX_FLOW_SEGS     per-flow buffered-segment cap
@@ -69,12 +70,19 @@ class CompileLimits:
     skip budgets the set cannot possibly fit (the last scheduled budget is
     always tried for real), and a post-compile audit of the shipped
     engine.  Both land on the :class:`~repro.robust.report.CompileReport`.
+
+    ``prove`` (off by default — it is the most expensive escort) runs the
+    product-automaton equivalence prover (:mod:`repro.analyze.equivalence`)
+    over the shipped engine and records the outcome as the report's
+    ``proof`` field.  Like the audit, a failed proof never turns a
+    shippable engine into a hard failure — the findings are the signal.
     """
 
     budget_schedule: tuple[int, ...] = (DEFAULT_STATE_BUDGET,)
     time_budget: float | None = None
     fallback_chain: tuple[str, ...] = DEFAULT_FALLBACK_CHAIN
     analyze: bool = True
+    prove: bool = False
 
     def __post_init__(self) -> None:
         if not self.budget_schedule:
@@ -125,11 +133,13 @@ def compile_limits_from_env(environ: Mapping[str, str] | None = None) -> Compile
         else DEFAULT_FALLBACK_CHAIN
     )
     analyze = environ.get("REPRO_COMPILE_ANALYZE", "1") not in ("0", "false", "no")
+    prove = environ.get("REPRO_COMPILE_PROVE", "0") in ("1", "true", "yes")
     return CompileLimits(
         budget_schedule=schedule,
         time_budget=time_budget,
         fallback_chain=chain,
         analyze=analyze,
+        prove=prove,
     )
 
 

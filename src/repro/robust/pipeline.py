@@ -389,6 +389,8 @@ class ResilientCompiler:
         report.engine_name = engine_name
         if self.limits.analyze and engine is not None:
             self._audit(engine, report)
+        if self.limits.prove and engine is not None:
+            self._prove(engine, patterns, report)
         return CompileResult(engine, engine_name, report, patterns)
 
     def _pretriage(self, patterns: list[Pattern], report: CompileReport) -> None:
@@ -424,6 +426,34 @@ class ResilientCompiler:
             )
             report.audit = audit
         report.phases["audit"] = time.perf_counter() - tick
+
+    def _prove(
+        self, engine: object, patterns: list[Pattern], report: CompileReport
+    ) -> None:
+        """Prove the shipped engine equivalent to the surviving patterns.
+
+        Like the audit, the proof is an escort, not a gate: a divergence
+        or a budget-bounded walk lands as EQ findings on the report's
+        ``proof`` field and the engine still ships.  Callers that want
+        fail-closed semantics check ``report.proof.has_errors`` (or use
+        ``compile_mfa(prove=True)``).
+        """
+        from ..analyze import AnalysisReport, analyze_engine_equivalence
+        from ..analyze.report import ERROR
+
+        tick = time.perf_counter()
+        try:
+            report.proof = analyze_engine_equivalence(engine, patterns)
+        except Exception as exc:  # noqa: BLE001 - a prover crash IS a finding
+            proof = AnalysisReport()
+            proof.add(
+                "EQ100",
+                ERROR,
+                "equivalence",
+                f"prover crashed: {type(exc).__name__}: {exc}",
+            )
+            report.proof = proof
+        report.phases["prove"] = time.perf_counter() - tick
 
 
 def compile_resilient(

@@ -77,6 +77,10 @@ class CompileReport:
     # shipped engine (repro.analyze.TriageResult / AnalysisReport).
     triage: "TriageResult | None" = None
     audit: "AnalysisReport | None" = None
+    # Equivalence proof of the shipped engine against the un-decomposed
+    # patterns (when CompileLimits.prove is on): EQ findings, including
+    # the explicit EQ110 when the proof was budget-bounded.
+    proof: "AnalysisReport | None" = None
 
     @property
     def ok(self) -> bool:
@@ -114,6 +118,7 @@ class CompileReport:
             "n_shards": self.n_shards,
             "triage": self.triage.to_dict() if self.triage is not None else None,
             "audit": self.audit.to_dict() if self.audit is not None else None,
+            "proof": self.proof.to_dict() if self.proof is not None else None,
         }
 
     def describe(self) -> list[str]:
@@ -154,6 +159,16 @@ class CompileReport:
                 f"warning(s), {counts['info']} info"
             )
             lines.extend(f"  {f.describe()}" for f in self.audit)
+        if self.proof is not None:
+            counts = self.proof.counts()
+            verdict = "failed" if counts["error"] else (
+                "bounded" if counts["warning"] else "proved"
+            )
+            lines.append(
+                f"proof: {verdict} ({counts['error']} error(s), "
+                f"{counts['warning']} warning(s), {counts['info']} info)"
+            )
+            lines.extend(f"  {f.describe()}" for f in self.proof)
         if self.engine_name is None:
             lines.append("no engine constructed")
         else:

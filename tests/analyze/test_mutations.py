@@ -1,21 +1,35 @@
-"""Seeded-mutation corpus: every corruption must surface as a finding.
+"""Seeded-mutation corpora: every corruption must surface, with evidence.
 
-Each mutation takes the known-good C8 bundle, damages exactly one thing a
-real bit-rot / bad-build / version-skew incident could damage, and asserts
-the bundle analyzer (which never trusts its input) flags it with the
-expected code.  The final test asserts 100% detection across the corpus —
-the acceptance bar of the static-analysis issue.
+Two corpora over the known-good C8 artifact:
+
+* the *bundle* corpus damages the serialized form — framing, bytecode
+  integers, DFA tables — and asserts the tolerant bundle analyzer flags
+  each with the expected code;
+* the *semantic* corpus damages meaning while keeping the artifact
+  perfectly well-formed (a retargeted report, a dropped guard, a
+  redirected transition) — the class of defect only the equivalence
+  prover can catch.  Each defect's shortest distinguishing input is
+  pinned as a regression string, so the concrete counterexamples survive
+  even if the prover's search order ever changes, and every pinned
+  string is replayed through the real engines to confirm they genuinely
+  disagree on it.
 """
 
 import json
 import struct
+from array import array
+from dataclasses import replace as dc_replace
 
 import pytest
 
-from repro.analyze import analyze_bundle
+from repro.analyze import analyze_bundle, prove_mfa
+from repro.automata.dfa import DFA
+from repro.automata.nfa import build_nfa
 from repro.automata.serialize import DFA_MAGIC, decode_dfa_header
 from repro.bench.harness import patterns_for
 from repro.core import compile_mfa, dumps_mfa
+from repro.core.filters import NONE, FilterProgram
+from repro.core.mfa import MFA
 from repro.core.serialize import BUNDLE_MAGIC, split_bundle
 
 
@@ -176,3 +190,204 @@ class TestMutationCorpus:
         first = analyze_bundle(damaged).to_json()
         second = analyze_bundle(damaged).to_json()
         assert first == second
+
+
+# -- the semantic corpus ------------------------------------------------------
+#
+# Runnable defects: each constructor returns a well-formed MFA (valid
+# FilterProgram, valid DFA) whose *behavior* silently differs from the
+# original C8 patterns.  The bundle analyzer cannot see these — only the
+# equivalence prover can.
+
+
+def _clone_dfa(dfa, rows=None, accepts=None):
+    # group provenance is dropped: the prover recomputes byte groups from
+    # the rows, and a mutated table may not honor the recorded partition.
+    return DFA(
+        [array("i", row) for row in (rows if rows is not None else dfa.rows)],
+        dfa.start,
+        list(accepts if accepts is not None else dfa.accepts),
+        list(dfa.accepts_end),
+        group_of_byte=None,
+        n_groups=None,
+    )
+
+
+def _with_program(mfa, actions):
+    prog = mfa.program
+    return MFA(
+        mfa.dfa, FilterProgram(dict(actions), prog.width, prog.n_registers, prog.final_ids)
+    )
+
+
+def _first_action(mfa, field):
+    for match_id in sorted(mfa.program.actions):
+        if getattr(mfa.program.actions[match_id], field) != NONE:
+            return match_id
+    raise AssertionError(f"C8 program has no action with {field!r}")
+
+
+def report_retarget(mfa):
+    match_id = _first_action(mfa, "report")
+    action = mfa.program.actions[match_id]
+    other = next(i for i in sorted(mfa.program.final_ids) if i != action.report)
+    return _with_program(
+        mfa, {**mfa.program.actions, match_id: dc_replace(action, report=other)}
+    )
+
+
+def guard_dropped(mfa):
+    match_id = _first_action(mfa, "test")
+    action = mfa.program.actions[match_id]
+    return _with_program(
+        mfa, {**mfa.program.actions, match_id: dc_replace(action, test=NONE)}
+    )
+
+
+def guard_retarget(mfa):
+    match_id = _first_action(mfa, "test")
+    action = mfa.program.actions[match_id]
+    retargeted = (action.test + 1) % mfa.program.width
+    return _with_program(
+        mfa, {**mfa.program.actions, match_id: dc_replace(action, test=retargeted)}
+    )
+
+
+def set_retarget(mfa):
+    match_id = _first_action(mfa, "set")
+    action = mfa.program.actions[match_id]
+    retargeted = (action.set + 1) % mfa.program.width
+    return _with_program(
+        mfa, {**mfa.program.actions, match_id: dc_replace(action, set=retargeted)}
+    )
+
+
+def set_dropped(mfa):
+    match_id = _first_action(mfa, "set")
+    action = mfa.program.actions[match_id]
+    return _with_program(
+        mfa, {**mfa.program.actions, match_id: dc_replace(action, set=NONE)}
+    )
+
+
+def guard_self_clear(mfa):
+    match_id = _first_action(mfa, "test")
+    action = mfa.program.actions[match_id]
+    return _with_program(
+        mfa, {**mfa.program.actions, match_id: dc_replace(action, clear=action.test)}
+    )
+
+
+def accept_dropped(mfa):
+    accepts = list(mfa.dfa.accepts)
+    for index, ids in enumerate(accepts):
+        if ids:
+            accepts[index] = ids[1:]
+            break
+    else:
+        raise AssertionError("C8 DFA has no mid-stream decisions")
+    return MFA(_clone_dfa(mfa.dfa, accepts=accepts), mfa.program)
+
+
+def accept_added(mfa):
+    spurious = sorted(mfa.program.final_ids)[-1]
+    accepts = list(mfa.dfa.accepts)
+    for index, ids in enumerate(accepts):
+        if index != mfa.dfa.start and not ids:
+            accepts[index] = (spurious,)
+            break
+    else:
+        raise AssertionError("C8 DFA has no decision-free state")
+    return MFA(_clone_dfa(mfa.dfa, accepts=accepts), mfa.program)
+
+
+def row_redirect(mfa):
+    # Redirect the transition taken on the last byte of a known segment
+    # match back to the start state: that confirm never fires again.
+    payload = b"RCPT TO:"
+    state = mfa.dfa.start
+    rows = [array("i", row) for row in mfa.dfa.rows]
+    for byte in payload[:-1]:
+        state = rows[state][byte]
+    rows[state][payload[-1]] = mfa.dfa.start
+    return MFA(_clone_dfa(mfa.dfa, rows=rows), mfa.program)
+
+
+# (defect, shortest counterexample the prover extracts).  The strings are
+# pinned: the prover must keep finding inputs of exactly this length, and
+# the pinned bytes themselves must keep distinguishing the defective MFA
+# from the reference automaton under replay — independent of any future
+# change to the prover's search order.
+SEMANTIC_CORPUS = [
+    (report_retarget, b"GET /cgi-bin/../"),
+    (guard_dropped, b"../"),
+    (guard_retarget, b"MAIL FROM:../"),
+    (set_retarget, b"MAIL FROM:%p"),
+    (set_dropped, b"MAIL FROM:RCPT TO:"),
+    (guard_self_clear, b"GET /cgi-bin/../../"),
+    (accept_dropped, b"SITE EXEC\n%p"),
+    (accept_added, b"MAIL FROM:\x00"),
+    (row_redirect, b"MAIL FROM:RCPT TO:"),
+]
+
+
+@pytest.fixture(scope="module")
+def c8_mfa():
+    return compile_mfa(patterns_for("C8"))
+
+
+@pytest.fixture(scope="module")
+def c8_reference():
+    return build_nfa(patterns_for("C8"))
+
+
+class TestSemanticCorpus:
+    @pytest.mark.parametrize(
+        "defect,pinned", SEMANTIC_CORPUS, ids=[d.__name__ for d, _ in SEMANTIC_CORPUS]
+    )
+    def test_prover_finds_shortest_counterexample(self, c8_mfa, defect, pinned):
+        result = prove_mfa(defect(c8_mfa), patterns_for("C8"))
+        assert not result.equivalent and not result.bounded, (
+            f"{defect.__name__}: prover failed to refute"
+        )
+        assert result.replay_confirmed is True
+        assert result.counterexample is not None
+        # The minimal distinguishing length is a property of the defect,
+        # not of the search: pin it exactly.  (The byte string itself may
+        # legitimately differ between equally-short witnesses.)
+        assert len(result.counterexample) == len(pinned), (
+            f"{defect.__name__}: shortest counterexample changed length: "
+            f"{result.counterexample!r} vs pinned {pinned!r}"
+        )
+
+    @pytest.mark.parametrize(
+        "defect,pinned", SEMANTIC_CORPUS, ids=[d.__name__ for d, _ in SEMANTIC_CORPUS]
+    )
+    def test_pinned_string_distinguishes_under_replay(
+        self, c8_mfa, c8_reference, defect, pinned
+    ):
+        bad = defect(c8_mfa)
+        got = {(e.pos, e.match_id) for e in bad.run(pinned)}
+        want = {(e.pos, e.match_id) for e in c8_reference.run(pinned)}
+        assert got != want, (
+            f"{defect.__name__}: pinned input {pinned!r} no longer "
+            f"distinguishes the defective MFA from the reference"
+        )
+
+    def test_semantic_detection_rate_is_total(self, c8_mfa):
+        patterns = patterns_for("C8")
+        refuted = sum(
+            1
+            for defect, _ in SEMANTIC_CORPUS
+            if not prove_mfa(defect(c8_mfa), patterns).equivalent
+        )
+        assert refuted == len(SEMANTIC_CORPUS)
+
+    def test_prover_catches_what_the_bundle_analyzer_cannot(self, c8_mfa):
+        # The point of the prover: a semantically wrong artifact can be
+        # perfectly well-formed.  The structural bundle analyzer must not
+        # be relied on to catch a redirected transition; the prover is.
+        bad = row_redirect(c8_mfa)
+        report = analyze_bundle(dumps_mfa(bad))
+        assert not report.has_errors
+        assert not prove_mfa(bad, patterns_for("C8")).equivalent

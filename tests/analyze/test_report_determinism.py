@@ -1,0 +1,68 @@
+"""Hash-seed determinism of the analysis report renderer and the prover.
+
+Finding order, JSON rendering, and — hardest — the prover's search
+(frontier hashing, joint alphabet-group discovery, counterexample
+extraction) must not leak Python's per-process hash randomization: CI
+gates diff these reports run against run, and a counterexample that
+changes with ``PYTHONHASHSEED`` is not a pinnable regression input.  The
+renderer is exercised in subprocesses under two different seeds and the
+bytes must match exactly.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_SCRIPT = r"""
+from dataclasses import replace
+
+from repro.analyze import analyze_equivalence, prove_patterns
+from repro.bench.harness import patterns_for
+from repro.core.filters import NONE, FilterProgram
+from repro.core.mfa import MFA, build_mfa
+
+patterns = patterns_for("C8")
+
+# A clean per-pattern run: EQ130 census lines for every pattern.
+clean = prove_patterns(patterns)
+print(clean.to_json())
+for line in clean.describe():
+    print(line)
+
+# A diverging run: EQ101 with the extracted counterexample rendered.
+mfa = build_mfa(patterns)
+prog = mfa.program
+actions = dict(prog.actions)
+for mid in sorted(actions):
+    action = actions[mid]
+    if action.report != NONE:
+        other = next(i for i in sorted(prog.final_ids) if i != action.report)
+        actions[mid] = replace(action, report=other)
+        break
+bad = MFA(mfa.dfa, FilterProgram(actions, prog.width, prog.n_registers, prog.final_ids))
+print(analyze_equivalence(bad, patterns).to_json())
+"""
+
+
+def _render(seed: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        text=True,
+        env={
+            "PYTHONHASHSEED": seed,
+            "PYTHONPATH": str(_REPO_ROOT / "src"),
+            "PATH": "/usr/bin:/bin",
+        },
+        cwd=str(_REPO_ROOT),
+        check=True,
+    )
+    return result.stdout
+
+
+def test_renderer_and_prover_are_hash_seed_independent():
+    rendered = _render("0")
+    assert "EQ130" in rendered and "EQ101" in rendered
+    assert rendered == _render("1")
