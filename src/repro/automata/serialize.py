@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import struct
 from array import array
-from typing import BinaryIO
+from typing import BinaryIO, cast
 
 from .dfa import DFA
 
@@ -71,21 +71,40 @@ def decode_dfa_header(blob: bytes) -> tuple[dict, bytes]:
     return header, blob[offset + header_len :]
 
 
-def loads_dfa(blob: bytes) -> DFA:
-    """Deserialise a DFA produced by :func:`dumps_dfa`."""
-    if not blob.startswith(_MAGIC):
+def loads_dfa(blob: "bytes | memoryview", mmap: bool = False) -> DFA:
+    """Deserialise a DFA produced by :func:`dumps_dfa`.
+
+    With ``mmap=True`` the transition table is *not* copied: each row is a
+    zero-copy ``memoryview`` slice (cast to 4-byte ints) over the caller's
+    buffer, which is what lets N worker processes share one
+    :mod:`multiprocessing.shared_memory` artifact segment with zero
+    per-process table copies.  The caller owns the buffer's lifetime — the
+    returned DFA holds views into it, so the segment must outlive the
+    engine (``repro.serve.shm`` manages exactly that).
+    """
+    view = memoryview(blob)
+    if bytes(view[: len(_MAGIC)]) != _MAGIC:
         raise ValueError("not a serialised DFA (bad magic)")
     offset = len(_MAGIC)
-    (header_len,) = struct.unpack_from("<I", blob, offset)
+    (header_len,) = struct.unpack_from("<I", view, offset)
     offset += 4
-    header = json.loads(blob[offset : offset + header_len])
+    header = json.loads(bytes(view[offset : offset + header_len]))
     offset += header_len
     n_states = header["n_states"]
-    table = array("i")
-    table.frombytes(blob[offset : offset + n_states * 256 * 4])
-    if len(table) != n_states * 256:
+    body = view[offset : offset + n_states * 256 * 4]
+    if len(body) != n_states * 256 * 4:
         raise ValueError("truncated DFA transition table")
-    rows = [table[i * 256 : (i + 1) * 256] for i in range(n_states)]
+    rows: list[array]
+    if mmap:
+        table_view = body.cast("i")
+        rows = cast(
+            "list[array]",
+            [table_view[i * 256 : (i + 1) * 256] for i in range(n_states)],
+        )
+    else:
+        table = array("i")
+        table.frombytes(bytes(body))
+        rows = [table[i * 256 : (i + 1) * 256] for i in range(n_states)]
     group_blob = header.get("group_of_byte")
     return DFA(
         rows,

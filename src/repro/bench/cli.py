@@ -16,6 +16,8 @@ Examples::
     mfa-bench rscan S24 cap.pcap  # tolerant scan: skip corrupt, isolate flows
     mfa-bench scan S24 cap.pcap --engine fastpath   # lockstep batch scan
     mfa-bench rscan S24 cap.pcap --engine fastpath  # tolerant + batched
+    mfa-bench serve S24 cap.pcap --workers 4        # long-lived scan daemon
+    mfa-bench serve S24 cap.pcap --socket /run/mfa.sock --report report.json
     mfa-bench lint C7p          # static verifier over one rule set
     mfa-bench lint out.mfab     # ... or over a serialized bundle
     mfa-bench lint --all --json # every shipped set, machine-readable
@@ -143,6 +145,90 @@ def _cmd_rscan(set_name: str, pcap_path: str, engine_choice: str = "mfa") -> int
     for match_id, count in by_rule.most_common(10):
         print(f"  rule {{{{{match_id}}}}}: {count} hits")
     return 0
+
+
+def _cmd_serve(
+    set_name: str,
+    pcap_path: str | None,
+    workers: int,
+    engine_choice: str,
+    shards: int,
+    report_path: str | None,
+    socket_path: str | None,
+    oneshot: bool,
+) -> int:
+    """Run the long-lived scan daemon over a shipped rule set.
+
+    Scans ``pcap_path`` (if given) through the worker pool, then keeps
+    serving until SIGTERM/SIGINT or a control-socket ``shutdown`` —
+    either way the final :class:`~repro.serve.ServeReport` is dumped as
+    JSON to ``--report`` (or stdout).  ``--oneshot`` exits right after
+    the capture drains, which is what the benchmark driver uses.
+    """
+    import json
+    import os
+    import signal
+    import threading
+
+    from ..fastpath import ArtifactCache
+    from ..patterns import ruleset
+    from ..serve import ControlServer, ScanDaemon, ServeConfig, serve_scan
+    from .harness import STATE_BUDGET
+
+    cache = None
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    if cache_dir and os.environ.get("REPRO_COMPILE_CACHE", "1") != "0":
+        cache = ArtifactCache(os.path.join(cache_dir, "serve"))
+
+    config = ServeConfig(workers=workers, engine=engine_choice)
+    daemon = ScanDaemon(
+        list(ruleset(set_name).rules),
+        shards=shards,
+        cache=cache,
+        config=config,
+        state_budget=STATE_BUDGET,
+    ).start()
+    server = None
+    stop_requested = threading.Event()
+
+    def _on_signal(_signum, _frame):
+        stop_requested.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        if socket_path:
+            server = ControlServer(daemon, socket_path).start()
+            print(f"control socket: {socket_path}")
+        status = daemon.status()
+        print(
+            f"serving {set_name}: {status.n_workers} worker(s), "
+            f"generation {status.generation}"
+        )
+        if pcap_path:
+            _alerts, report = serve_scan(daemon, pcap_path)
+            print(
+                f"scanned {pcap_path}: {report.n_flows} flows, "
+                f"{report.n_alerts} alerts"
+            )
+        if not oneshot:
+            while not stop_requested.is_set():
+                if server is not None and server.shutdown_requested.is_set():
+                    break
+                stop_requested.wait(0.2)
+        report = daemon.status()
+    finally:
+        if server is not None:
+            server.stop()
+        daemon.stop()
+    doc = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    if report_path:
+        with open(report_path, "w") as handle:
+            handle.write(doc + "\n")
+        print(f"report: {report_path}")
+    else:
+        print(doc)
+    return 1 if report.degraded else 0
 
 
 def _cmd_scan(set_name: str, pcap_path: str, engine_choice: str = "mfa") -> int:
@@ -400,7 +486,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "table5", "fig2", "fig3", "fig4", "fig5",
             "explosion", "report", "compile", "scan",
-            "rcompile", "rscan", "lint", "verify", "prove",
+            "rcompile", "rscan", "lint", "verify", "prove", "serve",
         ],
     )
     parser.add_argument(
@@ -432,7 +518,34 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         help="for 'compile': also time the sharded parallel compiler "
-        "(rule set split into N shards)",
+        "(rule set split into N shards); for 'serve': shard count of the "
+        "daemon's engine (per-shard reload caching)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="for 'serve': supervised scan worker processes",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="for 'serve': write the final ServeReport JSON here "
+        "(default: stdout)",
+    )
+    parser.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="for 'serve': expose the control socket (ping/status/reload/"
+        "shutdown as JSON lines) at this unix path",
+    )
+    parser.add_argument(
+        "--oneshot",
+        action="store_true",
+        help="for 'serve': exit after the capture drains instead of "
+        "serving until SIGTERM",
     )
     parser.add_argument(
         "--jobs",
@@ -492,6 +605,21 @@ def main(argv: list[str] | None = None) -> int:
         if args.set_name not in all_set_names():
             parser.error(f"unknown set {args.set_name!r}; have {all_set_names()}")
         return _cmd_verify(args.set_name)
+    elif args.command == "serve":
+        if not args.set_name:
+            parser.error("serve needs a pattern set name")
+        if args.set_name not in all_set_names():
+            parser.error(f"unknown set {args.set_name!r}; have {all_set_names()}")
+        return _cmd_serve(
+            args.set_name,
+            args.pcap,
+            args.workers,
+            args.engine,
+            args.shards,
+            args.report,
+            args.socket,
+            args.oneshot,
+        )
     elif args.command in ("compile", "scan", "rcompile", "rscan"):
         if not args.set_name:
             parser.error(f"{args.command} needs a pattern set name")

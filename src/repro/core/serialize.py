@@ -88,33 +88,41 @@ def dumps_mfa(mfa: MFA) -> bytes:
     )
 
 
-def split_bundle(blob: bytes) -> tuple[bytes, bytes]:
+def split_bundle(blob: "bytes | memoryview") -> tuple[bytes, "bytes | memoryview"]:
     """Split a bundle into its (filter-table JSON, DFA blob) halves.
 
     Performs only the structural framing checks — neither half is decoded
     — so the static analyzer can audit each part tolerantly.  Raises
-    :class:`ValueError` naming the structural defect.
+    :class:`ValueError` naming the structural defect.  A ``memoryview``
+    input yields a zero-copy ``memoryview`` DFA half (the small filter
+    JSON is always materialised).
     """
-    if not blob.startswith(_MAGIC):
+    view = memoryview(blob) if not isinstance(blob, bytes) else blob
+    if bytes(view[: len(_MAGIC)]) != _MAGIC:
         raise ValueError("not a serialised MFA bundle (bad magic)")
     offset = len(_MAGIC)
-    if len(blob) < offset + 8:
+    if len(view) < offset + 8:
         raise ValueError("truncated MFA bundle (missing section lengths)")
-    program_len, dfa_len = struct.unpack_from("<II", blob, offset)
+    program_len, dfa_len = struct.unpack_from("<II", view, offset)
     offset += 8
-    program_bytes = blob[offset : offset + program_len]
+    program_bytes = bytes(view[offset : offset + program_len])
     offset += program_len
-    dfa_bytes = blob[offset : offset + dfa_len]
+    dfa_bytes = view[offset : offset + dfa_len]
     if len(program_bytes) != program_len or len(dfa_bytes) != dfa_len:
         raise ValueError("truncated MFA bundle")
     return program_bytes, dfa_bytes
 
 
-def loads_mfa(blob: bytes) -> MFA:
-    """Deserialise an MFA bundle (provenance/stats are not preserved)."""
+def loads_mfa(blob: "bytes | memoryview", mmap: bool = False) -> MFA:
+    """Deserialise an MFA bundle (provenance/stats are not preserved).
+
+    ``mmap=True`` keeps the DFA transition table as zero-copy views over
+    the caller's buffer (see :func:`repro.automata.serialize.loads_dfa`);
+    the buffer must outlive the returned engine.
+    """
     program_bytes, dfa_bytes = split_bundle(blob)
     program = program_from_json(json.loads(program_bytes))
-    dfa = loads_dfa(dfa_bytes)
+    dfa = loads_dfa(dfa_bytes, mmap=mmap)
     return MFA(dfa, program)
 
 

@@ -103,12 +103,27 @@ class ArtifactCache:
         return self.directory / f"{key}.mfab"
 
     def load(self, key: str) -> MFA | None:
-        """Return the cached engine, or None on miss/corruption."""
+        """Return the cached engine, or None on miss/corruption.
+
+        Safe against concurrent writers: the entry is read through a file
+        descriptor, and a corrupt entry is removed only while the
+        directory entry still points at the very inode that was read —
+        otherwise a racing ``store`` could publish a fresh valid bundle
+        between our read and our unlink, and we would delete *their*
+        entry, not the garbage we parsed.
+        """
         if not cache_enabled():
             return None
         path = self.path_for(key)
         try:
-            blob = path.read_bytes()
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            read_stat = os.fstat(fd)
+            with os.fdopen(fd, "rb") as stream:
+                blob = stream.read()
         except OSError:
             self.misses += 1
             return None
@@ -116,15 +131,39 @@ class ArtifactCache:
             mfa = loads_mfa(blob)
         except Exception:
             # A corrupt entry is a miss, and removing it stops every later
-            # run from re-parsing garbage.
-            path.unlink(missing_ok=True)
+            # run from re-parsing garbage — but only the exact file we
+            # read (same device and inode); a concurrently replaced entry
+            # is left alone.
+            self._unlink_if_same(path, read_stat)
             self.misses += 1
             return None
         self.hits += 1
         return mfa
 
+    @staticmethod
+    def _unlink_if_same(path: Path, read_stat: os.stat_result) -> None:
+        try:
+            now_stat = path.stat()
+        except OSError:
+            return  # already gone
+        if (now_stat.st_dev, now_stat.st_ino) == (read_stat.st_dev, read_stat.st_ino):
+            # Tiny residual window (stat-then-unlink is not atomic on
+            # POSIX), acceptable because the worst case is re-deriving
+            # one cache entry — corruption can never be *introduced*.
+            path.unlink(missing_ok=True)
+
     def store(self, key: str, mfa: MFA) -> Path | None:
-        """Atomically persist a bundle; returns its path (None if disabled)."""
+        """Atomically persist a bundle; returns its path (None if disabled).
+
+        Concurrent-writer safe on POSIX: every writer gets a unique
+        ``mkstemp`` name in the cache directory (same filesystem, so the
+        rename cannot degrade to copy), the bundle is flushed and fsynced
+        before publication, and ``os.replace`` makes the entry visible
+        atomically — readers see either the old complete entry or the new
+        complete entry, never a partial write.  Racing writers for the
+        same key both publish a byte-identical bundle (the key pins every
+        compile input), so last-rename-wins is harmless.
+        """
         if not cache_enabled():
             return None
         path = self.path_for(key)
@@ -133,6 +172,8 @@ class ArtifactCache:
         try:
             with os.fdopen(fd, "wb") as stream:
                 stream.write(dumps_mfa(mfa))
+                stream.flush()
+                os.fsync(stream.fileno())
             os.replace(tmp_name, path)
         except OSError:
             try:

@@ -201,6 +201,17 @@ class ScanReport:
             or self.dispatch.flows_poisoned
         )
 
+    @property
+    def flows_evicted(self) -> int:
+        """Flows the assembler pushed out under memory pressure, top-level.
+
+        An eviction is the scan-side load-shedding event — the flow was
+        scanned on the way out, not lost, but its reassembly was cut
+        short — so operators watch this counter the way the daemon
+        watches its shed counter, without digging into assembler stats.
+        """
+        return self.assembler.flows_evicted
+
     def to_dict(self) -> dict:
         return {
             "pcap": asdict(self.pcap),
@@ -212,6 +223,7 @@ class ScanReport:
             "n_packets": self.n_packets,
             "n_flows": self.n_flows,
             "n_alerts": self.n_alerts,
+            "flows_evicted": self.flows_evicted,
         }
 
     def describe(self) -> list[str]:

@@ -1,0 +1,34 @@
+"""The long-lived scan service: shared artifacts, supervised workers.
+
+``repro.serve`` turns the batch pipeline into a daemon: the compiled
+rule set lives in one shared-memory segment that N supervised worker
+processes map copy-free, ingress is bounded with explicit backpressure,
+worker death/hang is detected and restarted with backoff (the offending
+flow quarantined), and rules reload live — only changed shards
+recompile, and the artifact generation swaps without a torn read.
+Health is a :class:`ServeReport`, queryable over a control socket.
+"""
+
+from .control import ControlServer, control_request
+from .daemon import ScanDaemon, ServeConfig, serve_scan
+from .report import ReloadEvent, ServeReport, WorkerStats, canonical_stream
+from .shm import ArtifactSegment, pack_bundles, serialize_engine, unpack_bundles
+from .worker import FAULT_PREFIX, fault_payload
+
+__all__ = [
+    "ScanDaemon",
+    "ServeConfig",
+    "serve_scan",
+    "ControlServer",
+    "control_request",
+    "ServeReport",
+    "WorkerStats",
+    "ReloadEvent",
+    "canonical_stream",
+    "ArtifactSegment",
+    "pack_bundles",
+    "unpack_bundles",
+    "serialize_engine",
+    "FAULT_PREFIX",
+    "fault_payload",
+]

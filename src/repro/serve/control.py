@@ -1,0 +1,139 @@
+"""The daemon's control socket: health queries and operator commands.
+
+A tiny JSON-lines protocol over a Unix domain socket — one request
+object per line, one response object per line:
+
+``{"op": "ping"}``
+    liveness probe; answers ``{"ok": true, "pong": true}``.
+``{"op": "status"}``
+    the full :class:`~repro.serve.report.ServeReport` as
+    ``{"ok": true, "report": {...}}``.
+``{"op": "reload", "rules": [...]}``
+    live rule reload (omit ``rules`` to recompile the current set, e.g.
+    after an options change); answers with the
+    :class:`~repro.serve.report.ReloadEvent` fields.
+``{"op": "shutdown"}``
+    graceful stop; answers with the final report, then the server
+    thread exits.
+
+The server is deliberately single-threaded (one operator request at a
+time): control traffic is rare, and serialising it means a reload can
+never race another reload.  Malformed requests get
+``{"ok": false, "error": ...}`` rather than a dropped connection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+from dataclasses import asdict
+
+from .daemon import ScanDaemon
+
+__all__ = ["ControlServer", "control_request"]
+
+_MAX_REQUEST_BYTES = 16 * 1024 * 1024  # a full rule set fits; junk does not
+
+
+class ControlServer:
+    """Serve control requests for a :class:`ScanDaemon` on a Unix socket."""
+
+    def __init__(self, daemon: ScanDaemon, path: str):
+        self.daemon = daemon
+        self.path = path
+        self._sock: socket.socket | None = None
+        self._thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self.shutdown_requested = threading.Event()
+
+    def start(self) -> "ControlServer":
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(self.path)
+        sock.listen(4)
+        sock.settimeout(0.2)
+        self._sock = sock
+        self._thread = threading.Thread(target=self._serve_loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def _serve_loop(self) -> None:
+        assert self._sock is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with conn:
+                try:
+                    self._serve_connection(conn)
+                except OSError:
+                    continue  # client went away mid-request
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(5.0)
+        buffer = b""
+        while b"\n" not in buffer:
+            chunk = conn.recv(65536)
+            if not chunk:
+                return
+            buffer += chunk
+            if len(buffer) > _MAX_REQUEST_BYTES:
+                conn.sendall(b'{"ok": false, "error": "request too large"}\n')
+                return
+        line = buffer.split(b"\n", 1)[0]
+        response = self._handle(line)
+        conn.sendall(json.dumps(response).encode() + b"\n")
+
+    def _handle(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+            op = request.get("op")
+        except (ValueError, AttributeError):
+            return {"ok": False, "error": "malformed request (want a JSON object)"}
+        try:
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "status":
+                return {"ok": True, "report": self.daemon.status().to_dict()}
+            if op == "reload":
+                rules = request.get("rules")
+                event = self.daemon.reload(rules)
+                return {"ok": True, "reload": asdict(event)}
+            if op == "shutdown":
+                report = self.daemon.stop()
+                self.shutdown_requested.set()
+                self._stopping.set()
+                return {"ok": True, "report": report.to_dict()}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as exc:  # noqa: BLE001 - operator gets the error, not a hangup
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._sock is not None:
+            self._sock.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+
+
+def control_request(path: str, request: dict, timeout: float = 30.0) -> dict:
+    """Send one control request to a daemon's socket, return its response."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(path)
+        sock.sendall(json.dumps(request).encode() + b"\n")
+        buffer = b""
+        while b"\n" not in buffer:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("daemon closed the control connection")
+            buffer += chunk
+    return json.loads(buffer.split(b"\n", 1)[0])

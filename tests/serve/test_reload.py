@@ -1,0 +1,106 @@
+"""Live rule reload: cached shard reuse, generation swap, drain semantics."""
+
+import pytest
+
+from repro.fastpath import ArtifactCache
+from repro.serve import ScanDaemon, ServeConfig, canonical_stream
+from repro.traffic.flows import PROTO_TCP, FiveTuple
+
+RULES = [".*alpha.*omega", "beta[0-9]+", "gamma+", "delta"]
+
+
+def key(i):
+    return FiveTuple(PROTO_TCP, f"10.1.0.{i + 1}", 2000 + i, "192.168.0.2", 80)
+
+
+class TestReload:
+    def test_single_shard_edit_rebuilds_one_shard(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        d = ScanDaemon(
+            RULES, shards=4, cache=cache, config=ServeConfig(workers=2)
+        ).start()
+        try:
+            # Edit only the last rule: three shards come from the cache.
+            event = d.reload(RULES[:3] + ["delta2"])
+            assert event.generation == 2
+            assert event.shards_rebuilt == 1
+            assert event.shards_cached == 3
+            assert event.drained
+            assert event.seconds > 0
+
+            # The swap is live: old rule 4 is gone, new rule 4 matches.
+            d.submit(key(0), b"delta delta2 here")
+            d.drain()
+            assert [a.event.match_id for a in d.alerts] == [4]
+
+            report = d.status()
+            assert report.generation == 2
+            assert [r.generation for r in report.reloads] == [2]
+            assert all(w.generation == 2 for w in report.workers)
+        finally:
+            d.stop()
+
+    def test_reload_without_rules_recompiles_current(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        d = ScanDaemon(
+            RULES, shards=2, cache=cache, config=ServeConfig(workers=1)
+        ).start()
+        try:
+            event = d.reload()
+            assert event.generation == 2
+            # Same rules, warm cache: nothing rebuilt.
+            assert event.shards_rebuilt == 0
+            assert event.shards_cached == 2
+        finally:
+            d.stop()
+
+    def test_matches_identical_across_generations_for_same_rules(self, tmp_path):
+        d = ScanDaemon(RULES, shards=2, config=ServeConfig(workers=1)).start()
+        try:
+            payload = b"alpha x omega beta9 gammaa delta"
+            d.submit(key(1), payload)
+            d.drain()
+            before = canonical_stream(d.alerts)
+            d.reload(RULES)  # same rules, new generation
+            d.submit(key(2), payload)
+            d.drain()
+            after = [a for a in d.alerts if a.key == key(2)]
+            assert [(m.event.pos, m.event.match_id) for m in after] == [
+                (pos, mid) for (_p, _s, _sp, _d, _dp, pos, mid) in before
+            ]
+        finally:
+            d.stop()
+
+    def test_inflight_flows_drain_on_their_generation(self):
+        # Queue work, then reload immediately: flows queued before the
+        # in-band marker scan on generation 1, and nothing is lost.
+        d = ScanDaemon(RULES, config=ServeConfig(workers=2, queue_depth=16)).start()
+        try:
+            for i in range(24):
+                d.submit(key(i), b"padpad alpha fill omega beta5 pad")
+            event = d.reload(RULES)
+            d.drain(60)
+            assert event.drained
+            assert len({a.key for a in d.alerts}) == 24
+            report = d.status()
+            assert report.n_flows == 24
+            assert not report.degraded
+        finally:
+            d.stop()
+
+    def test_reload_failure_keeps_serving(self):
+        d = ScanDaemon(RULES, config=ServeConfig(workers=1)).start()
+        try:
+            with pytest.raises(Exception):
+                d.reload(["((((" ])  # unparseable: compile fails, no swap
+            assert d.status().generation == 1
+            d.submit(key(0), b"beta3")
+            d.drain()
+            assert [a.event.match_id for a in d.alerts] == [2]
+        finally:
+            d.stop()
+
+    def test_reload_requires_running_daemon(self):
+        d = ScanDaemon(RULES)
+        with pytest.raises(RuntimeError, match="not running"):
+            d.reload(RULES)

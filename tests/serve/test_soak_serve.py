@@ -1,0 +1,106 @@
+"""The acceptance soak: faults, a worker kill, and a live reload in one run.
+
+One daemon instance survives the full gauntlet — every fault class from
+:mod:`repro.robust.faults` pushed through ``serve_scan``, one external
+SIGKILL mid-load, and one live single-shard rule reload — and its
+aggregate match stream stays byte-identical to a single-process
+``resilient_scan`` of the same captures.  The restart and reload events
+must all be visible in the ``ServeReport`` JSON.
+"""
+
+import json
+import os
+import signal
+from io import BytesIO
+
+import pytest
+
+from repro.core import compile_mfa
+from repro.fastpath import ArtifactCache
+from repro.robust import resilient_scan
+from repro.robust.faults import FAULT_CLASSES, apply_fault
+from repro.serve import ScanDaemon, ServeConfig, canonical_stream, serve_scan
+from repro.traffic.flows import PROTO_TCP, FiveTuple, Packet
+from repro.traffic.pcap import write_pcap
+
+pytestmark = [pytest.mark.soak, pytest.mark.faults]
+
+RULES_V1 = [".*alpha.*omega", "beta[0-9]+", "gamma+", "delta"]
+# A single-rule edit: with four shards and a warm cache, exactly one
+# shard rebuilds on reload.
+RULES_V2 = RULES_V1[:3] + ["delta[0-9]"]
+
+
+def key(i):
+    return FiveTuple(PROTO_TCP, f"10.9.0.{i + 1}", 4000 + i, "192.168.0.9", 80)
+
+
+def capture_blob(tag):
+    packets = []
+    for i in range(10):
+        payload = [
+            b"alpha winds down to omega",
+            b"beta42 then beta7",
+            b"gammaaa noise delta delta5",
+            b"nothing of note here",
+        ][i % 4] + bytes(f" {tag}-{i}", "ascii")
+        packets.append(Packet(key=key(i), payload=payload, seq=0))
+    buffer = BytesIO()
+    write_pcap(buffer, packets)
+    return buffer.getvalue()
+
+
+def reference_stream(rules, blobs):
+    """Aggregate canonical stream of a single-process resilient scan."""
+    engine = compile_mfa(rules)
+    alerts = []
+    for blob in blobs:
+        batch, _report = resilient_scan(engine, blob)
+        alerts.extend(batch)
+    return canonical_stream(alerts)
+
+
+class TestServeSoak:
+    def test_full_gauntlet_stream_byte_identical(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        config = ServeConfig(workers=2, queue_depth=16, backoff_base=0.02)
+        d = ScanDaemon(RULES_V1, shards=4, cache=cache, config=config).start()
+        try:
+            faults = sorted(FAULT_CLASSES)
+            blobs_a = [apply_fault(capture_blob(f), f, seed=3) for f in faults]
+            blobs_b = [apply_fault(capture_blob(f), f, seed=11) for f in faults]
+
+            # Phase A (generation 1): every fault class, with one external
+            # SIGKILL landed halfway through the sweep.
+            for n, blob in enumerate(blobs_a):
+                if n == len(blobs_a) // 2:
+                    os.kill(d.worker_pids()[0], signal.SIGKILL)
+                serve_scan(d, blob)
+            d.drain(120)
+            assert canonical_stream(d.alerts) == reference_stream(RULES_V1, blobs_a)
+
+            # Live single-shard reload: one shard rebuilt, three cached.
+            event = d.reload(RULES_V2)
+            assert event.generation == 2
+            assert event.shards_rebuilt == 1
+            assert event.shards_cached == 3
+            assert event.drained
+
+            # Phase B (generation 2): the same gauntlet under the new rules.
+            d.alerts.clear()
+            for blob in blobs_b:
+                serve_scan(d, blob)
+            d.drain(120)
+            assert canonical_stream(d.alerts) == reference_stream(RULES_V2, blobs_b)
+
+            # Every event the soak provoked is visible in the JSON report.
+            doc = d.status().to_dict()
+            assert doc["restarts"] >= 1
+            assert doc["generation"] == 2
+            assert [r["generation"] for r in doc["reloads"]] == [2]
+            assert doc["reloads"][0]["shards_rebuilt"] == 1
+            assert doc["flows_quarantined"] == 0
+            assert doc["internal_errors"] == []
+            assert json.dumps(doc)
+        finally:
+            d.stop()
