@@ -104,7 +104,12 @@ def _cmd_rcompile(set_name: str) -> int:
     return 0 if result.ok else 1
 
 
-def _cmd_rscan(set_name: str, pcap_path: str, engine_choice: str = "mfa") -> int:
+def _cmd_rscan(
+    set_name: str,
+    pcap_path: str,
+    engine_choice: str = "mfa",
+    prefilter: str = "auto",
+) -> int:
     from collections import Counter
 
     from ..robust import resilient_scan, scan_limits_from_env
@@ -124,7 +129,7 @@ def _cmd_rscan(set_name: str, pcap_path: str, engine_choice: str = "mfa") -> int
         from ..fastpath import build_fastpath
 
         if isinstance(engine, MFA):
-            engine = build_fastpath(engine)
+            engine = build_fastpath(engine, prefilter=prefilter)
             batch_size = engine.batch_hint
         else:
             # The fallback chain shipped a non-MFA engine; the lockstep
@@ -156,6 +161,7 @@ def _cmd_serve(
     report_path: str | None,
     socket_path: str | None,
     oneshot: bool,
+    prefilter: str = "auto",
 ) -> int:
     """Run the long-lived scan daemon over a shipped rule set.
 
@@ -180,7 +186,7 @@ def _cmd_serve(
     if cache_dir and os.environ.get("REPRO_COMPILE_CACHE", "1") != "0":
         cache = ArtifactCache(os.path.join(cache_dir, "serve"))
 
-    config = ServeConfig(workers=workers, engine=engine_choice)
+    config = ServeConfig(workers=workers, engine=engine_choice, prefilter=prefilter)
     daemon = ScanDaemon(
         list(ruleset(set_name).rules),
         shards=shards,
@@ -231,7 +237,12 @@ def _cmd_serve(
     return 1 if report.degraded else 0
 
 
-def _cmd_scan(set_name: str, pcap_path: str, engine_choice: str = "mfa") -> int:
+def _cmd_scan(
+    set_name: str,
+    pcap_path: str,
+    engine_choice: str = "mfa",
+    prefilter: str = "auto",
+) -> int:
     from collections import Counter
 
     from ..traffic.flows import dispatch_flows
@@ -248,6 +259,14 @@ def _cmd_scan(set_name: str, pcap_path: str, engine_choice: str = "mfa") -> int:
         from ..traffic.flows import FlowAssembler, FlowMatch
 
         engine = built.engine
+        if prefilter != getattr(engine, "prefilter_mode", prefilter):
+            # build_engine caches one wrapper per set; re-wrap the shared
+            # MFA under the requested mode (tables rebuild, artifact doesn't).
+            from ..fastpath import build_fastpath
+
+            engine = build_fastpath(engine.mfa, prefilter=prefilter)
+        state = "active" if getattr(engine, "prefilter_active", False) else "inactive"
+        print(f"prefilter: {prefilter} ({state})")
         assembler = FlowAssembler()
         assembler.add_all(packets)
         flows = [flow for flow in assembler.flows() if flow.payload]
@@ -514,6 +533,14 @@ def main(argv: list[str] | None = None) -> int:
         "batch fastpath (numpy; falls back to scalar without it)",
     )
     parser.add_argument(
+        "--prefilter",
+        choices=("on", "off", "auto"),
+        default="auto",
+        help="for 'scan'/'rscan'/'serve' with the fastpath engine: "
+        "required-literal prefilter mode (auto enables it whenever the "
+        "compiled plan exists; recorded in the scan/serve report)",
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -619,6 +646,7 @@ def main(argv: list[str] | None = None) -> int:
             args.report,
             args.socket,
             args.oneshot,
+            args.prefilter,
         )
     elif args.command in ("compile", "scan", "rcompile", "rscan"):
         if not args.set_name:
@@ -633,8 +661,8 @@ def main(argv: list[str] | None = None) -> int:
             if not args.pcap:
                 parser.error(f"{args.command} needs a pcap file")
             if args.command == "scan":
-                return _cmd_scan(args.set_name, args.pcap, args.engine)
-            return _cmd_rscan(args.set_name, args.pcap, args.engine)
+                return _cmd_scan(args.set_name, args.pcap, args.engine, args.prefilter)
+            return _cmd_rscan(args.set_name, args.pcap, args.engine, args.prefilter)
     return 0
 
 

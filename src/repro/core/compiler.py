@@ -98,6 +98,7 @@ def compile_mfa(
     phases: dict[str, float] | None = None,
     lint: bool = False,
     prove: bool = False,
+    prefilter: bool = True,
 ) -> MFA:
     """Parse, split and compile a rule set into a match-filtering automaton.
 
@@ -125,6 +126,11 @@ def compile_mfa(
     A budget-truncated proof surfaces as an ``EQ110`` warning on the
     report, which does not raise; gate on it explicitly if bounded
     proofs are unacceptable.
+
+    ``prefilter`` attaches the required-literal prefilter plan to the
+    compiled artifact (and into its serialized bundle) when the rule set
+    supports one; see :mod:`repro.fastpath.prefilter`.  Purely a scan-time
+    accelerator — it never changes the match stream.
     """
     if lint or prove:
         engine = compile_mfa(
@@ -137,6 +143,7 @@ def compile_mfa(
             time_budget=time_budget,
             cache=cache,
             phases=phases,
+            prefilter=prefilter,
         )
         if lint:
             from ..analyze import analyze_engine
@@ -166,6 +173,7 @@ def compile_mfa(
             jobs=jobs,
             cache=cache,
             phases=phases,
+            prefilter=prefilter,
         )
     import time as _time
 
@@ -179,6 +187,7 @@ def compile_mfa(
         state_budget=state_budget,
         time_budget=time_budget,
         phases=phases,
+        prefilter=prefilter,
     )
 
 

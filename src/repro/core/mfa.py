@@ -56,6 +56,10 @@ class MFA:
         self.split = split if split is not None else SplitResult(
             components=[], program=program, component_ids={}, stats=SplitStats()
         )
+        # Optional required-literal prefilter plan (a plain JSON-able dict,
+        # see repro.fastpath.prefilter) — attached by build_mfa, carried
+        # through serialization, consumed by the fastpath engine.
+        self.prefilter: Optional[dict] = None
         self.engine = FilterEngine(program)
         # Pre-compile every decision set into an op tuple, ordered by action
         # priority (clears < sets < tests).  Ops for plain bit-plane actions
@@ -267,6 +271,7 @@ def build_mfa(
     minimize: bool = False,
     time_budget: float | None = None,
     phases: dict[str, float] | None = None,
+    prefilter: bool = True,
 ) -> MFA:
     """Split a rule set and compile the component DFA (paper Figure 1).
 
@@ -278,8 +283,13 @@ def build_mfa(
 
     ``phases`` is an out-parameter: pass a dict and the wall time of each
     compile phase (``split``, ``determinize``, ``minimize``,
-    ``filter-gen``) is *added* to it, so repeated/sharded builds
-    accumulate into one breakdown.
+    ``filter-gen``, ``prefilter``) is *added* to it, so repeated/sharded
+    builds accumulate into one breakdown.
+
+    ``prefilter`` attaches a required-literal prefilter plan (pure-Python
+    AST analysis, a few microseconds per rule) when the component set
+    supports one; the plan rides the bundle and is purely a scan-time
+    accelerator — disabling it never changes match semantics.
     """
     import time as _time
 
@@ -300,5 +310,12 @@ def build_mfa(
         dfa = minimize_dfa(dfa)
         tick = _mark("minimize", tick)
     mfa = MFA(dfa, split.program, split)
-    _mark("filter-gen", tick)
+    tick = _mark("filter-gen", tick)
+    if prefilter:
+        # Imported lazily: the plan builder lives with the engine that
+        # consumes it, and core must not depend on fastpath at import time.
+        from ..fastpath.prefilter import build_prefilter
+
+        mfa.prefilter = build_prefilter(mfa)
+        _mark("prefilter", tick)
     return mfa

@@ -28,6 +28,10 @@ __all__ = [
 ]
 
 _MAGIC = b"MFABDL1\n"
+# Version 2 framing appends a third section: the JSON prefilter plan (see
+# repro.fastpath.prefilter).  Bundles without a plan are still written as
+# version 1, so artifacts stay byte-identical with older releases.
+_MAGIC_V2 = b"MFABDL2\n"
 
 # Public alias: the static analyzer (repro.analyze.bundle) parses bundles
 # tolerantly and needs the framing constants without the decode logic.
@@ -75,17 +79,61 @@ def program_from_json(blob: dict) -> FilterProgram:
 
 
 def dumps_mfa(mfa: MFA) -> bytes:
-    """Serialise an MFA (DFA table + filter program) to bytes."""
+    """Serialise an MFA (DFA table + filter program [+ prefilter plan])."""
     program_bytes = json.dumps(
         program_to_json(mfa.program), separators=(",", ":"), sort_keys=True
     ).encode()
     dfa_bytes = dumps_dfa(mfa.dfa)
+    plan = mfa.prefilter
+    if plan is None:
+        return (
+            _MAGIC
+            + struct.pack("<II", len(program_bytes), len(dfa_bytes))
+            + program_bytes
+            + dfa_bytes
+        )
+    plan_bytes = json.dumps(plan, separators=(",", ":"), sort_keys=True).encode()
     return (
-        _MAGIC
-        + struct.pack("<II", len(program_bytes), len(dfa_bytes))
+        _MAGIC_V2
+        + struct.pack("<III", len(program_bytes), len(dfa_bytes), len(plan_bytes))
         + program_bytes
         + dfa_bytes
+        + plan_bytes
     )
+
+
+def _split_sections(
+    blob: "bytes | memoryview",
+) -> tuple[bytes, "bytes | memoryview", "bytes | None"]:
+    """Framing-only split into (filter JSON, DFA blob, prefilter JSON)."""
+    view = memoryview(blob) if not isinstance(blob, bytes) else blob
+    magic = bytes(view[: len(_MAGIC)])
+    if magic == _MAGIC:
+        header = "<II"
+    elif magic == _MAGIC_V2:
+        header = "<III"
+    else:
+        raise ValueError("not a serialised MFA bundle (bad magic)")
+    offset = len(_MAGIC)
+    header_len = struct.calcsize(header)
+    if len(view) < offset + header_len:
+        raise ValueError("truncated MFA bundle (missing section lengths)")
+    sizes = struct.unpack_from(header, view, offset)
+    program_len, dfa_len = sizes[0], sizes[1]
+    plan_len = sizes[2] if len(sizes) > 2 else None
+    offset += header_len
+    program_bytes = bytes(view[offset : offset + program_len])
+    offset += program_len
+    dfa_bytes = view[offset : offset + dfa_len]
+    if len(program_bytes) != program_len or len(dfa_bytes) != dfa_len:
+        raise ValueError("truncated MFA bundle")
+    if plan_len is None:
+        return program_bytes, dfa_bytes, None
+    offset += dfa_len
+    plan_bytes = bytes(view[offset : offset + plan_len])
+    if len(plan_bytes) != plan_len:
+        raise ValueError("truncated MFA bundle (missing prefilter plan)")
+    return program_bytes, dfa_bytes, plan_bytes
 
 
 def split_bundle(blob: "bytes | memoryview") -> tuple[bytes, "bytes | memoryview"]:
@@ -95,21 +143,11 @@ def split_bundle(blob: "bytes | memoryview") -> tuple[bytes, "bytes | memoryview
     — so the static analyzer can audit each part tolerantly.  Raises
     :class:`ValueError` naming the structural defect.  A ``memoryview``
     input yields a zero-copy ``memoryview`` DFA half (the small filter
-    JSON is always materialised).
+    JSON is always materialised).  Accepts both framing versions; the
+    version-2 prefilter section is dropped (it is a scan-time accelerator
+    with no bearing on match semantics).
     """
-    view = memoryview(blob) if not isinstance(blob, bytes) else blob
-    if bytes(view[: len(_MAGIC)]) != _MAGIC:
-        raise ValueError("not a serialised MFA bundle (bad magic)")
-    offset = len(_MAGIC)
-    if len(view) < offset + 8:
-        raise ValueError("truncated MFA bundle (missing section lengths)")
-    program_len, dfa_len = struct.unpack_from("<II", view, offset)
-    offset += 8
-    program_bytes = bytes(view[offset : offset + program_len])
-    offset += program_len
-    dfa_bytes = view[offset : offset + dfa_len]
-    if len(program_bytes) != program_len or len(dfa_bytes) != dfa_len:
-        raise ValueError("truncated MFA bundle")
+    program_bytes, dfa_bytes, _ = _split_sections(blob)
     return program_bytes, dfa_bytes
 
 
@@ -120,10 +158,16 @@ def loads_mfa(blob: "bytes | memoryview", mmap: bool = False) -> MFA:
     the caller's buffer (see :func:`repro.automata.serialize.loads_dfa`);
     the buffer must outlive the returned engine.
     """
-    program_bytes, dfa_bytes = split_bundle(blob)
+    program_bytes, dfa_bytes, plan_bytes = _split_sections(blob)
     program = program_from_json(json.loads(program_bytes))
     dfa = loads_dfa(dfa_bytes, mmap=mmap)
-    return MFA(dfa, program)
+    mfa = MFA(dfa, program)
+    if plan_bytes is not None:
+        plan = json.loads(plan_bytes)
+        if not isinstance(plan, dict):
+            raise ValueError("prefilter plan section is not a JSON object")
+        mfa.prefilter = plan
+    return mfa
 
 
 def save_mfa(mfa: MFA, stream: BinaryIO) -> None:

@@ -177,7 +177,7 @@ def _compile_shard_worker(
     """
     from ..core.serialize import dumps_mfa
 
-    patterns, splitter_options, state_budget, time_budget, minimize = payload
+    patterns, splitter_options, state_budget, time_budget, minimize, prefilter = payload
     phases: dict[str, float] = {}
     tick = time.perf_counter()
     try:
@@ -188,6 +188,7 @@ def _compile_shard_worker(
             minimize=minimize,
             time_budget=time_budget,
             phases=phases,
+            prefilter=prefilter,
         )
     except Exception as exc:  # noqa: BLE001 - reported to the parent
         elapsed = time.perf_counter() - tick
@@ -202,6 +203,7 @@ def _shard_cache_key(
     parser_options: ParserOptions | None,
     state_budget: int,
     minimize: bool,
+    prefilter: bool,
 ) -> str:
     from ..fastpath.cache import cache_key
 
@@ -211,6 +213,7 @@ def _shard_cache_key(
         parser_options=parser_options,
         state_budget=state_budget,
         minimize=minimize,
+        prefilter=prefilter,
     )
 
 
@@ -224,6 +227,7 @@ def compile_shards(
     jobs: int = 1,
     cache=None,
     phases: dict[str, float] | None = None,
+    prefilter: bool = True,
 ) -> list[ShardBuild]:
     """Compile each shard to an MFA, in parallel when ``jobs > 1``.
 
@@ -242,7 +246,8 @@ def compile_shards(
     for index, shard in enumerate(shard_patterns):
         if cache is not None:
             keys[index] = _shard_cache_key(
-                shard, splitter_options, parser_options, state_budget, minimize
+                shard, splitter_options, parser_options, state_budget, minimize,
+                prefilter,
             )
             tick = time.perf_counter()
             cached = cache.load(keys[index])
@@ -277,6 +282,7 @@ def compile_shards(
                 state_budget,
                 time_budget,
                 minimize,
+                prefilter,
             )
             for index in to_build
         ]
@@ -301,6 +307,7 @@ def compile_shards(
                     minimize=minimize,
                     time_budget=time_budget,
                     phases=sub_phases,
+                    prefilter=prefilter,
                 )
                 results[index] = ShardBuild(
                     built, None, False, time.perf_counter() - tick
@@ -330,6 +337,7 @@ def compile_mfa_sharded(
     jobs: int = 1,
     cache=None,
     phases: dict[str, float] | None = None,
+    prefilter: bool = True,
 ) -> ShardedMFA | MFA:
     """Parse, partition and compile a rule set as parallel shards.
 
@@ -358,6 +366,7 @@ def compile_mfa_sharded(
             jobs=1,
             cache=cache,
             phases=phases,
+            prefilter=prefilter,
         )[0]
         if built.error is not None:
             raise built.error
@@ -373,6 +382,7 @@ def compile_mfa_sharded(
         jobs=jobs,
         cache=cache,
         phases=phases,
+        prefilter=prefilter,
     )
     for built in results:
         if built.error is not None:

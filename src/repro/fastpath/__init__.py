@@ -20,13 +20,17 @@ thin wrapper over the scalar MFA with identical semantics.
 
 from .cache import ArtifactCache, cache_key, compile_mfa_cached, default_cache_dir
 from .engine import HAVE_NUMPY, FastPathMFA, build_fastpath
+from .prefilter import PrefilterRuntime, build_prefilter, plan_summary
 
 __all__ = [
     "ArtifactCache",
     "FastPathMFA",
     "HAVE_NUMPY",
+    "PrefilterRuntime",
     "build_fastpath",
+    "build_prefilter",
     "cache_key",
     "compile_mfa_cached",
     "default_cache_dir",
+    "plan_summary",
 ]

@@ -43,8 +43,9 @@ __all__ = [
 ]
 
 # Bump whenever the serialized bundle format or compile semantics change in
-# a way old entries must not survive.
-CACHE_FORMAT = 1
+# a way old entries must not survive.  2: bundles may carry a prefilter
+# plan section (MFABDL2 framing).
+CACHE_FORMAT = 2
 
 
 def cache_enabled() -> bool:
@@ -75,9 +76,15 @@ def cache_key(
     parser_options: ParserOptions | None = None,
     state_budget: int = DEFAULT_STATE_BUDGET,
     minimize: bool = False,
+    prefilter: bool = True,
     extra: dict | None = None,
 ) -> str:
-    """Deterministic key over every input that shapes the compiled MFA."""
+    """Deterministic key over every input that shapes the compiled MFA.
+
+    ``prefilter`` is keyed because it changes the serialized bundle (a
+    version-2 bundle carries the plan section) even though it never
+    changes match semantics.
+    """
     doc = {
         "format": CACHE_FORMAT,
         "rules": [_rule_token(rule) for rule in rules],
@@ -85,6 +92,7 @@ def cache_key(
         "parser": asdict(parser_options or ParserOptions()),
         "state_budget": state_budget,
         "minimize": minimize,
+        "prefilter": prefilter,
         "extra": extra or {},
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()

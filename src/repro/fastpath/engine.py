@@ -41,12 +41,14 @@ Several table-layout tricks keep the per-byte numpy overhead down:
 
 from __future__ import annotations
 
+import os
 from math import sqrt
 from typing import Iterator, Sequence
 
 from ..automata.nfa import MatchEvent
 from ..core.filters import NONE
 from ..core.mfa import MFA, FlowContext
+from .prefilter import PrefilterRuntime, build_prefilter
 
 try:  # pragma: no cover - exercised via HAVE_NUMPY both ways in tests
     import numpy as _np
@@ -63,6 +65,17 @@ __all__ = ["FastPathMFA", "build_fastpath", "HAVE_NUMPY"]
 # little scalar stitch bookkeeping, so L grows with the batch.
 _MIN_SEGMENT = 128
 _MAX_SEGMENT = 8192
+
+# Prefiltered batches fall back to the classic lockstep walk when the
+# candidate windows cover more than this fraction of the payload (both
+# paths are exact; past this density the windowed walk stops winning) or
+# when the window history matrix would outgrow the cache-friendly range.
+_DENSITY_FALLBACK_NUM = 3
+_DENSITY_FALLBACK_DEN = 8
+_HIST_CELL_CAP = 1 << 22
+
+_PREFILTER_ENV = "REPRO_PREFILTER"
+_PREFILTER_MODES = ("on", "off", "auto")
 
 
 def _apply_ops(ops, memory, absolute: int, engine_process, append) -> None:
@@ -103,9 +116,22 @@ class FastPathMFA:
     by default it is sized per batch from the total payload.  Without
     numpy every batch call degrades to the scalar engine, semantics
     unchanged.
+
+    ``prefilter`` selects the required-literal prefilter stage: ``"on"``
+    and ``"auto"`` use the compiled plan when one exists (building it from
+    split provenance on the fly if the MFA carries none), ``"off"`` always
+    scans every byte.  ``None`` reads ``REPRO_PREFILTER`` (default
+    ``auto``).  The prefiltered path is byte-identical to the classic one
+    — it only changes which bytes the automaton walks.
     """
 
-    def __init__(self, mfa: MFA, segment_bytes: int | None = None, batch_hint: int = 64):
+    def __init__(
+        self,
+        mfa: MFA,
+        segment_bytes: int | None = None,
+        batch_hint: int = 64,
+        prefilter: str | None = None,
+    ):
         if segment_bytes is not None and segment_bytes < 1:
             raise ValueError("segment_bytes must be positive")
         self.mfa = mfa
@@ -113,9 +139,25 @@ class FastPathMFA:
         # How many flows callers should aim to hand feed_batch/run_batch at
         # once; advisory (any batch size works).
         self.batch_hint = batch_hint
+        mode = prefilter if prefilter is not None else os.environ.get(_PREFILTER_ENV, "auto")
+        if mode not in _PREFILTER_MODES:
+            raise ValueError(f"prefilter must be one of {_PREFILTER_MODES}, got {mode!r}")
+        self.prefilter_mode = mode
+        self._prefilter_runtime: PrefilterRuntime | None = None
         self._vector_ready = False
         if HAVE_NUMPY:
             self._build_tables()
+        if mode != "off" and self._vector_ready:
+            plan = mfa.prefilter
+            if plan is None:
+                plan = build_prefilter(mfa)
+            if plan is not None:
+                self._prefilter_runtime = PrefilterRuntime(plan)
+
+    @property
+    def prefilter_active(self) -> bool:
+        """True when batches actually route through the prefilter stage."""
+        return self._prefilter_runtime is not None
 
     # -- build ---------------------------------------------------------------
 
@@ -241,7 +283,16 @@ class FastPathMFA:
         total = sum(len(p) for p in payloads)
         if not self._vector_ready or total == 0:
             return self._feed_scalar(contexts, payloads)
+        if self._prefilter_runtime is not None:
+            results = self._feed_prefiltered(contexts, payloads, total)
+            if results is not None:
+                return results
+        return self._feed_lockstep(contexts, payloads, total)
 
+    def _feed_lockstep(
+        self, contexts: Sequence[FlowContext], payloads: Sequence[bytes], total: int
+    ) -> list[list[MatchEvent]]:
+        """The classic every-byte lockstep walk (also the density fallback)."""
         segment = self.segment_bytes
         if segment is None:
             segment = max(_MIN_SEGMENT, min(_MAX_SEGMENT, int(sqrt(total / 4))))
@@ -387,6 +438,265 @@ class FastPathMFA:
             context.offset += len(payloads[f])
         return results
 
+    # -- prefiltered path ----------------------------------------------------
+
+    def _feed_prefiltered(
+        self, contexts: Sequence[FlowContext], payloads: Sequence[bytes], total: int
+    ) -> list[list[MatchEvent]] | None:
+        """Scan only candidate windows; ``None`` defers to the classic walk.
+
+        Stage one scans the concatenated batch buffer for required-chain
+        occurrences and clear-spec fires (all whole-buffer numpy table
+        lookups).  Stage two turns occurrences into merged per-flow record
+        intervals — always including byte 0 (exact entering-state walk), a
+        small horizon prefix (chunk-boundary-straddling occurrences), the
+        anchored head, and the last byte (exact final state).  Stage three
+        walks one warm-started lane per interval in lockstep, lanes sorted
+        by length so dead lanes compact off the active prefix, then
+        replays the sparse accepting positions through the scalar filter
+        ops with gap clear summaries applied between windows.
+        """
+        runtime = self._prefilter_runtime
+        assert runtime is not None
+        warm = runtime.warmup
+        n_flows = len(payloads)
+        joined = b"".join(payloads)
+        buf = _np.frombuffer(joined, dtype=_np.uint8)
+        lengths = _np.fromiter(
+            (len(p) for p in payloads), dtype=_np.int64, count=n_flows
+        )
+        flow_starts = _np.concatenate(([0], _np.cumsum(lengths)))
+
+        res = runtime.scan(buf)
+        ends = res.ends
+
+        # Chain occurrences -> per-flow candidate spans, flow-clipped.
+        # Occurrences whose predicted accepts fall past the chunk end are
+        # dropped: the next chunk's horizon prefix covers them.
+        if ends.size:
+            flow_of = _np.searchsorted(flow_starts, ends, side="right") - 1
+            rel = ends - flow_starts[flow_of]
+            span_lo = rel + res.tail_min
+            span_hi = rel + res.tail_max
+            flen = lengths[flow_of]
+            keep = span_lo < flen
+            if not keep.all():
+                flow_of = flow_of[keep]
+                span_lo = span_lo[keep]
+                span_hi = span_hi[keep]
+                flen = flen[keep]
+            _np.minimum(span_hi, flen - 1, out=span_hi)
+        else:
+            flow_of = span_lo = span_hi = ends  # all empty int64
+
+        # Merge head/chain/tail spans into record windows, fully vectorized:
+        # spans sorted by (flow, lo), a running max of span ends, and a
+        # window break wherever the next span starts more than warm+1 past
+        # everything seen so far (any closer and the walk would re-cover
+        # the gap anyway).  This guarantees every non-first window's warm
+        # start stays inside the chunk and every gap between windows is
+        # non-empty and past byte 0.  Every non-empty flow contributes a
+        # head span (byte 0, the horizon prefix, and the anchored-head
+        # range) and a tail span (the last byte: exact final state).
+        horizon = runtime.horizon
+        a_max = runtime.a_max
+        perm_p = self._perm_p
+        nz = _np.flatnonzero(lengths)
+        head_hi = _np.full(nz.size, horizon - 1, dtype=_np.int64)
+        if a_max:
+            offs = _np.fromiter(
+                (contexts[f].offset for f in nz.tolist()),
+                dtype=_np.int64,
+                count=nz.size,
+            )
+            _np.maximum(head_hi, a_max - 1 - offs, out=head_hi)
+        _np.minimum(head_hi, lengths[nz] - 1, out=head_hi)
+        tail_lo = lengths[nz] - 1
+        all_flow = _np.concatenate((nz, flow_of, nz))
+        all_lo = _np.concatenate(
+            (_np.zeros(nz.size, dtype=_np.int64), span_lo, tail_lo)
+        )
+        all_hi = _np.concatenate((head_hi, span_hi, tail_lo))
+        order = _np.lexsort((all_lo, all_flow))
+        all_flow = all_flow.take(order)
+        all_lo = all_lo.take(order)
+        all_hi = all_hi.take(order)
+        # Offsetting spans by flow * stride makes the running max per-flow
+        # for free: a flow boundary always breaks (stride >> any length).
+        stride = _np.int64(1) << 40
+        key_lo = all_lo + all_flow * stride
+        run_hi = _np.maximum.accumulate(all_hi + all_flow * stride)
+        n_spans = all_lo.size
+        new_win = _np.empty(n_spans, dtype=bool)
+        new_win[0] = True
+        _np.greater(key_lo[1:], run_hi[:-1] + (1 + warm), out=new_win[1:])
+        sidx = _np.flatnonzero(new_win)
+        n_win = sidx.size
+        w_flow = all_flow.take(sidx)
+        w_lo = all_lo.take(sidx)
+        last_idx = _np.empty(n_win, dtype=_np.int64)
+        last_idx[:-1] = sidx[1:] - 1
+        last_idx[-1] = n_spans - 1
+        w_hi = run_hi.take(last_idx) - w_flow * stride
+        # First window of a flow records from byte 0 with the entering
+        # state; later windows warm up from `warm` bytes earlier (the
+        # break condition keeps w_lo - warm >= 2).
+        w_walk = w_lo - warm
+        _np.maximum(w_walk, 0, out=w_walk)
+        wf_start = flow_starts.take(w_flow)
+        win_start = wf_start + w_walk  # absolute walk start in the buffer
+        win_len = w_hi - w_walk + 1
+        win_rec = w_lo - w_walk  # record offset within the walk (0 or warm)
+        recorded_cost = int(win_len.sum())
+        max_len = int(win_len.max())
+        if (
+            recorded_cost * _DENSITY_FALLBACK_DEN > total * _DENSITY_FALLBACK_NUM
+            or max_len * n_win > _HIST_CELL_CAP
+        ):
+            return None
+        first_of = _np.empty(n_win, dtype=bool)
+        first_of[0] = True
+        _np.not_equal(w_flow[1:], w_flow[:-1], out=first_of[1:])
+        entering = _np.fromiter(
+            (perm_p[c.state] for c in contexts), dtype=_np.int64, count=n_flows
+        )
+        win_init = _np.where(first_of, entering.take(w_flow), self._start_p)
+        flow_last = _np.full(n_flows, -1, dtype=_np.int64)
+        flow_last[w_flow] = _np.arange(n_win, dtype=_np.int64)
+        gap_win = _np.flatnonzero(~first_of)  # windows preceded by a gap
+
+        # Lockstep walk over the windows, longest first: the active lane
+        # set is always the prefix [:n_active], so lanes compact away as
+        # they die and each step gathers only live lanes.
+        dtype = self._dtype
+        sort_order = _np.argsort(-win_len, kind="stable")
+        wlen_s = win_len.take(sort_order)
+        wstart_s = win_start.take(sort_order)
+        rec_s = win_rec.take(sort_order)
+        steps = _np.arange(max_len, dtype=_np.int64)
+        n_active = _np.searchsorted(-wlen_s, -steps, side="left")
+        # Window bytes as one (max_len, n_win) block gathered straight from
+        # the raw buffer — windows cover a few percent of the batch, so
+        # per-window gathers beat a whole-buffer translate pass.  Positions
+        # past a window's end clip to the buffer tail; those cells are
+        # masked out of accept detection below and never read otherwise.
+        wbytes = buf.take(wstart_s[None, :] + steps[:, None], mode="clip")
+        cols2d = self._byte_map.take(wbytes)
+        hist = _np.empty((max_len, n_win), dtype=dtype)
+        flat = self._flat
+        na_list = n_active.tolist()
+        prev = win_init.take(sort_order).astype(dtype)
+        for t in range(max_len):
+            na = na_list[t]
+            row = hist[t]
+            flat.take(prev[:na] + cols2d[t, :na], out=row[:na], mode="clip")
+            prev = row
+
+        final_by_win = _np.empty(n_win, dtype=_np.int64)
+        final_by_win[sort_order] = hist[wlen_s - 1, _np.arange(n_win)]
+
+        # Sparse accepting positions inside record ranges, in flow order
+        # (buffer positions are already flow-major), with the idempotent
+        # mask-pair run collapse restricted to within one window — a gap's
+        # clear summary may separate two windows of the same flow.
+        ncols = self._ncols
+        results: list[list[MatchEvent]] = [[] for _ in payloads]
+        wins_list: list[int] = []
+        pos_list: list[int] = []
+        sids_list: list[int] = []
+        if self._thr_any < self.n_states * ncols:
+            stepcol = steps[:, None]
+            valid = (stepcol >= rec_s[None, :]) & (stepcol < wlen_s[None, :])
+            valid &= hist >= self._thr_any
+            hot_t, hot_i = _np.nonzero(valid)
+            if hot_t.size:
+                pos_abs = wstart_s[hot_i] + hot_t
+                reorder = _np.argsort(pos_abs, kind="stable")
+                hot_t = hot_t[reorder]
+                hot_i = hot_i[reorder]
+                pos_abs = pos_abs[reorder]
+                sids = hist[hot_t, hot_i]
+                wins = sort_order[hot_i]
+                keep = _np.empty(sids.size, dtype=bool)
+                keep[0] = True
+                _np.not_equal(sids[1:], sids[:-1], out=keep[1:])
+                keep[1:] |= sids[1:] >= self._thr_full
+                keep[1:] |= wins[1:] != wins[:-1]
+                wins_list = wins[keep].tolist()
+                pos_list = pos_abs[keep].tolist()
+                sids_list = sids[keep].tolist()
+
+        # Gap clear summaries, batched and lazy: a clear can only change a
+        # nonzero bit plane, and the plane is nonzero in some gap only if
+        # a flow entered the chunk with bits set or some window produced
+        # hits — so clean traffic never pays for them.  When triggered,
+        # every gap is answered in one vectorized pass over the scan's
+        # gram-bit row, and each group's fires become a cumulative count
+        # by window: "did this group fire anywhere in windows (a, b]" is
+        # then one subtraction, so the replay below never has to visit
+        # hitless windows at all.
+        cnt_groups: list[tuple[list[int], int]] | None = None
+        if runtime.has_clears and gap_win.size:
+            if wins_list or any(c.memory.bits for c in contexts):
+                gs = wf_start.take(gap_win)
+                gap_lo = gs + w_hi.take(gap_win - 1) + 1
+                gap_hi = gs + w_lo.take(gap_win) - 1
+                cnt_groups = []
+                for fired, and_mask in res.gap_fired_groups(gap_lo, gap_hi):
+                    marks = _np.zeros(n_win + 1, dtype=_np.int64)
+                    marks[gap_win[fired] + 1] = 1
+                    cnt_groups.append((_np.cumsum(marks).tolist(), and_mask))
+
+        # Replay: per flow, hits in window order through the exact scalar
+        # ops, threading the bit plane locally like the classic path.  Gap
+        # clear summaries between consecutive hits commute (pure ANDs), so
+        # the group counts fold any stretch of hitless windows into at
+        # most one AND per group — and a zero bit plane skips even that.
+        ops_by_rid = self._ops_by_rid
+        engine_process = self.mfa.engine.process
+        thr_full = self._thr_full
+        inv = self._inv
+        flow_last_l = flow_last.tolist()
+        n_hits = len(wins_list)
+        hit = 0
+        win = 0
+        for f in range(n_flows):
+            length = int(lengths[f])
+            if length == 0:
+                continue
+            context = contexts[f]
+            memory = context.memory
+            bits = memory.bits
+            base = context.offset - int(flow_starts[f])
+            append = results[f].append
+            last_win = flow_last_l[f]
+            prev = win  # flow's first window; never preceded by a gap
+            while hit < n_hits and wins_list[hit] <= last_win:
+                w = wins_list[hit]
+                if bits and cnt_groups is not None and w > prev:
+                    for cnt, and_mask in cnt_groups:
+                        if cnt[w + 1] > cnt[prev + 1]:
+                            bits &= and_mask
+                prev = w
+                sid = sids_list[hit]
+                ops = ops_by_rid[sid // ncols]
+                if sid < thr_full:  # mask pair, inlined for the hot case
+                    bits = bits & ops[1] | ops[0]
+                else:
+                    memory.bits = bits
+                    _apply_ops(ops, memory, base + pos_list[hit], engine_process, append)
+                    bits = memory.bits
+                hit += 1
+            if bits and cnt_groups is not None and last_win > prev:
+                for cnt, and_mask in cnt_groups:
+                    if cnt[last_win + 1] > cnt[prev + 1]:
+                        bits &= and_mask
+            memory.bits = bits
+            context.state = inv[int(final_by_win[last_win]) // ncols]
+            context.offset += length
+            win = last_win + 1
+        return results
+
     # -- scalar fallback -----------------------------------------------------
 
     def _feed_scalar(
@@ -396,6 +706,10 @@ class FastPathMFA:
         return [list(feed(ctx, payload)) for ctx, payload in zip(contexts, payloads)]
 
 
-def build_fastpath(mfa: MFA, segment_bytes: int | None = None) -> FastPathMFA:
+def build_fastpath(
+    mfa: MFA,
+    segment_bytes: int | None = None,
+    prefilter: str | None = None,
+) -> FastPathMFA:
     """Wrap a compiled MFA in the lockstep batch engine."""
-    return FastPathMFA(mfa, segment_bytes=segment_bytes)
+    return FastPathMFA(mfa, segment_bytes=segment_bytes, prefilter=prefilter)

@@ -19,6 +19,7 @@ The language-level suffix/prefix overlap test needs automata and lives in
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from .ast import Alt, ClassNode, Concat, Empty, Node, Repeat
@@ -33,6 +34,9 @@ __all__ = [
     "exact_strings",
     "is_literal_string",
     "literal_bytes",
+    "class_string",
+    "LiteralChain",
+    "required_chains",
 ]
 
 
@@ -217,6 +221,148 @@ def _enumerate_concat(parts: tuple[Node, ...], limit: int) -> Iterator[bytes]:
             count += 1
             if count >= limit:
                 return
+
+
+# Chains longer than this are pointless as prefilter anchors and could
+# only come from pathological rules; give up rather than build huge tables.
+_MAX_CHAIN_LENGTH = 64
+
+
+def class_string(node: Node, limit: int = _MAX_CHAIN_LENGTH) -> Optional[list[CharClass]]:
+    """The node's language as a fixed-length positional class sequence.
+
+    Returns classes ``[C_0 .. C_{k-1}]`` such that *every* word of the
+    language has exactly ``k`` bytes and byte ``i`` lies in ``C_i`` (a sound
+    overapproximation: the product of the classes may be larger than the
+    language).  ``None`` when the language has words of different lengths,
+    is longer than ``limit``, or the shape cannot be analysed.
+
+    This is what makes case-insensitive literals (``[aA][bB]``) and
+    class-wrapped literals (``[a]``) as good as plain literals for
+    prefiltering: the positional classes carry the alternatives.
+    """
+    if isinstance(node, Empty):
+        return []
+    if isinstance(node, ClassNode):
+        return [node.cls]
+    if isinstance(node, Concat):
+        out: list[CharClass] = []
+        for part in node.parts:
+            sub = class_string(part, limit)
+            if sub is None or len(out) + len(sub) > limit:
+                return None
+            out.extend(sub)
+        return out
+    if isinstance(node, Alt):
+        merged: Optional[list[CharClass]] = None
+        for option in node.options:
+            sub = class_string(option, limit)
+            if sub is None:
+                return None
+            if merged is None:
+                merged = sub
+            elif len(merged) != len(sub):
+                return None  # variable-length alternation
+            else:
+                merged = [a | b for a, b in zip(merged, sub)]
+        return merged
+    if isinstance(node, Repeat):
+        if node.max is None or node.max != node.min:
+            return None
+        sub = class_string(node.child, limit)
+        if sub is None or len(sub) * node.min > limit:
+            return None
+        return sub * node.min
+    raise TypeError(f"unknown node type: {type(node).__name__}")
+
+
+@dataclass(frozen=True)
+class LiteralChain:
+    """A required positional-class run with bounded distance to the match end.
+
+    Every word ``w`` covered by this chain contains an occurrence of the
+    classes (``w[e-len+1..e]`` matches positionally for some end index
+    ``e``) with ``len(w) - 1 - e`` in ``[tail_min, tail_max]``.
+    """
+
+    classes: tuple[CharClass, ...]
+    tail_min: int
+    tail_max: int
+
+
+def required_chains(node: Node) -> Optional[list[LiteralChain]]:
+    """Required literal chains covering every word of ``node``'s language.
+
+    For every word ``w`` there is some chain in the result that occurs in
+    ``w`` within its tail bounds (see :class:`LiteralChain`) — which is the
+    no-false-negative guarantee a prefilter needs.  Returns ``None`` when
+    no such cover exists (e.g. an unbounded tail, or no fixed-length run
+    anywhere).  A top-level alternation contributes one chain per option.
+    """
+    if isinstance(node, Alt):
+        chains: list[LiteralChain] = []
+        for option in node.options:
+            sub = required_chains(option)
+            if sub is None:
+                return None
+            chains.extend(sub)
+        return chains
+    parts: tuple[Node, ...]
+    if isinstance(node, Concat):
+        parts = node.parts
+    elif isinstance(node, Empty):
+        parts = ()
+    else:
+        parts = (node,)
+    strings = [class_string(part) for part in parts]
+    # Maximal runs of class-string-able parts, as (start, end) part indexes.
+    runs: list[tuple[int, int]] = []
+    index = 0
+    while index < len(parts):
+        if strings[index] is None:
+            index += 1
+            continue
+        end = index
+        while end + 1 < len(parts) and strings[end + 1] is not None:
+            end += 1
+        runs.append((index, end))
+        index = end + 1
+    best: Optional[LiteralChain] = None
+    best_score: tuple[int, int] = (0, 0)
+    for start, end in runs:
+        classes: list[CharClass] = []
+        for i in range(start, end + 1):
+            sub = strings[i]
+            assert sub is not None
+            classes.extend(sub)
+        if not classes or len(classes) > _MAX_CHAIN_LENGTH:
+            continue
+        tail_min = 0
+        tail_max = 0
+        bounded = True
+        for part in parts[end + 1 :]:
+            length = max_length(part)
+            if length is None:
+                bounded = False
+                break
+            tail_min += min_length(part)
+            tail_max += length
+        if not bounded:
+            continue
+        score = (_chain_selectivity(classes), tail_max)
+        if best is None or score < best_score:
+            best = LiteralChain(tuple(classes), tail_min, tail_max)
+            best_score = score
+    return [best] if best is not None else None
+
+
+def _chain_selectivity(classes: list[CharClass]) -> int:
+    """Expected-candidate score of the chain's best anchor (lower = rarer)."""
+    if len(classes) == 1:
+        return len(classes[0]) * 256
+    return min(
+        len(a) * len(b) for a, b in zip(classes, classes[1:])
+    )
 
 
 def is_literal_string(node: Node) -> bool:

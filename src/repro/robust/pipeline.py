@@ -497,6 +497,10 @@ def resilient_scan(
     per-flow match streams are unchanged.
     """
     report = ScanReport()
+    mode = getattr(engine, "prefilter_mode", None)
+    if isinstance(mode, str):
+        report.prefilter_mode = mode
+        report.prefilter_active = bool(getattr(engine, "prefilter_active", False))
     alerts: list[FlowMatch] = []
     batching = bool(batch_size and batch_size > 1 and hasattr(engine, "run_batch"))
     pending: list[Flow] = []

@@ -189,6 +189,11 @@ class ScanReport:
     n_packets: int = 0
     n_flows: int = 0
     n_alerts: int = 0
+    # Prefilter disposition of the scan engine: the requested mode
+    # ("on"/"off"/"auto", None when the engine has no prefilter concept)
+    # and whether a compiled plan was actually active at scan time.
+    prefilter_mode: str | None = None
+    prefilter_active: bool = False
 
     @property
     def degraded(self) -> bool:
@@ -224,6 +229,10 @@ class ScanReport:
             "n_flows": self.n_flows,
             "n_alerts": self.n_alerts,
             "flows_evicted": self.flows_evicted,
+            "prefilter": {
+                "mode": self.prefilter_mode,
+                "active": self.prefilter_active,
+            },
         }
 
     def describe(self) -> list[str]:
@@ -231,6 +240,9 @@ class ScanReport:
             f"packets: {self.n_packets}, flows: {self.n_flows}, alerts: {self.n_alerts}",
             f"pcap: {self.pcap.describe()}",
         ]
+        if self.prefilter_mode is not None:
+            state = "active" if self.prefilter_active else "inactive"
+            lines.append(f"prefilter: {self.prefilter_mode} ({state})")
         if self.assembler.any_dropped():
             lines.append(
                 f"assembler: {self.assembler.flows_evicted} flows evicted "

@@ -75,6 +75,9 @@ class ServeConfig:
 
     workers: int = 2
     engine: str = "mfa"
+    # Prefilter disposition for fastpath workers ("on"/"off"/"auto"); the
+    # mfa engine ignores it.  Recorded in the ServeReport either way.
+    prefilter: str = "auto"
     queue_depth: int = 8
     shed: bool = False
     hang_timeout: float = 30.0
@@ -94,6 +97,8 @@ class ServeConfig:
             raise ValueError("queue_depth must be >= 1")
         if self.engine not in ("mfa", "fastpath"):
             raise ValueError(f"unknown serve engine {self.engine!r}")
+        if self.prefilter not in ("on", "off", "auto"):
+            raise ValueError(f"unknown prefilter mode {self.prefilter!r}")
 
 
 class _Slot:
@@ -208,7 +213,11 @@ class ScanDaemon:
         return bundles, rebuilt, cached
 
     def _worker_config(self) -> dict:
-        return {"engine": self.config.engine, "faults": self.config.faults}
+        return {
+            "engine": self.config.engine,
+            "prefilter": self.config.prefilter,
+            "faults": self.config.faults,
+        }
 
     def _spawn_locked(self, slot: _Slot) -> None:
         """(Re)start one worker slot against the current generation."""
@@ -270,6 +279,18 @@ class ScanDaemon:
         self._running = True
         self._started_at = time.time()
         self.report.generation = self._generation
+        if self.config.engine == "fastpath":
+            # Workers build their engines process-locally; mirror the
+            # disposition they will resolve so status() can report it.
+            from ..core.serialize import BUNDLE_MAGIC
+            from ..fastpath import HAVE_NUMPY
+
+            self.report.prefilter_mode = self.config.prefilter
+            self.report.prefilter_active = bool(
+                HAVE_NUMPY
+                and self.config.prefilter != "off"
+                and any(not blob.startswith(BUNDLE_MAGIC) for blob in bundles)
+            )
         with self._lock:
             for slot in self._slots:
                 self._spawn_locked(slot)

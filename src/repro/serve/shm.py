@@ -125,14 +125,19 @@ def serialize_engine(engine: object) -> list[bytes]:
 
 
 def load_engine_from_buffer(
-    buffer: "bytes | memoryview", engine: str = "mfa", mmap: bool = True
+    buffer: "bytes | memoryview",
+    engine: str = "mfa",
+    mmap: bool = True,
+    prefilter: str | None = None,
 ) -> object:
     """Build a runnable engine over a segment buffer, copy-free by default.
 
     ``engine="fastpath"`` wraps each shard in the lockstep batch engine
     (its derived numpy tables are per-process working state, not artifact
-    copies).  With ``mmap=True`` the returned engine references the
-    buffer — keep the segment open for as long as the engine lives.
+    copies); ``prefilter`` ("on"/"off"/"auto", default env-resolved) is
+    its required-literal prefilter mode.  With ``mmap=True`` the returned
+    engine references the buffer — keep the segment open for as long as
+    the engine lives.
     """
     _header, views = unpack_bundles(buffer)
     mfas = [loads_mfa(view, mmap=mmap) for view in views]
@@ -140,7 +145,7 @@ def load_engine_from_buffer(
     if engine == "fastpath":
         from ..fastpath.engine import build_fastpath
 
-        shards = [build_fastpath(mfa) for mfa in mfas]
+        shards = [build_fastpath(mfa, prefilter=prefilter) for mfa in mfas]
     elif engine != "mfa":
         raise ValueError(f"unknown serve engine {engine!r}; have mfa, fastpath")
     if len(shards) == 1:
@@ -186,8 +191,12 @@ class ArtifactSegment:
         header, _views = unpack_bundles(shm.buf)
         return cls(shm, int(header["generation"]), owner=False)
 
-    def load_engine(self, engine: str = "mfa", mmap: bool = True) -> object:
-        return load_engine_from_buffer(self._shm.buf, engine=engine, mmap=mmap)
+    def load_engine(
+        self, engine: str = "mfa", mmap: bool = True, prefilter: str | None = None
+    ) -> object:
+        return load_engine_from_buffer(
+            self._shm.buf, engine=engine, mmap=mmap, prefilter=prefilter
+        )
 
     def close(self) -> None:
         """Drop this process's mapping (tolerates still-exported views)."""

@@ -89,11 +89,12 @@ def worker_main(
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
     engine_kind = config.get("engine", "mfa")
+    prefilter = config.get("prefilter", "auto")
     faults = bool(config.get("faults", False))
 
     tick = time.perf_counter()
     segment = ArtifactSegment.attach(segment_name)
-    engine = segment.load_engine(engine_kind)
+    engine = segment.load_engine(engine_kind, prefilter=prefilter)
     load_seconds = time.perf_counter() - tick
     heartbeat[worker_id] = time.time()
     active_flow[worker_id] = -1
@@ -117,7 +118,7 @@ def worker_main(
             # views) before closing the old segment, so the close is a
             # real detach rather than a leaked mapping; the dels keep no
             # stray local alive holding buffer views.
-            engine = new_segment.load_engine(engine_kind)
+            engine = new_segment.load_engine(engine_kind, prefilter=prefilter)
             old_segment, segment = segment, new_segment
             del new_segment
             generation = new_generation

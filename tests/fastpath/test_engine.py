@@ -40,6 +40,16 @@ def mfa():
     return compile_mfa(RULES)
 
 
+# Every batch/streaming property runs twice: once with the required-literal
+# prefilter off (pinning coverage of the classic lane/stitch machinery) and
+# once with it forced on (the candidate-window confirm kernel).
+@pytest.fixture(scope="module", params=["off", "on"])
+def prefilter(request):
+    # Module-scoped: the mode is pure configuration (no per-test state), and
+    # hypothesis forbids function-scoped fixtures inside @given.
+    return request.param
+
+
 def final_state(context):
     memory = context.memory
     return (
@@ -54,12 +64,12 @@ def final_state(context):
 class TestRunBatch:
     @given(payloads=payloads_strategy, segment=st.sampled_from([None, 1, 3, 7, 64]))
     @settings(max_examples=60, deadline=None)
-    def test_matches_scalar_run(self, mfa, payloads, segment):
-        engine = FastPathMFA(mfa, segment_bytes=segment)
+    def test_matches_scalar_run(self, mfa, prefilter, payloads, segment):
+        engine = FastPathMFA(mfa, segment_bytes=segment, prefilter=prefilter)
         assert engine.run_batch(payloads) == [mfa.run(p) for p in payloads]
 
-    def test_empty_batch_and_empty_payloads(self, mfa):
-        engine = build_fastpath(mfa)
+    def test_empty_batch_and_empty_payloads(self, mfa, prefilter):
+        engine = build_fastpath(mfa, prefilter=prefilter)
         assert engine.run_batch([]) == []
         assert engine.run_batch([b"", b""]) == [[], []]
         assert engine.run_batch([b"", b"HELO alpha omega"]) == [
@@ -67,15 +77,15 @@ class TestRunBatch:
             mfa.run(b"HELO alpha omega"),
         ]
 
-    def test_run_delegates_to_scalar(self, mfa):
-        engine = build_fastpath(mfa)
+    def test_run_delegates_to_scalar(self, mfa, prefilter):
+        engine = build_fastpath(mfa, prefilter=prefilter)
         payload = b"HELO alpha abc 12 xyz omega start 12 end0"
         assert engine.run(payload) == mfa.run(payload)
 
-    def test_single_long_flow_multiple_lanes(self, mfa):
+    def test_single_long_flow_multiple_lanes(self, mfa, prefilter):
         # One flow much longer than the segment splits into many lanes,
         # all but the first starting speculatively.
-        engine = FastPathMFA(mfa, segment_bytes=16)
+        engine = FastPathMFA(mfa, segment_bytes=16, prefilter=prefilter)
         payload = b"HELO " + b"alpha " * 40 + b"filler" * 30 + b"omega" + b"abcxyz" * 20
         assert engine.run_batch([payload]) == [mfa.run(payload)]
 
@@ -91,8 +101,10 @@ class TestStreaming:
         segment=st.sampled_from([None, 3, 7]),
     )
     @settings(max_examples=40, deadline=None)
-    def test_chunked_feed_batch_matches_scalar_feed(self, mfa, payloads, chunk, segment):
-        engine = FastPathMFA(mfa, segment_bytes=segment)
+    def test_chunked_feed_batch_matches_scalar_feed(
+        self, mfa, prefilter, payloads, chunk, segment
+    ):
+        engine = FastPathMFA(mfa, segment_bytes=segment, prefilter=prefilter)
         fast_contexts = [engine.new_context() for _ in payloads]
         slow_contexts = [mfa.new_context() for _ in payloads]
         fast_events = [[] for _ in payloads]
@@ -113,10 +125,10 @@ class TestStreaming:
         for fast, slow in zip(fast_contexts, slow_contexts):
             assert final_state(fast) == final_state(slow)
 
-    def test_context_reusable_across_batches(self, mfa):
+    def test_context_reusable_across_batches(self, mfa, prefilter):
         # The same contexts fed through two successive batch calls must
         # see offsets continue, exactly like two scalar feed() calls.
-        engine = build_fastpath(mfa)
+        engine = build_fastpath(mfa, prefilter=prefilter)
         first, second = b"HELO alpha abc ", b"xyz omega start 1 end0"
         context = engine.new_context()
         events = list(engine.feed_batch([context], [first])[0])
