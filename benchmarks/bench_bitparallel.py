@@ -26,7 +26,6 @@ fastpath on the clean-traffic point.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
@@ -142,7 +141,6 @@ def main(argv: list[str] | None = None) -> int:
         STATE_BUDGET,
         patterns_for,
         real_trace_flows,
-        results_dir,
     )
     from repro.core import compile_mfa
     from repro.fastpath import HAVE_NUMPY, build_fastpath, plan_summary
@@ -242,10 +240,9 @@ def main(argv: list[str] | None = None) -> int:
         "min_speedup_required": args.min_speedup,
         "stream_diffs": total_diffs,
     }
-    out = args.out or str(results_dir() / "BENCH_bitparallel.json")
-    with open(out, "w") as stream:
-        json.dump(doc, stream, indent=2)
-        stream.write("\n")
+    from conftest import write_results
+
+    out = write_results("BENCH_bitparallel.json", doc, args.out)
     print(f"clean-traffic speedup {clean_speedup:.1f}x vs fastpath -> {out}")
 
     if total_diffs:

@@ -27,7 +27,6 @@ floors: bitset >= 1.5x at one job, sharded >= 3x at four jobs.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import tempfile
 import time
@@ -115,7 +114,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default=None, help="JSON output path")
     args = parser.parse_args(argv)
 
-    from repro.bench.harness import STATE_BUDGET, patterns_for, results_dir
+    from repro.bench.harness import STATE_BUDGET, patterns_for
     from repro.core import compile_mfa
     from repro.patterns import ruleset
 
@@ -170,10 +169,9 @@ def main(argv: list[str] | None = None) -> int:
         "stream_diffs": diffs,
         "incremental": incremental,
     }
-    out = args.out or str(results_dir() / "BENCH_construction.json")
-    with open(out, "w") as stream:
-        json.dump(doc, stream, indent=2)
-        stream.write("\n")
+    from conftest import write_results
+
+    out = write_results("BENCH_construction.json", doc, args.out)
 
     print(
         f"{set_name}: reference {reference_seconds:.2f}s, "

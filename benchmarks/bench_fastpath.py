@@ -22,7 +22,6 @@ docs/performance.md for the expected margins.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
@@ -104,7 +103,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default=None, help="JSON output path")
     args = parser.parse_args(argv)
 
-    from repro.bench.harness import patterns_for, real_trace_flows, results_dir
+    from repro.bench.harness import patterns_for, real_trace_flows
     from repro.fastpath import (
         ArtifactCache,
         FastPathMFA,
@@ -161,10 +160,9 @@ def main(argv: list[str] | None = None) -> int:
             "directory": str(cache.directory),
         },
     }
-    out = args.out or str(results_dir() / "BENCH_fastpath.json")
-    with open(out, "w") as stream:
-        json.dump(doc, stream, indent=2)
-        stream.write("\n")
+    from conftest import write_results
+
+    out = write_results("BENCH_fastpath.json", doc, args.out)
 
     print(
         f"{args.set_name}: scalar {scalar:.2f} MB/s, fastpath {fast:.2f} MB/s "

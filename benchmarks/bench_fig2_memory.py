@@ -44,8 +44,23 @@ def test_image_sizes(benchmark, set_name):
     assert sizes["mfa"].filter_fraction < 0.02
 
 
+@pytest.mark.parametrize("set_name", ruleset_names())
+def test_compressed_column(benchmark, set_name):
+    """The cMFA tier shrinks the dense MFA image without touching the filter."""
+    from repro.bench.tables import _compressed_mfa_bytes
+
+    mfa = build_engine(set_name, "mfa")
+    assert mfa.ok
+    compressed = benchmark(lambda: _compressed_mfa_bytes(mfa.engine))
+    benchmark.group = "fig2-memory"
+    dense = image_size(mfa.engine).total_bytes
+    assert 0 < compressed < dense
+
+
 def test_fig2_table(benchmark):
     """Persist the full Figure 2 table."""
     rows = benchmark.pedantic(lambda: fig2_rows(), rounds=1, iterations=1, warmup_rounds=0)
     write_table("fig2_memory.txt", rows)
     assert any("mean HFA/MFA" in line for line in rows)
+    assert any("cMFA" in line for line in rows)
+    assert any("mean MFA/cMFA compression" in line for line in rows)

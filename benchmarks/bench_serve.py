@@ -21,7 +21,6 @@ one shard.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import tempfile
 import time
@@ -138,7 +137,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default=None, help="JSON output path")
     args = parser.parse_args(argv)
 
-    from repro.bench.harness import STATE_BUDGET, results_dir
+    from repro.bench.harness import STATE_BUDGET
     from repro.core import compile_mfa
     from repro.patterns import ruleset
     from repro.robust import resilient_scan
@@ -171,10 +170,9 @@ def main(argv: list[str] | None = None) -> int:
         "reload": reload_stats,
         "stream_diffs": diffs,
     }
-    out = args.out or str(results_dir() / "BENCH_serve.json")
-    with open(out, "w") as stream:
-        json.dump(doc, stream, indent=2)
-        stream.write("\n")
+    from conftest import write_results
+
+    out = write_results("BENCH_serve.json", doc, args.out)
 
     sweep = ", ".join(
         f"{row['workers']}w {row['throughput_mbps']:.1f}MB/s" for row in rows

@@ -8,9 +8,30 @@ ordered so the cheap exhibits run first.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.bench.harness import all_set_names
+
+
+def write_results(name: str, doc: dict, out: "str | None" = None) -> str:
+    """Write one benchmark JSON document under ``results/``.
+
+    Every directly-runnable ``bench_*.py`` emits its ``BENCH_*.json``
+    through this helper (scripts import it as ``from conftest import
+    write_results`` — the benchmarks directory is ``sys.path[0]`` when run
+    directly), so the output location is decided in exactly one place:
+    ``out`` if the caller passed ``--out``, else
+    :func:`repro.bench.harness.results_dir` (``REPRO_RESULTS_DIR``).
+    """
+    from repro.bench.harness import results_dir
+
+    path = out or str(results_dir() / name)
+    with open(path, "w") as stream:
+        json.dump(doc, stream, indent=2)
+        stream.write("\n")
+    return path
 
 # Sets whose plain DFA is intentionally explosive; their DFA build is
 # expected to fail (B217p) or be the slowest single step (C7p, S31p).

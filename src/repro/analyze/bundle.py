@@ -18,7 +18,7 @@ from os import PathLike
 from pathlib import Path
 
 from ..automata.dfa import DFA
-from ..automata.serialize import decode_dfa_header
+from ..automata.serialize import CDFA_MAGIC, decode_cdfa_header, decode_dfa_header
 from ..core.serialize import split_bundle
 from .automaton import analyze_dfa
 from .bytecode import RawProgram, analyze_program, raw_program
@@ -82,6 +82,8 @@ def _decode_program(program_bytes: bytes, out: AnalysisReport) -> RawProgram | N
 
 
 def _decode_dfa(dfa_bytes: bytes, out: AnalysisReport) -> DFA | None:
+    if bytes(memoryview(dfa_bytes)[: len(CDFA_MAGIC)]) == CDFA_MAGIC:
+        return _decode_cdfa(dfa_bytes, out)
     try:
         header, table_bytes = decode_dfa_header(dfa_bytes)
     except ValueError as exc:
@@ -145,6 +147,147 @@ def _decode_dfa(dfa_bytes: bytes, out: AnalysisReport) -> DFA | None:
             f"accepts_end)",
         )
     return dfa
+
+
+def _decode_cdfa(dfa_bytes: bytes, out: AnalysisReport) -> DFA | None:
+    """Tolerantly decode a compressed (``MFADFA2``) DFA section.
+
+    ``BN107`` covers framing/section damage (bad header, truncated binary
+    sections); ``BN108`` covers a structurally intact forest that is
+    semantically invalid (default pointers out of range, default cycles,
+    overlay targets past the state count).  A clean decode is flattened
+    back to a dense DFA so the ordinary automaton checks run on it.
+    """
+    try:
+        header, _body = decode_cdfa_header(dfa_bytes)
+    except ValueError as exc:
+        out.add("BN107", ERROR, "dfa", str(exc))
+        return None
+    try:
+        n_states = int(header["n_states"])
+        int(header["start"])
+        n_roots = int(header["n_roots"])
+        int(header["n_overlays"])
+        claimed_depth = int(header.get("max_depth", 0))
+    except (KeyError, TypeError, ValueError) as exc:
+        out.add(
+            "BN107",
+            ERROR,
+            "dfa",
+            f"compressed DFA header missing or malformed field: "
+            f"{type(exc).__name__}: {exc}",
+        )
+        return None
+    if not 0 <= n_states <= _MAX_CLAIMED_STATES:
+        out.add(
+            "BN106",
+            ERROR,
+            "dfa",
+            f"header claims {n_states} states, outside the plausible range",
+        )
+        return None
+    from ..automata.serialize import loads_cdfa
+
+    try:
+        cdfa = loads_cdfa(dfa_bytes)
+    except (ValueError, TypeError, OverflowError) as exc:
+        out.add(
+            "BN107",
+            ERROR,
+            "dfa",
+            f"compressed DFA sections do not decode: {exc}",
+        )
+        return None
+
+    n = cdfa.n_states
+    bad_forest = False
+    depth = [-1] * n  # -1 unknown, -2 on current walk (cycle detection)
+    for q in range(n):
+        parent = cdfa.parent[q]
+        if parent < -1 or parent >= n:
+            out.add(
+                "BN108",
+                ERROR,
+                "dfa",
+                f"state {q} has default pointer {parent}, outside [-1, {n})",
+            )
+            bad_forest = True
+            continue
+        if parent < 0:
+            slot = cdfa.root_index[q]
+            if not 0 <= slot < n_roots:
+                out.add(
+                    "BN108",
+                    ERROR,
+                    "dfa",
+                    f"root state {q} has dense-row index {slot}, outside "
+                    f"[0, {n_roots})",
+                )
+                bad_forest = True
+    if not bad_forest:
+        for q in range(n):
+            walk = []
+            cur = q
+            while depth[cur] == -1:
+                depth[cur] = -2
+                walk.append(cur)
+                parent = cdfa.parent[cur]
+                if parent < 0:
+                    depth[cur] = 0
+                    walk.pop()
+                    break
+                cur = parent
+                if depth[cur] == -2:
+                    out.add(
+                        "BN108",
+                        ERROR,
+                        "dfa",
+                        f"default-pointer cycle through state {cur}",
+                    )
+                    bad_forest = True
+                    for s in walk:
+                        depth[s] = 0  # arbitrary; forest already condemned
+                    walk = []
+                    break
+            for s in reversed(walk):
+                depth[s] = depth[cdfa.parent[s]] + 1
+            if bad_forest:
+                break
+    if not bad_forest:
+        deepest = max(depth, default=0)
+        if claimed_depth and deepest > claimed_depth:
+            out.add(
+                "BN108",
+                WARNING,
+                "dfa",
+                f"default chains reach depth {deepest}, header claims "
+                f"max_depth={claimed_depth}",
+            )
+        for q in range(n):
+            for byte, target in cdfa.overlays[q].items():
+                if not 0 <= target < n:
+                    out.add(
+                        "BN108",
+                        ERROR,
+                        "dfa",
+                        f"state {q} overlay byte {byte} targets {target}, "
+                        f"outside [0, {n})",
+                    )
+                    bad_forest = True
+        for slot, row in enumerate(cdfa.root_rows):
+            for target in row:
+                if not 0 <= target < n:
+                    out.add(
+                        "BN108",
+                        ERROR,
+                        "dfa",
+                        f"dense root row {slot} targets {target}, outside [0, {n})",
+                    )
+                    bad_forest = True
+                    break
+    if bad_forest or n == 0:
+        return None
+    return cdfa.flatten()
 
 
 def _check_canonical(blob: bytes, out: AnalysisReport) -> None:

@@ -17,20 +17,82 @@ locality trick instead: states are sorted by a row signature so that
 similar rows become neighbours, and each state picks its best default among
 a window of predecessors, subject to a chain-depth bound.  Matching
 behaviour is identical to the source DFA (property-tested).
+
+Beyond the in-memory engine, the forest is a first-class *artifact tier*:
+:func:`repro.core.mfa.build_mfa` attaches it at compile time
+(``compress=`` / ``REPRO_COMPILE_COMPRESS``), the bundle format
+serialises it (:func:`repro.automata.serialize.dumps_cdfa`), and loaders
+decode it back either by :meth:`CompressedDFA.flatten` (dense again,
+when memory allows) or as a :class:`ChainDFA` whose rows answer lookups
+straight off the forest (the fastpath engine then runs its chain-walk
+lane kernel over it).
 """
 
 from __future__ import annotations
 
+import os
 from array import array
+from typing import cast
 
 from .dfa import DFA
 from .nfa import MatchEvent
 
-__all__ = ["CompressedDFA", "compress_dfa"]
+__all__ = [
+    "CompressedDFA",
+    "ChainDFA",
+    "compress_dfa",
+    "resolve_compress_option",
+    "DEFAULT_CHAIN_DEPTH",
+    "ARTIFACT_WINDOW",
+    "COMPRESS_ENV",
+]
 
 # Bytes sampled for the similarity signature: spread over the alphabet with
 # a bias toward printable values, where IDS rows differ most.
 _SIGNATURE_BYTES = (0, 10, 13, 32, 47, 61, 65, 90, 97, 101, 110, 115, 122, 128, 192, 255)
+
+# The compile-time defaults of the compressed artifact tier.  Depth 4 keeps
+# worst-case lookups at five probes (four hops + the root row) — the bound
+# the acceptance benchmarks gate on; window 32 is where the locality search
+# stops buying much ratio for its quadratic-ish cost.
+DEFAULT_CHAIN_DEPTH = 4
+ARTIFACT_WINDOW = 32
+COMPRESS_ENV = "REPRO_COMPILE_COMPRESS"
+
+
+def resolve_compress_option(value: "bool | int | None") -> int:
+    """Normalise a ``compress=`` option to a chain-depth bound (0 = off).
+
+    ``None`` reads ``REPRO_COMPILE_COMPRESS``: unset/``0``/``off``/
+    ``false`` disable, ``1``/``on``/``true`` enable at
+    :data:`DEFAULT_CHAIN_DEPTH`, and any other integer is the depth bound
+    itself.  ``True`` maps to the default depth; an explicit integer is
+    used as-is (it must be positive).
+    """
+    if value is None:
+        raw = os.environ.get(COMPRESS_ENV, "").strip().lower()
+        if raw in ("", "0", "off", "false", "no"):
+            return 0
+        if raw in ("1", "on", "true", "yes"):
+            return DEFAULT_CHAIN_DEPTH
+        try:
+            depth = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{COMPRESS_ENV} must be a boolean flag or a chain-depth "
+                f"integer, got {raw!r}"
+            ) from None
+        if depth < 0:
+            raise ValueError(f"{COMPRESS_ENV} depth must be >= 0, got {depth}")
+        return depth
+    if value is True:
+        return DEFAULT_CHAIN_DEPTH
+    if value is False:
+        return 0
+    depth = int(value)
+    if depth < 0:
+        raise ValueError(f"compress depth must be >= 0, got {depth}")
+    return depth
 
 
 class CompressedDFA:
@@ -38,7 +100,10 @@ class CompressedDFA:
 
     ``parent[q]`` is the default state (-1 for roots); roots keep their
     dense row in ``root_rows`` (indexed by ``root_index[q]``); every other
-    state stores the differing bytes in ``overlays[q]``.
+    state stores the differing bytes in ``overlays[q]``.  ``group_of_byte``
+    carries the source DFA's alphabet-compression provenance so a
+    flattened copy round-trips byte-identically through
+    :mod:`repro.automata.serialize`.
     """
 
     def __init__(
@@ -50,6 +115,8 @@ class CompressedDFA:
         start: int,
         accepts: list[tuple[int, ...]],
         accepts_end: list[tuple[int, ...]],
+        group_of_byte: array | None = None,
+        n_groups: int | None = None,
     ):
         self.parent = parent
         self.root_index = root_index
@@ -58,21 +125,59 @@ class CompressedDFA:
         self.start = start
         self.accepts = accepts
         self.accepts_end = accepts_end
+        self.group_of_byte = group_of_byte
+        self.n_groups = n_groups if n_groups is not None else (
+            len(set(group_of_byte)) if group_of_byte is not None else None
+        )
 
     @property
     def n_states(self) -> int:
         return len(self.overlays)
 
+    @property
+    def n_roots(self) -> int:
+        return len(self.root_rows)
+
+    @property
+    def overlay_entries(self) -> int:
+        return sum(len(o) for o in self.overlays)
+
+    def chain_depth(self) -> int:
+        """The longest default chain any lookup can walk (0 = all roots)."""
+        parent = self.parent
+        depth = [0] * self.n_states
+        deepest = 0
+        for q in range(self.n_states):
+            hops = 0
+            current = q
+            while parent[current] >= 0:
+                if depth[current]:
+                    hops += depth[current]
+                    break
+                current = parent[current]
+                hops += 1
+            depth[q] = hops
+            if hops > deepest:
+                deepest = hops
+        return deepest
+
     def memory_bytes(self) -> int:
-        """Dense root rows at 4 B/entry; overlay entries at 8 B (byte +
-        target + bucket overhead); an 8 B header (default pointer +
-        decision offset) per state."""
-        dense = len(self.root_rows) * 256 * 4
-        sparse = sum(len(o) for o in self.overlays) * 8
+        """The transition structures counted exactly as serialised.
+
+        Mirrors the binary sections of
+        :func:`repro.automata.serialize.dumps_cdfa` entry for entry:
+        ``parent`` and ``root_index`` at 4 B/state, dense root rows at
+        256 x 4 B, overlay offsets at 4 B/state (+1 sentinel), overlay
+        bytes at 1 B and overlay targets at 4 B per entry — plus the usual
+        4 B per decision-list id every engine's accounting includes.
+        """
+        n = self.n_states
+        dense = self.n_roots * 256 * 4
+        entries = self.overlay_entries
         decisions = sum(len(a) for a in self.accepts) + sum(
             len(a) for a in self.accepts_end
         )
-        return dense + sparse + 8 * self.n_states + 4 * decisions
+        return 4 * n + 4 * n + dense + 4 * (n + 1) + 5 * entries + 4 * decisions
 
     def next_state(self, state: int, byte: int) -> int:
         overlays = self.overlays
@@ -136,6 +241,114 @@ class CompressedDFA:
             state = target
         return state
 
+    # -- decode paths --------------------------------------------------------
+
+    def flatten(self) -> DFA:
+        """Reconstruct the dense source DFA, byte-identically.
+
+        State numbering, decision lists and the alphabet-compression map
+        are all preserved, so ``dumps_dfa(cdfa.flatten())`` reproduces the
+        bytes of the DFA the forest was built from (tested).  Rows are
+        materialised parents-before-children, so each one is a single copy
+        plus its overlay patch.
+        """
+        n = self.n_states
+        parent = self.parent
+        rows: list[array | None] = [None] * n
+        for q in range(n):
+            if rows[q] is not None:
+                continue
+            # Walk up to the nearest materialised ancestor (or a root),
+            # then patch back down.
+            chain = [q]
+            current = q
+            while parent[current] >= 0 and rows[parent[current]] is None:
+                current = parent[current]
+                chain.append(current)
+            top = chain[-1]
+            if parent[top] < 0:
+                base = array("i", self.root_rows[self.root_index[top]])
+                rows[top] = base
+                chain.pop()
+            else:
+                base = rows[parent[top]]  # type: ignore[assignment]
+            for state in reversed(chain):
+                patched = array("i", cast(array, rows[parent[state]]))
+                for byte, target in self.overlays[state].items():
+                    patched[byte] = target
+                rows[state] = patched
+        group = array("i", self.group_of_byte) if self.group_of_byte is not None else None
+        return DFA(
+            cast("list[array]", rows),
+            self.start,
+            self.accepts,
+            self.accepts_end,
+            group_of_byte=group,
+            n_groups=self.n_groups,
+        )
+
+    def to_chain_dfa(self) -> "ChainDFA":
+        """The zero-flatten decode path: a DFA whose rows answer off the
+        forest (see :class:`ChainDFA`)."""
+        return ChainDFA(self)
+
+
+class _ChainRow:
+    """One state's virtual dense row: ``row[byte]`` walks the forest."""
+
+    __slots__ = ("_forest", "_state")
+
+    def __init__(self, forest: CompressedDFA, state: int):
+        self._forest = forest
+        self._state = state
+
+    def __getitem__(self, byte: int) -> int:
+        return self._forest.next_state(self._state, byte)
+
+    def __len__(self) -> int:
+        return 256
+
+    def __iter__(self):  # type: ignore[no-untyped-def]
+        forest = self._forest
+        state = self._state
+        return (forest.next_state(state, byte) for byte in range(256))
+
+
+class ChainDFA(DFA):
+    """A :class:`DFA` backed by a default-pointer forest, not a dense table.
+
+    Every ``rows[q][byte]`` access resolves through the forest's chain
+    walk, so scalar engines (``MFA.feed``, the stitch pass of the fastpath
+    engine, the equivalence prover) run unchanged — slower per byte, but
+    without ever materialising the dense table.  The fastpath engine
+    detects this class and builds its vectorized chain-walk lane kernel
+    from :attr:`forest` instead of dense rows.
+    """
+
+    def __init__(self, forest: CompressedDFA):
+        rows = [_ChainRow(forest, q) for q in range(forest.n_states)]
+        group = array("i", forest.group_of_byte) if forest.group_of_byte is not None else None
+        super().__init__(
+            cast("list[array]", rows),
+            forest.start,
+            forest.accepts,
+            forest.accepts_end,
+            group_of_byte=group,
+            n_groups=forest.n_groups,
+        )
+        self.forest = forest
+
+    def memory_bytes(self, compressed: bool | None = None) -> int:
+        """The forest's serialised accounting — the whole point of the tier."""
+        return self.forest.memory_bytes()
+
+    def scan(self, data: bytes, state: int | None = None) -> int:
+        current = self.start if state is None else state
+        forest = self.forest
+        for byte in data:
+            current = forest.next_state(current, byte)
+        return current
+
 
 def compress_dfa(
     dfa: DFA,
@@ -152,6 +365,8 @@ def compress_dfa(
     """
     if window < 1:
         raise ValueError("window must be positive")
+    if max_depth < 1:
+        raise ValueError("max_depth must be positive")
     n = dfa.n_states
     rows = dfa.rows
 
@@ -202,6 +417,7 @@ def compress_dfa(
         root_index[q] = len(root_rows)
         root_rows.append(array("i", rows[q]))
 
+    group = array("i", dfa.group_of_byte) if dfa.group_of_byte is not None else None
     return CompressedDFA(
         parent,
         root_index,
@@ -210,4 +426,6 @@ def compress_dfa(
         dfa.start,
         dfa.accepts,
         dfa.accepts_end,
+        group_of_byte=group,
+        n_groups=dfa.n_groups,
     )

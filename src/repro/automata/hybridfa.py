@@ -56,8 +56,16 @@ class HybridFA:
     def n_tails(self) -> int:
         return len(self.tails)
 
-    def memory_bytes(self) -> int:
-        return self.head.memory_bytes() + sum(t.memory_bytes() for t in self.tails)
+    def memory_bytes(self, compressed: bool | None = None) -> int:
+        """Head DFA plus every tail NFA.
+
+        ``compressed`` follows the :meth:`repro.automata.dfa.DFA.memory_bytes`
+        contract for the head table; tails are sparse NFAs, whose accounting
+        has no dense/compressed distinction.
+        """
+        return self.head.memory_bytes(compressed=compressed) + sum(
+            t.memory_bytes() for t in self.tails
+        )
 
     def run(self, data: bytes) -> list[MatchEvent]:
         out: list[MatchEvent] = []

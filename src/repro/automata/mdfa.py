@@ -44,10 +44,18 @@ class MDFA:
     def n_states(self) -> int:
         return sum(dfa.n_states for dfa in self.groups)
 
-    def memory_bytes(self) -> int:
+    def memory_bytes(self, compressed: bool | None = None) -> int:
         """Group tables stored byte-class compressed (each group DFA sees a
-        small alphabet, which is where mDFA's memory advantage comes from)."""
-        return sum(dfa.memory_bytes(compressed=True) for dfa in self.groups)
+        small alphabet, which is where mDFA's memory advantage comes from).
+
+        ``compressed`` follows the :meth:`repro.automata.dfa.DFA.memory_bytes`
+        contract, applied to every group table.  ``None`` keeps the historical
+        mDFA accounting — compressed group tables — because that layout *is*
+        the engine's design; pass ``compressed=False`` to model dense rows.
+        """
+        if compressed is None:
+            compressed = True
+        return sum(dfa.memory_bytes(compressed=compressed) for dfa in self.groups)
 
     def run(self, data: bytes) -> list[MatchEvent]:
         """Advance every group DFA over each byte (k lookups per byte)."""

@@ -14,14 +14,28 @@ import struct
 from array import array
 from typing import BinaryIO, cast
 
+from .compress import CompressedDFA
 from .dfa import DFA
 
-__all__ = ["DFA_MAGIC", "save_dfa", "load_dfa", "dumps_dfa", "loads_dfa", "decode_dfa_header"]
+__all__ = [
+    "DFA_MAGIC",
+    "CDFA_MAGIC",
+    "save_dfa",
+    "load_dfa",
+    "dumps_dfa",
+    "loads_dfa",
+    "decode_dfa_header",
+    "dumps_cdfa",
+    "loads_cdfa",
+    "decode_cdfa_header",
+]
 
 _MAGIC = b"MFADFA1\n"
+_CMAGIC = b"MFADFA2\n"
 
-# Public alias for tolerant decoders (repro.analyze.bundle).
+# Public aliases for tolerant decoders (repro.analyze.bundle).
 DFA_MAGIC = _MAGIC
+CDFA_MAGIC = _CMAGIC
 
 
 def dumps_dfa(dfa: DFA) -> bytes:
@@ -108,6 +122,137 @@ def loads_dfa(blob: "bytes | memoryview", mmap: bool = False) -> DFA:
     group_blob = header.get("group_of_byte")
     return DFA(
         rows,
+        header["start"],
+        [tuple(a) for a in header["accepts"]],
+        [tuple(a) for a in header["accepts_end"]],
+        group_of_byte=array("i", group_blob) if group_blob is not None else None,
+    )
+
+
+def dumps_cdfa(cdfa: CompressedDFA) -> bytes:
+    """Serialise a default-transition-compressed DFA to bytes.
+
+    Same framing discipline as :func:`dumps_dfa` — magic, ``<I`` header
+    length, JSON header — followed by six fixed-layout binary sections:
+    ``parent`` int32[n], ``root_index`` int32[n], dense ``root_rows``
+    int32[256*R], ``ov_offsets`` int32[n+1] (CSR offsets into the overlay
+    arrays), ``ov_bytes`` uint8[E] and ``ov_targets`` int32[E].  Overlay
+    entries are stored in ascending byte order per state, so identical
+    forests serialise byte-for-byte identically.
+    """
+    n = cdfa.n_states
+    header = {
+        "n_states": n,
+        "start": cdfa.start,
+        "accepts": [list(a) for a in cdfa.accepts],
+        "accepts_end": [list(a) for a in cdfa.accepts_end],
+        "n_roots": cdfa.n_roots,
+        "n_overlays": cdfa.overlay_entries,
+        "max_depth": cdfa.chain_depth(),
+    }
+    if cdfa.group_of_byte is not None:
+        header["group_of_byte"] = list(cdfa.group_of_byte)
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
+
+    root_table = array("i")
+    for row in cdfa.root_rows:
+        root_table.extend(row)
+    ov_offsets = array("i", [0] * (n + 1))
+    ov_bytes = bytearray()
+    ov_targets = array("i")
+    cursor = 0
+    for q in range(n):
+        overlay = cdfa.overlays[q]
+        for byte in sorted(overlay):
+            ov_bytes.append(byte)
+            ov_targets.append(overlay[byte])
+        cursor += len(overlay)
+        ov_offsets[q + 1] = cursor
+
+    body = (
+        cdfa.parent.tobytes()
+        + cdfa.root_index.tobytes()
+        + root_table.tobytes()
+        + ov_offsets.tobytes()
+        + bytes(ov_bytes)
+        + ov_targets.tobytes()
+    )
+    return _CMAGIC + struct.pack("<I", len(header_bytes)) + header_bytes + body
+
+
+def decode_cdfa_header(blob: "bytes | memoryview") -> tuple[dict, memoryview]:
+    """Split a compressed-DFA blob into its JSON header and body bytes.
+
+    Framing-only validation, mirroring :func:`decode_dfa_header`: the
+    binary sections come back as one undecoded view so the static
+    analyzer can diagnose truncation itself.
+    """
+    view = memoryview(blob)
+    if bytes(view[: len(_CMAGIC)]) != _CMAGIC:
+        raise ValueError("not a compressed serialised DFA (bad magic)")
+    offset = len(_CMAGIC)
+    if len(view) < offset + 4:
+        raise ValueError("truncated compressed DFA blob (missing header length)")
+    (header_len,) = struct.unpack_from("<I", view, offset)
+    offset += 4
+    header_bytes = bytes(view[offset : offset + header_len])
+    if len(header_bytes) != header_len:
+        raise ValueError("truncated compressed DFA blob (incomplete header)")
+    try:
+        header = json.loads(header_bytes)
+    except ValueError as exc:
+        raise ValueError(f"corrupt compressed DFA header JSON: {exc}") from None
+    return header, view[offset + header_len :]
+
+
+def loads_cdfa(blob: "bytes | memoryview") -> CompressedDFA:
+    """Deserialise a compressed DFA produced by :func:`dumps_cdfa`.
+
+    Unlike :func:`loads_dfa` there is no ``mmap`` mode: the decoded
+    structures (overlay dicts) are rebuilt per process.  The *source*
+    buffer can still live in shared memory — the whole point of the tier
+    is that the image being mapped is an order of magnitude smaller, and
+    the per-worker decode cost is proportional to that smaller size.
+    """
+    header, body = decode_cdfa_header(blob)
+    n = header["n_states"]
+    n_roots = header["n_roots"]
+    n_entries = header["n_overlays"]
+    expect = 4 * n + 4 * n + 1024 * n_roots + 4 * (n + 1) + n_entries + 4 * n_entries
+    if len(body) != expect:
+        raise ValueError(
+            f"truncated compressed DFA sections (have {len(body)}, need {expect})"
+        )
+    offset = 0
+
+    def take_ints(count: int) -> array:
+        nonlocal offset
+        out = array("i")
+        out.frombytes(bytes(body[offset : offset + 4 * count]))
+        offset += 4 * count
+        return out
+
+    parent = take_ints(n)
+    root_index = take_ints(n)
+    root_table = take_ints(256 * n_roots)
+    ov_offsets = take_ints(n + 1)
+    ov_bytes = bytes(body[offset : offset + n_entries])
+    offset += n_entries
+    ov_targets = take_ints(n_entries)
+
+    root_rows = [root_table[r * 256 : (r + 1) * 256] for r in range(n_roots)]
+    overlays: list[dict[int, int]] = []
+    for q in range(n):
+        lo, hi = ov_offsets[q], ov_offsets[q + 1]
+        overlays.append(
+            {ov_bytes[i]: ov_targets[i] for i in range(lo, hi)}
+        )
+    group_blob = header.get("group_of_byte")
+    return CompressedDFA(
+        parent,
+        root_index,
+        root_rows,
+        overlays,
         header["start"],
         [tuple(a) for a in header["accepts"]],
         [tuple(a) for a in header["accepts_end"]],

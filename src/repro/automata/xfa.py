@@ -97,11 +97,20 @@ class XFA:
     def finish(self, context: XfaContext) -> Iterator[MatchEvent]:
         return iter(())
 
-    def memory_bytes(self) -> int:
-        """Modelled image: the dense DFA table plus 12 bytes per instruction
-        (opcode + two arguments) and a per-state program pointer."""
+    def memory_bytes(self, compressed: bool | None = None) -> int:
+        """Modelled image: the component DFA table plus 12 bytes per
+        instruction (opcode + two arguments) and a per-state program pointer.
+
+        ``compressed`` follows the :meth:`repro.automata.dfa.DFA.memory_bytes`
+        contract and is passed straight through to the component DFA; the
+        instruction and pointer accounting is layout-independent.
+        """
         n_instructions = sum(len(p) for p in self.programs)
-        return self.dfa.memory_bytes() + 12 * n_instructions + 4 * self.n_states
+        return (
+            self.dfa.memory_bytes(compressed=compressed)
+            + 12 * n_instructions
+            + 4 * self.n_states
+        )
 
     def run(self, data: bytes) -> list[MatchEvent]:
         out: list[MatchEvent] = []

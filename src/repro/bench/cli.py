@@ -48,7 +48,7 @@ from .report import generate_all
 from .tables import fig2_rows, table5_rows
 
 
-def _cmd_compile(set_name: str, shards: int = 1, jobs: int = 1) -> None:
+def _cmd_compile(set_name: str, shards: int = 1, jobs: int = 1, compress: int = 0) -> None:
     from ..core.explain import explain_lines
 
     for engine_name in ("nfa", "dfa", "hfa", "xfa", "mfa"):
@@ -60,11 +60,34 @@ def _cmd_compile(set_name: str, shards: int = 1, jobs: int = 1) -> None:
             print(f"{engine_name}: failed ({result.error}) after {result.seconds:.2f}s")
     if shards > 1 or jobs > 1:
         _print_sharded_compile(set_name, shards, jobs)
+    if compress:
+        _print_compressed_compile(set_name, compress)
     mfa = build_engine(set_name, "mfa")
     if mfa.ok:
         print()
         for line in explain_lines(mfa.engine):  # type: ignore[arg-type]
             print(line)
+
+
+def _print_compressed_compile(set_name: str, depth: int) -> None:
+    """Compile with the D2FA artifact tier and print the compression stats."""
+    from ..core import compile_mfa, dumps_mfa
+    from .harness import STATE_BUDGET, patterns_for
+
+    patterns = patterns_for(set_name)
+    mfa = compile_mfa(patterns, state_budget=STATE_BUDGET, compress=depth)
+    compressed_blob = dumps_mfa(mfa)
+    forest = mfa.compressed
+    mfa.compressed = None
+    dense_blob = dumps_mfa(mfa)
+    mfa.compressed = forest
+    ratio = len(dense_blob) / max(1, len(compressed_blob))
+    n_roots = getattr(forest, "n_roots", 0)
+    print(
+        f"mfa compressed (depth<={depth}): {mfa.dfa.n_states} states, "
+        f"{n_roots} dense roots; bundle {len(dense_blob)} -> "
+        f"{len(compressed_blob)} bytes ({ratio:.1f}x)"
+    )
 
 
 def _print_sharded_compile(set_name: str, shards: int, jobs: int) -> None:
@@ -162,6 +185,7 @@ def _cmd_serve(
     socket_path: str | None,
     oneshot: bool,
     prefilter: str = "auto",
+    compress: int = 0,
 ) -> int:
     """Run the long-lived scan daemon over a shipped rule set.
 
@@ -186,7 +210,9 @@ def _cmd_serve(
     if cache_dir and os.environ.get("REPRO_COMPILE_CACHE", "1") != "0":
         cache = ArtifactCache(os.path.join(cache_dir, "serve"))
 
-    config = ServeConfig(workers=workers, engine=engine_choice, prefilter=prefilter)
+    config = ServeConfig(
+        workers=workers, engine=engine_choice, prefilter=prefilter, compress=compress
+    )
     daemon = ScanDaemon(
         list(ruleset(set_name).rules),
         shards=shards,
@@ -237,18 +263,61 @@ def _cmd_serve(
     return 1 if report.degraded else 0
 
 
+def _build_compressed_scan_engine(
+    set_name: str, engine_choice: str, depth: int, prefilter: str = "auto"
+):
+    """Compile with ``compress=depth`` and reload from the serialized bundle."""
+    import time
+
+    from ..core import compile_mfa, dumps_mfa, loads_mfa
+    from .harness import STATE_BUDGET, BuildResult, patterns_for
+
+    start = time.perf_counter()
+    try:
+        compiled = compile_mfa(
+            patterns_for(set_name), state_budget=STATE_BUDGET, compress=depth
+        )
+        blob = dumps_mfa(compiled)
+        engine: object = loads_mfa(blob)
+    except Exception as exc:  # noqa: BLE001 - CLI reports, doesn't trace back
+        return BuildResult(
+            set_name,
+            engine_choice,
+            None,
+            time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    kind = type(engine.dfa).__name__  # type: ignore[attr-defined]
+    print(
+        f"compressed artifact: {len(blob)} bytes (depth<={depth}), "
+        f"decoded as {kind}"
+    )
+    if engine_choice == "fastpath":
+        from ..fastpath import build_fastpath
+
+        engine = build_fastpath(engine, prefilter=prefilter)  # type: ignore[arg-type]
+    return BuildResult(set_name, engine_choice, engine, time.perf_counter() - start)
+
+
 def _cmd_scan(
     set_name: str,
     pcap_path: str,
     engine_choice: str = "mfa",
     prefilter: str = "auto",
+    compress: int = 0,
 ) -> int:
     from collections import Counter
 
     from ..traffic.flows import dispatch_flows
     from ..traffic.pcap import read_pcap
 
-    built = build_engine(set_name, engine_choice)
+    if compress:
+        # Round-trip through the serialized compressed artifact so the scan
+        # exercises the same decode path a deployed data plane would use
+        # (flatten or chain-walk, per REPRO_DECODE/REPRO_DECODE_BUDGET).
+        built = _build_compressed_scan_engine(set_name, engine_choice, compress, prefilter)
+    else:
+        built = build_engine(set_name, engine_choice)
     if not built.ok:
         print(f"cannot compile {set_name}: {built.error}")
         return 1
@@ -540,6 +609,21 @@ def main(argv: list[str] | None = None) -> int:
         "required-literal prefilter mode (auto enables it whenever the "
         "compiled plan exists; recorded in the scan/serve report)",
     )
+    from ..automata.compress import DEFAULT_CHAIN_DEPTH
+
+    parser.add_argument(
+        "--compress",
+        nargs="?",
+        const=DEFAULT_CHAIN_DEPTH,
+        type=int,
+        default=0,
+        metavar="DEPTH",
+        help="for 'compile'/'scan'/'serve': emit/load default-transition "
+        "compressed (D2FA) artifacts with this chain-depth bound "
+        f"(bare flag = depth {DEFAULT_CHAIN_DEPTH}); 'scan' round-trips "
+        "through the serialized bundle, 'serve' ships compressed "
+        "shared-memory segments that workers decode per-process",
+    )
     parser.add_argument(
         "--shards",
         type=int,
@@ -647,6 +731,7 @@ def main(argv: list[str] | None = None) -> int:
             args.socket,
             args.oneshot,
             args.prefilter,
+            args.compress,
         )
     elif args.command in ("compile", "scan", "rcompile", "rscan"):
         if not args.set_name:
@@ -654,14 +739,20 @@ def main(argv: list[str] | None = None) -> int:
         if args.set_name not in all_set_names():
             parser.error(f"unknown set {args.set_name!r}; have {all_set_names()}")
         if args.command == "compile":
-            _cmd_compile(args.set_name, shards=args.shards, jobs=args.jobs)
+            _cmd_compile(
+                args.set_name, shards=args.shards, jobs=args.jobs,
+                compress=args.compress,
+            )
         elif args.command == "rcompile":
             return _cmd_rcompile(args.set_name)
         else:
             if not args.pcap:
                 parser.error(f"{args.command} needs a pcap file")
             if args.command == "scan":
-                return _cmd_scan(args.set_name, args.pcap, args.engine, args.prefilter)
+                return _cmd_scan(
+                    args.set_name, args.pcap, args.engine, args.prefilter,
+                    args.compress,
+                )
             return _cmd_rscan(args.set_name, args.pcap, args.engine, args.prefilter)
     return 0
 

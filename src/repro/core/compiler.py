@@ -99,6 +99,7 @@ def compile_mfa(
     lint: bool = False,
     prove: bool = False,
     prefilter: bool = True,
+    compress: "bool | int | None" = None,
 ) -> MFA:
     """Parse, split and compile a rule set into a match-filtering automaton.
 
@@ -131,6 +132,11 @@ def compile_mfa(
     compiled artifact (and into its serialized bundle) when the rule set
     supports one; see :mod:`repro.fastpath.prefilter`.  Purely a scan-time
     accelerator — it never changes the match stream.
+
+    ``compress`` attaches a default-transition forest so the artifact
+    serialises in the compressed tier (see
+    :func:`repro.core.mfa.build_mfa`); ``None`` defers to
+    ``REPRO_COMPILE_COMPRESS``.
     """
     if lint or prove:
         engine = compile_mfa(
@@ -144,6 +150,7 @@ def compile_mfa(
             cache=cache,
             phases=phases,
             prefilter=prefilter,
+            compress=compress,
         )
         if lint:
             from ..analyze import analyze_engine
@@ -174,6 +181,7 @@ def compile_mfa(
             cache=cache,
             phases=phases,
             prefilter=prefilter,
+            compress=compress,
         )
     import time as _time
 
@@ -188,6 +196,7 @@ def compile_mfa(
         time_budget=time_budget,
         phases=phases,
         prefilter=prefilter,
+        compress=compress,
     )
 
 

@@ -60,6 +60,11 @@ class MFA:
         # see repro.fastpath.prefilter) — attached by build_mfa, carried
         # through serialization, consumed by the fastpath engine.
         self.prefilter: Optional[dict] = None
+        # Optional default-transition forest (repro.automata.compress
+        # CompressedDFA) — attached by build_mfa(compress=...) or by a
+        # compressed-bundle load.  When present, serialization writes the
+        # compressed artifact tier instead of the dense table.
+        self.compressed: Optional[object] = None
         self.engine = FilterEngine(program)
         # Pre-compile every decision set into an op tuple, ordered by action
         # priority (clears < sets < tests).  Ops for plain bit-plane actions
@@ -272,6 +277,7 @@ def build_mfa(
     time_budget: float | None = None,
     phases: dict[str, float] | None = None,
     prefilter: bool = True,
+    compress: "bool | int | None" = None,
 ) -> MFA:
     """Split a rule set and compile the component DFA (paper Figure 1).
 
@@ -290,6 +296,13 @@ def build_mfa(
     AST analysis, a few microseconds per rule) when the component set
     supports one; the plan rides the bundle and is purely a scan-time
     accelerator — disabling it never changes match semantics.
+
+    ``compress`` attaches a default-transition forest
+    (:func:`repro.automata.compress.compress_dfa`) so the bundle
+    serialises in the compressed artifact tier: ``True`` uses the default
+    chain-depth bound, an integer sets the bound, ``None`` defers to
+    ``REPRO_COMPILE_COMPRESS``.  Purely a storage tier — the in-memory
+    engine keeps its dense table and match semantics are untouched.
     """
     import time as _time
 
@@ -317,5 +330,11 @@ def build_mfa(
         from ..fastpath.prefilter import build_prefilter
 
         mfa.prefilter = build_prefilter(mfa)
-        _mark("prefilter", tick)
+        tick = _mark("prefilter", tick)
+    from ..automata.compress import ARTIFACT_WINDOW, compress_dfa, resolve_compress_option
+
+    depth = resolve_compress_option(compress)
+    if depth:
+        mfa.compressed = compress_dfa(dfa, window=ARTIFACT_WINDOW, max_depth=depth)
+        _mark("compress", tick)
     return mfa

@@ -9,12 +9,26 @@ it does not recognise.
 from __future__ import annotations
 
 import json
+import os
 import struct
-from typing import BinaryIO
+from typing import BinaryIO, cast
 
-from ..automata.serialize import dumps_dfa, loads_dfa
+from ..automata.compress import CompressedDFA
+from ..automata.serialize import (
+    CDFA_MAGIC,
+    decode_cdfa_header,
+    dumps_cdfa,
+    dumps_dfa,
+    loads_cdfa,
+    loads_dfa,
+)
 from .filters import NONE, FilterAction, FilterProgram
 from .mfa import MFA
+
+# Decode-mode selection for compressed bundles (see loads_mfa).
+DECODE_ENV = "REPRO_DECODE"
+DECODE_BUDGET_ENV = "REPRO_DECODE_BUDGET"
+DEFAULT_DECODE_BUDGET = 64 * 1024 * 1024
 
 __all__ = [
     "BUNDLE_MAGIC",
@@ -79,11 +93,22 @@ def program_from_json(blob: dict) -> FilterProgram:
 
 
 def dumps_mfa(mfa: MFA) -> bytes:
-    """Serialise an MFA (DFA table + filter program [+ prefilter plan])."""
+    """Serialise an MFA (DFA table + filter program [+ prefilter plan]).
+
+    When the MFA carries a default-transition forest (``mfa.compressed``,
+    attached by ``build_mfa(compress=...)`` or by loading a compressed
+    bundle), the DFA section is written in the compressed ``MFADFA2``
+    encoding instead of the dense table.  The bundle framing itself is
+    unchanged — the DFA section is self-describing by magic — so old
+    readers of *dense* bundles and new readers of both kinds interoperate.
+    """
     program_bytes = json.dumps(
         program_to_json(mfa.program), separators=(",", ":"), sort_keys=True
     ).encode()
-    dfa_bytes = dumps_dfa(mfa.dfa)
+    if mfa.compressed is not None:
+        dfa_bytes = dumps_cdfa(cast(CompressedDFA, mfa.compressed))
+    else:
+        dfa_bytes = dumps_dfa(mfa.dfa)
     plan = mfa.prefilter
     if plan is None:
         return (
@@ -151,17 +176,64 @@ def split_bundle(blob: "bytes | memoryview") -> tuple[bytes, "bytes | memoryview
     return program_bytes, dfa_bytes
 
 
-def loads_mfa(blob: "bytes | memoryview", mmap: bool = False) -> MFA:
+def resolve_decode_mode(decode: "str | None") -> tuple[str, int]:
+    """Normalise a decode-mode request to ``(mode, flatten_budget)``.
+
+    ``decode`` is one of ``auto``/``flatten``/``chain``; ``None`` reads
+    ``REPRO_DECODE`` (default ``auto``).  The budget — dense table bytes
+    below which ``auto`` flattens — comes from ``REPRO_DECODE_BUDGET``.
+    """
+    mode = decode if decode is not None else os.environ.get(DECODE_ENV, "auto")
+    mode = mode.strip().lower() or "auto"
+    if mode not in ("auto", "flatten", "chain"):
+        raise ValueError(f"decode mode must be auto/flatten/chain, got {mode!r}")
+    raw_budget = os.environ.get(DECODE_BUDGET_ENV, "").strip()
+    try:
+        budget = int(raw_budget) if raw_budget else DEFAULT_DECODE_BUDGET
+    except ValueError:
+        raise ValueError(
+            f"{DECODE_BUDGET_ENV} must be an integer byte count, got {raw_budget!r}"
+        ) from None
+    return mode, budget
+
+
+def loads_mfa(
+    blob: "bytes | memoryview", mmap: bool = False, decode: "str | None" = None
+) -> MFA:
     """Deserialise an MFA bundle (provenance/stats are not preserved).
 
     ``mmap=True`` keeps the DFA transition table as zero-copy views over
     the caller's buffer (see :func:`repro.automata.serialize.loads_dfa`);
     the buffer must outlive the returned engine.
+
+    A compressed (``MFADFA2``) DFA section is decoded per ``decode``:
+
+    - ``"flatten"`` reconstructs the dense table (byte-identical to the
+      pre-compression DFA) — full scan speed, full memory;
+    - ``"chain"`` returns an MFA over a
+      :class:`~repro.automata.compress.ChainDFA` that answers lookups
+      straight off the forest — an order of magnitude less memory, chain
+      walks per byte (the fastpath engine vectorizes these);
+    - ``"auto"`` (the default, also via ``REPRO_DECODE``) flattens when
+      the dense table fits ``REPRO_DECODE_BUDGET`` bytes (default 64 MB)
+      and chains otherwise.
+
+    Either way the forest is kept on ``mfa.compressed`` so a re-dump
+    reproduces the compressed bundle byte-for-byte.
     """
     program_bytes, dfa_bytes, plan_bytes = _split_sections(blob)
     program = program_from_json(json.loads(program_bytes))
-    dfa = loads_dfa(dfa_bytes, mmap=mmap)
-    mfa = MFA(dfa, program)
+    if bytes(memoryview(dfa_bytes)[: len(CDFA_MAGIC)]) == CDFA_MAGIC:
+        mode, budget = resolve_decode_mode(decode)
+        cdfa = loads_cdfa(dfa_bytes)
+        if mode == "auto":
+            mode = "flatten" if cdfa.n_states * 1024 <= budget else "chain"
+        dfa = cdfa.flatten() if mode == "flatten" else cdfa.to_chain_dfa()
+        mfa = MFA(dfa, program)
+        mfa.compressed = cdfa
+    else:
+        dfa = loads_dfa(dfa_bytes, mmap=mmap)
+        mfa = MFA(dfa, program)
     if plan_bytes is not None:
         plan = json.loads(plan_bytes)
         if not isinstance(plan, dict):

@@ -177,7 +177,15 @@ def _compile_shard_worker(
     """
     from ..core.serialize import dumps_mfa
 
-    patterns, splitter_options, state_budget, time_budget, minimize, prefilter = payload
+    (
+        patterns,
+        splitter_options,
+        state_budget,
+        time_budget,
+        minimize,
+        prefilter,
+        compress,
+    ) = payload
     phases: dict[str, float] = {}
     tick = time.perf_counter()
     try:
@@ -189,6 +197,7 @@ def _compile_shard_worker(
             time_budget=time_budget,
             phases=phases,
             prefilter=prefilter,
+            compress=compress,
         )
     except Exception as exc:  # noqa: BLE001 - reported to the parent
         elapsed = time.perf_counter() - tick
@@ -204,6 +213,7 @@ def _shard_cache_key(
     state_budget: int,
     minimize: bool,
     prefilter: bool,
+    compress: int,
 ) -> str:
     from ..fastpath.cache import cache_key
 
@@ -214,6 +224,7 @@ def _shard_cache_key(
         state_budget=state_budget,
         minimize=minimize,
         prefilter=prefilter,
+        compress=compress,
     )
 
 
@@ -228,6 +239,7 @@ def compile_shards(
     cache=None,
     phases: dict[str, float] | None = None,
     prefilter: bool = True,
+    compress: "bool | int | None" = None,
 ) -> list[ShardBuild]:
     """Compile each shard to an MFA, in parallel when ``jobs > 1``.
 
@@ -238,8 +250,12 @@ def compile_shards(
     is looked up and stored under its own content key, which is what
     makes one-rule edits rebuild one shard.
     """
+    from ..automata.compress import resolve_compress_option
     from ..core.serialize import loads_mfa
 
+    # Resolve env-deferred options once here so pool workers and cache
+    # keys see one explicit chain-depth integer.
+    depth = resolve_compress_option(compress)
     results: list[ShardBuild | None] = [None] * len(shard_patterns)
     keys: list[str | None] = [None] * len(shard_patterns)
     to_build: list[int] = []
@@ -247,7 +263,7 @@ def compile_shards(
         if cache is not None:
             keys[index] = _shard_cache_key(
                 shard, splitter_options, parser_options, state_budget, minimize,
-                prefilter,
+                prefilter, depth,
             )
             tick = time.perf_counter()
             cached = cache.load(keys[index])
@@ -283,6 +299,7 @@ def compile_shards(
                 time_budget,
                 minimize,
                 prefilter,
+                depth,
             )
             for index in to_build
         ]
@@ -292,7 +309,9 @@ def compile_shards(
             ):
                 record_phases(sub_phases)
                 if ok:
-                    results[index] = ShardBuild(loads_mfa(blob), None, False, seconds)
+                    results[index] = ShardBuild(
+                        loads_mfa(blob, decode="flatten"), None, False, seconds
+                    )
                 else:
                     results[index] = ShardBuild(None, rebuild_error(blob), False, seconds)
     else:
@@ -308,6 +327,7 @@ def compile_shards(
                     time_budget=time_budget,
                     phases=sub_phases,
                     prefilter=prefilter,
+                    compress=depth,
                 )
                 results[index] = ShardBuild(
                     built, None, False, time.perf_counter() - tick
@@ -338,6 +358,7 @@ def compile_mfa_sharded(
     cache=None,
     phases: dict[str, float] | None = None,
     prefilter: bool = True,
+    compress: "bool | int | None" = None,
 ) -> ShardedMFA | MFA:
     """Parse, partition and compile a rule set as parallel shards.
 
@@ -367,6 +388,7 @@ def compile_mfa_sharded(
             cache=cache,
             phases=phases,
             prefilter=prefilter,
+            compress=compress,
         )[0]
         if built.error is not None:
             raise built.error
@@ -383,6 +405,7 @@ def compile_mfa_sharded(
         cache=cache,
         phases=phases,
         prefilter=prefilter,
+        compress=compress,
     )
     for built in results:
         if built.error is not None:

@@ -44,8 +44,10 @@ __all__ = [
 
 # Bump whenever the serialized bundle format or compile semantics change in
 # a way old entries must not survive.  2: bundles may carry a prefilter
-# plan section (MFABDL2 framing).
-CACHE_FORMAT = 2
+# plan section (MFABDL2 framing).  3: the DFA section may be
+# default-transition compressed (MFADFA2) and the key carries the
+# chain-depth bound.
+CACHE_FORMAT = 3
 
 
 def cache_enabled() -> bool:
@@ -77,13 +79,16 @@ def cache_key(
     state_budget: int = DEFAULT_STATE_BUDGET,
     minimize: bool = False,
     prefilter: bool = True,
+    compress: int = 0,
     extra: dict | None = None,
 ) -> str:
     """Deterministic key over every input that shapes the compiled MFA.
 
     ``prefilter`` is keyed because it changes the serialized bundle (a
     version-2 bundle carries the plan section) even though it never
-    changes match semantics.
+    changes match semantics.  ``compress`` (a resolved chain-depth bound,
+    0 = dense) is keyed for the same reason: it selects the DFA section's
+    encoding tier.
     """
     doc = {
         "format": CACHE_FORMAT,
@@ -93,6 +98,7 @@ def cache_key(
         "state_budget": state_budget,
         "minimize": minimize,
         "prefilter": prefilter,
+        "compress": compress,
         "extra": extra or {},
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
@@ -136,7 +142,10 @@ class ArtifactCache:
             self.misses += 1
             return None
         try:
-            mfa = loads_mfa(blob)
+            # Compile-side loads always flatten a compressed section: the
+            # pipeline wants full scan speed, and the forest stays attached
+            # for byte-identical re-serialisation.
+            mfa = loads_mfa(blob, decode="flatten")
         except Exception:
             # A corrupt entry is a miss, and removing it stops every later
             # run from re-parsing garbage — but only the exact file we
@@ -198,20 +207,24 @@ def compile_mfa_cached(
     parser_options: ParserOptions | None = None,
     state_budget: int = DEFAULT_STATE_BUDGET,
     cache: ArtifactCache | None = None,
+    compress: "bool | int | None" = None,
 ) -> tuple[MFA, bool]:
     """Compile a rule set, consulting the artifact cache first.
 
     Returns ``(mfa, hit)`` where ``hit`` says the engine was loaded rather
     than built.  A fresh build is stored for the next caller.
     """
+    from ..automata.compress import resolve_compress_option
     from ..core.compiler import compile_mfa
 
     cache = cache if cache is not None else ArtifactCache()
+    depth = resolve_compress_option(compress)
     key = cache_key(
         rules,
         splitter_options=splitter_options,
         parser_options=parser_options,
         state_budget=state_budget,
+        compress=depth,
     )
     cached = cache.load(key)
     if cached is not None:
@@ -221,6 +234,7 @@ def compile_mfa_cached(
         splitter_options=splitter_options,
         parser_options=parser_options,
         state_budget=state_budget,
+        compress=depth,
     )
     cache.store(key, mfa)
     return mfa, False

@@ -75,10 +75,17 @@ class ResilientCompiler:
         cache=None,
         shards: int = 1,
         jobs: int = 1,
+        compress: "bool | int | None" = None,
     ) -> None:
         self.limits = limits or CompileLimits()
         self.splitter_options = splitter_options
         self.parser_options = parser_options
+        # Default-transition compression of MFA artifacts (a resolved
+        # chain-depth bound; 0 = dense).  Applies to MFA builds only — the
+        # fallback engines have no compressed tier.
+        from ..automata.compress import resolve_compress_option
+
+        self.compress = resolve_compress_option(compress)
         # Optional repro.fastpath.ArtifactCache: MFA attempts consult it
         # before building and store fresh builds for the next run.  In
         # sharded mode each shard is keyed separately, so one-rule edits
@@ -143,6 +150,7 @@ class ResilientCompiler:
                 state_budget=budget,
                 time_budget=time_budget,
                 phases=phases,
+                compress=self.compress,
             )
         if engine_name == "dfa":
             return build_dfa(patterns, state_budget=budget, time_budget=time_budget)
@@ -210,6 +218,7 @@ class ResilientCompiler:
                         splitter_options=self.splitter_options,
                         parser_options=self.parser_options,
                         state_budget=budget or 0,
+                        compress=self.compress,
                     )
                     cached = self.cache.load(cache_key)
                     if cached is not None:
@@ -311,6 +320,7 @@ class ResilientCompiler:
                 jobs=self.jobs,
                 cache=self.cache,
                 phases=report.phases,
+                compress=self.compress,
             )
         engines: list[object] = []
         names: list[str] = []

@@ -78,6 +78,11 @@ class ServeConfig:
     # Prefilter disposition for fastpath workers ("on"/"off"/"auto"); the
     # mfa engine ignores it.  Recorded in the ServeReport either way.
     prefilter: str = "auto"
+    # Default-transition compression of the shared-memory bundles: a
+    # chain-depth bound (0 = dense).  Workers map the compressed image
+    # zero-copy and decode per-worker (flatten or chain-walk per
+    # REPRO_DECODE), so N workers share one small artifact segment.
+    compress: int = 0
     queue_depth: int = 8
     shed: bool = False
     hang_timeout: float = 30.0
@@ -99,6 +104,8 @@ class ServeConfig:
             raise ValueError(f"unknown serve engine {self.engine!r}")
         if self.prefilter not in ("on", "off", "auto"):
             raise ValueError(f"unknown prefilter mode {self.prefilter!r}")
+        if self.compress < 0:
+            raise ValueError("compress chain depth must be >= 0")
 
 
 class _Slot:
@@ -203,6 +210,7 @@ class ScanDaemon:
             self.parser_options,
             state_budget=self.state_budget,
             cache=self.cache,
+            compress=self.config.compress,
         )
         for build in builds:
             if build.error is not None:

@@ -138,6 +138,12 @@ def load_engine_from_buffer(
     its required-literal prefilter mode.  With ``mmap=True`` the returned
     engine references the buffer — keep the segment open for as long as
     the engine lives.
+
+    Compressed bundles (``MFADFA2`` DFA sections, ``ServeConfig.compress``)
+    stay zero-copy in the *segment*: every worker maps the same small
+    compressed image and decodes per-process — flatten or chain-walk, per
+    ``REPRO_DECODE``/``REPRO_DECODE_BUDGET`` — into private working
+    tables, so the shared artifact footprint is the compressed size.
     """
     _header, views = unpack_bundles(buffer)
     mfas = [loads_mfa(view, mmap=mmap) for view in views]

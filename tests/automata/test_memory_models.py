@@ -5,6 +5,8 @@ import pytest
 from repro.automata import (
     build_dfa,
     build_hfa,
+    build_hybrid_fa,
+    build_mdfa,
     build_nfa,
     build_xfa,
 )
@@ -94,3 +96,52 @@ class TestCompressedAccounting:
         assert mdfa.n_groups == dfa.n_groups
         assert list(mdfa.group_of_byte) == list(dfa.group_of_byte)
         assert mdfa.memory_bytes(compressed=True) <= dfa.memory_bytes(compressed=True)
+
+    def test_xfa_passes_compressed_through(self, patterns):
+        xfa = build_xfa(patterns)
+        extras = xfa.memory_bytes() - xfa.dfa.memory_bytes()
+        assert (
+            xfa.memory_bytes(compressed=True)
+            == xfa.dfa.memory_bytes(compressed=True) + extras
+        )
+        assert xfa.memory_bytes(compressed=None) == xfa.memory_bytes()
+
+    def test_hybridfa_passes_compressed_through(self, patterns):
+        hfa = build_hybrid_fa(patterns)
+        tails = sum(t.memory_bytes() for t in hfa.tails)
+        assert (
+            hfa.memory_bytes(compressed=True)
+            == hfa.head.memory_bytes(compressed=True) + tails
+        )
+        assert hfa.memory_bytes(compressed=None) == hfa.memory_bytes()
+
+    def test_mdfa_defaults_to_compressed_groups(self, patterns):
+        mdfa = build_mdfa(patterns)
+        # None keeps the historical mDFA accounting: compressed group tables.
+        assert mdfa.memory_bytes() == mdfa.memory_bytes(compressed=True)
+        assert mdfa.memory_bytes(compressed=False) == sum(
+            dfa.memory_bytes(compressed=False) for dfa in mdfa.groups
+        )
+        assert mdfa.memory_bytes(compressed=False) >= mdfa.memory_bytes()
+
+    def test_forest_accounting_matches_serialized_sections(self, patterns):
+        from repro.automata.compress import compress_dfa
+        from repro.automata.serialize import dumps_cdfa
+
+        dfa = build_dfa(patterns)
+        forest = compress_dfa(dfa)
+        blob = dumps_cdfa(forest)
+        decisions = sum(len(a) for a in forest.accepts) + sum(
+            len(a) for a in forest.accepts_end
+        )
+        # memory_bytes counts exactly the binary sections of the MFADFA2
+        # blob (plus decision ids); the blob adds only magic + JSON header.
+        sections = forest.memory_bytes() - 4 * decisions
+        assert sections < len(blob)
+        n = forest.n_states
+        header_overhead = len(blob) - (
+            4 * n + 4 * n + 1024 * forest.n_roots + 4 * (n + 1)
+            + 5 * forest.overlay_entries
+        )
+        assert forest.memory_bytes() == sections + 4 * decisions
+        assert header_overhead > 0

@@ -64,3 +64,49 @@ class TestScanCommand:
     def test_scan_needs_pcap(self):
         with pytest.raises(SystemExit):
             main(["scan", "C8"])
+
+
+class TestCompressFlag:
+    def test_compile_reports_compression(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["compile", "C8", "--compress"]) == 0
+        out = capsys.readouterr().out
+        assert "mfa compressed (depth<=4)" in out
+        assert "x)" in out  # the bundle ratio
+
+    def test_scan_roundtrips_compressed_artifact(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        from repro.bench.harness import patterns_for
+        from repro.traffic import TraceProfile, build_corpus
+
+        paths = build_corpus(
+            tmp_path,
+            list(patterns_for("C8")),
+            profiles=(TraceProfile("t", 5000, (0.6, 0.2, 0.1, 0.1), 0.4),),
+            seed=5,
+        )
+        assert main(["scan", "C8", str(paths["t"]), "--compress", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "compressed artifact:" in out
+        assert "alerts" in out
+
+    def test_scan_compress_streams_match_dense(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        from repro.bench.harness import patterns_for
+        from repro.traffic import TraceProfile, build_corpus
+
+        paths = build_corpus(
+            tmp_path,
+            list(patterns_for("C8")),
+            profiles=(TraceProfile("t", 5000, (0.6, 0.2, 0.1, 0.1), 0.4),),
+            seed=5,
+        )
+        assert main(["scan", "C8", str(paths["t"])]) == 0
+        dense_out = capsys.readouterr().out
+        assert main(["scan", "C8", str(paths["t"]), "--compress"]) == 0
+        compressed_out = capsys.readouterr().out
+        dense_alerts = [ln for ln in dense_out.splitlines() if "alerts" in ln]
+        compressed_alerts = [
+            ln for ln in compressed_out.splitlines() if "alerts" in ln
+        ]
+        assert dense_alerts == compressed_alerts

@@ -1,0 +1,158 @@
+"""The compressed (``MFADFA2``) artifact tier and bundle version negotiation.
+
+Three layers under test: the forest codec itself (byte-determinism and
+section exactness), the bundle-level decode-mode negotiation
+(``flatten``/``chain``/``auto`` + ``REPRO_DECODE``/``REPRO_DECODE_BUDGET``),
+and backward compatibility — the committed old-format dense fixtures must
+load unchanged and re-serialise byte-for-byte.
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.compress import ChainDFA, CompressedDFA
+from repro.automata.dfa import DFA
+from repro.automata.serialize import dumps_cdfa, dumps_dfa, loads_cdfa
+from repro.core import compile_mfa
+from repro.core.serialize import (
+    DECODE_BUDGET_ENV,
+    DECODE_ENV,
+    dumps_mfa,
+    loads_mfa,
+    resolve_decode_mode,
+)
+
+RULES = [".*aa.*bb", ".*cc[^\\n]*dd", ".*ee.{1,4}ffq", "^GET /x", "plain"]
+FIXTURES = Path(__file__).resolve().parent.parent / "fixtures" / "bundles"
+
+PAYLOADS = (b"aa.bb", b"cc x dd", b"ee12ffq", b"GET /x", b"plain", b"zzz", b"")
+
+
+@pytest.fixture(scope="module")
+def cmfa():
+    return compile_mfa(RULES, compress=2)
+
+
+@pytest.fixture(scope="module")
+def dense_mfa():
+    return compile_mfa(RULES)
+
+
+class TestForestCodec:
+    def test_roundtrip_exact_bytes(self, cmfa):
+        blob = dumps_cdfa(cmfa.compressed)
+        assert dumps_cdfa(loads_cdfa(blob)) == blob
+
+    def test_flatten_byte_identical_to_dense(self, cmfa, dense_mfa):
+        flat = cmfa.compressed.flatten()
+        assert dumps_dfa(flat) == dumps_dfa(dense_mfa.dfa)
+
+    def test_truncated_sections_refused(self, cmfa):
+        blob = dumps_cdfa(cmfa.compressed)
+        with pytest.raises(ValueError):
+            loads_cdfa(blob[:-3])
+
+    def test_bad_magic_refused(self):
+        with pytest.raises(ValueError, match="magic"):
+            loads_cdfa(b"NOTDFA2\n" + b"\x00" * 64)
+
+
+class TestDecodeModes:
+    def test_flatten_gives_dense_dfa(self, cmfa):
+        restored = loads_mfa(dumps_mfa(cmfa), decode="flatten")
+        assert type(restored.dfa) is DFA
+        assert restored.compressed is not None
+
+    def test_chain_gives_chain_dfa(self, cmfa):
+        restored = loads_mfa(dumps_mfa(cmfa), decode="chain")
+        assert isinstance(restored.dfa, ChainDFA)
+        assert isinstance(restored.compressed, CompressedDFA)
+
+    def test_auto_honours_budget(self, cmfa, monkeypatch):
+        blob = dumps_mfa(cmfa)
+        monkeypatch.setenv(DECODE_BUDGET_ENV, "1")
+        assert isinstance(loads_mfa(blob).dfa, ChainDFA)
+        monkeypatch.setenv(DECODE_BUDGET_ENV, str(64 * 1024 * 1024))
+        assert type(loads_mfa(blob).dfa) is DFA
+
+    def test_env_selects_mode(self, cmfa, monkeypatch):
+        blob = dumps_mfa(cmfa)
+        monkeypatch.setenv(DECODE_ENV, "chain")
+        assert isinstance(loads_mfa(blob).dfa, ChainDFA)
+        monkeypatch.setenv(DECODE_ENV, "flatten")
+        assert type(loads_mfa(blob).dfa) is DFA
+
+    def test_bad_mode_refused(self):
+        with pytest.raises(ValueError, match="auto/flatten/chain"):
+            resolve_decode_mode("turbo")
+
+    def test_bad_budget_refused(self, monkeypatch):
+        monkeypatch.setenv(DECODE_BUDGET_ENV, "lots")
+        with pytest.raises(ValueError, match=DECODE_BUDGET_ENV):
+            resolve_decode_mode("auto")
+
+    @pytest.mark.parametrize("mode", ["flatten", "chain"])
+    def test_redump_reproduces_compressed_bundle(self, cmfa, mode):
+        blob = dumps_mfa(cmfa)
+        assert dumps_mfa(loads_mfa(blob, decode=mode)) == blob
+
+    @pytest.mark.parametrize("mode", ["flatten", "chain"])
+    def test_match_streams_identical(self, cmfa, dense_mfa, mode):
+        restored = loads_mfa(dumps_mfa(cmfa), decode=mode)
+        for payload in PAYLOADS:
+            assert sorted(restored.run(payload)) == sorted(dense_mfa.run(payload))
+
+    def test_chain_streaming_feed(self, cmfa, dense_mfa):
+        restored = loads_mfa(dumps_mfa(cmfa), decode="chain")
+        context = restored.new_context()
+        events = list(restored.feed(context, b"aa."))
+        events += list(restored.feed(context, b"bb"))
+        events += list(restored.finish(context))
+        assert sorted(events) == sorted(dense_mfa.run(b"aa.bb"))
+
+
+class TestVersionNegotiation:
+    """Committed old-format bundles keep loading, byte-for-byte."""
+
+    @pytest.mark.parametrize("name", ["v1_dense.mfab", "v2_dense.mfab"])
+    def test_fixture_roundtrips_byte_identically(self, name):
+        blob = FIXTURES.joinpath(name).read_bytes()
+        assert dumps_mfa(loads_mfa(blob)) == blob
+
+    @pytest.mark.parametrize("name", ["v1_dense.mfab", "v2_dense.mfab"])
+    def test_fixture_matches_fresh_compile(self, name, dense_mfa):
+        restored = loads_mfa(FIXTURES.joinpath(name).read_bytes())
+        for payload in PAYLOADS:
+            assert sorted(restored.run(payload)) == sorted(dense_mfa.run(payload))
+
+    def test_fixture_framing_versions(self):
+        assert FIXTURES.joinpath("v1_dense.mfab").read_bytes()[:8] == b"MFABDL1\n"
+        assert FIXTURES.joinpath("v2_dense.mfab").read_bytes()[:8] == b"MFABDL2\n"
+
+    def test_dense_compile_still_writes_dense_sections(self, dense_mfa):
+        # compress=None (the default) must not change the artifact bytes:
+        # old readers keep working on freshly compiled dense bundles.
+        blob = dumps_mfa(dense_mfa)
+        assert b"MFADFA2\n" not in blob[:64]
+        assert loads_mfa(blob).compressed is None
+
+
+@given(st.lists(st.sampled_from(list(b"abcdef\n .GETxpl")), max_size=60).map(bytes))
+@settings(max_examples=30, deadline=None)
+def test_compressed_load_equivalent_property(data):
+    dense = compile_mfa(RULES)
+    blob = dumps_mfa(compile_mfa(RULES, compress=2))
+    for mode in ("flatten", "chain"):
+        restored = loads_mfa(blob, decode=mode)
+        assert sorted(restored.run(data)) == sorted(dense.run(data)), (mode, data)
+
+
+def test_decode_env_defaults_are_auto(monkeypatch):
+    monkeypatch.delenv(DECODE_ENV, raising=False)
+    monkeypatch.delenv(DECODE_BUDGET_ENV, raising=False)
+    mode, budget = resolve_decode_mode(None)
+    assert mode == "auto"
+    assert budget == 64 * 1024 * 1024

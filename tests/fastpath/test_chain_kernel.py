@@ -1,0 +1,103 @@
+"""The chain-walk lane kernel: batch scanning straight off the D2FA forest.
+
+A compressed bundle loaded with ``decode="chain"`` must batch-scan through
+the fastpath engine with a confirmed-match stream byte-identical to the
+dense engine's, through the hot-state dense overlay cache (the default) and
+through the cold chain-walk path (forced with a tiny ``REPRO_CHAIN_HOT``).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.compress import ChainDFA
+from repro.core import compile_mfa, dumps_mfa, loads_mfa
+from repro.fastpath import HAVE_NUMPY, build_fastpath
+
+RULES = [".*aa.*bb", ".*cc[^\\n]*dd", ".*ee.{1,4}ffq", "^GET /x", "plain"]
+
+PAYLOADS = [
+    b"aa.bb",
+    b"cc x dd",
+    b"ee12ffq",
+    b"GET /x",
+    b"plain",
+    b"zzz" * 40,
+    b"aa" + b"." * 100 + b"bb",
+    b"",
+]
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="lane kernel needs numpy")
+
+
+@pytest.fixture(scope="module")
+def dense_mfa():
+    return compile_mfa(RULES)
+
+
+@pytest.fixture(scope="module")
+def chain_blob():
+    return dumps_mfa(compile_mfa(RULES, compress=2))
+
+
+def test_chain_engine_builds_on_forest(chain_blob):
+    mfa = loads_mfa(chain_blob, decode="chain")
+    assert isinstance(mfa.dfa, ChainDFA)
+    engine = build_fastpath(mfa)
+    assert engine._chain
+    assert engine._vector_ready
+
+
+def test_batch_stream_matches_dense(chain_blob, dense_mfa):
+    engine = build_fastpath(loads_mfa(chain_blob, decode="chain"))
+    want = [dense_mfa.run(p) for p in PAYLOADS]
+    assert engine.run_batch(PAYLOADS) == want
+
+
+def test_forced_cold_walk_matches_dense(chain_blob, dense_mfa, monkeypatch):
+    # A 1-state hot cache forces nearly every lane through the searchsorted
+    # overlay lookup + parent-hop loop; the stream must not change.
+    monkeypatch.setenv("REPRO_CHAIN_HOT", "1")
+    engine = build_fastpath(loads_mfa(chain_blob, decode="chain"))
+    assert not engine._all_hot
+    want = [dense_mfa.run(p) for p in PAYLOADS]
+    assert engine.run_batch(PAYLOADS) == want
+
+
+def test_prefilter_stays_off_in_chain_mode(chain_blob):
+    engine = build_fastpath(loads_mfa(chain_blob, decode="chain"), prefilter="on")
+    assert not engine.prefilter_active
+
+
+def test_hot_cap_bounds_table_memory(chain_blob, monkeypatch):
+    # The hot-state dense cache is the dominant chain-mode allocation; a
+    # smaller REPRO_CHAIN_HOT cap must shrink the engine's working tables.
+    # (On this tiny automaton the default cap covers every state — the
+    # memory win over a flattened load only appears once n_states exceeds
+    # the cap, which bench_compress measures on B217p.)
+    full = build_fastpath(loads_mfa(chain_blob, decode="chain"))
+    assert full._all_hot
+    monkeypatch.setenv("REPRO_CHAIN_HOT", "2")
+    capped = build_fastpath(loads_mfa(chain_blob, decode="chain"))
+    assert not capped._all_hot
+    assert 0 < capped.memory_bytes() < full.memory_bytes()
+
+
+def test_streaming_contexts_cross_segments(chain_blob, dense_mfa):
+    engine = build_fastpath(loads_mfa(chain_blob, decode="chain"))
+    payload = b"aa" + b"x" * 300 + b"bb" + b"cc-dd"
+    context = engine.new_context()
+    events = []
+    for start in range(0, len(payload), 64):
+        events += list(engine.feed(context, payload[start : start + 64]))
+    events += list(engine.finish(context))
+    assert sorted(events) == sorted(dense_mfa.run(payload))
+
+
+@given(st.lists(st.sampled_from(list(b"abcdef\n .GETxpl")), max_size=80).map(bytes))
+@settings(max_examples=30, deadline=None)
+def test_chain_lockstep_property(data):
+    dense = compile_mfa(RULES)
+    blob = dumps_mfa(compile_mfa(RULES, compress=2))
+    engine = build_fastpath(loads_mfa(blob, decode="chain"))
+    assert engine.run_batch([data]) == [dense.run(data)]

@@ -103,6 +103,24 @@ class TestServeScan:
         assert "worker 0:" in text
 
 
+class TestCompressedSegments:
+    def test_compressed_daemon_stream_matches_dense(self):
+        blob = capture_blob(FLOWS)
+        ref_alerts, _ref_report = resilient_scan(compile_mfa(RULES), blob)
+        config = ServeConfig(workers=1, compress=4)
+        d = ScanDaemon(RULES, shards=2, config=config).start()
+        try:
+            alerts, report = serve_scan(d, blob)
+            assert canonical_stream(alerts) == canonical_stream(ref_alerts)
+            assert not report.degraded
+        finally:
+            d.stop()
+
+    def test_negative_compress_refused(self):
+        with pytest.raises(ValueError, match="compress"):
+            ServeConfig(workers=1, compress=-1)
+
+
 class TestBackpressure:
     def test_shed_mode_counts_and_records(self):
         config = ServeConfig(workers=1, queue_depth=1, shed=True)
