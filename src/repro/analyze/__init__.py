@@ -1,6 +1,6 @@
 """Static verifier & lint suite for MFA artifacts, bytecode, and rule sets.
 
-Five analyzers, one report type, zero traffic:
+Six analyzers, one report type, zero traffic:
 
 * :mod:`~repro.analyze.bytecode` — proves invariants of the
   ``(test, set, clear, report)`` filter programs: references, liveness,
@@ -16,7 +16,11 @@ Five analyzers, one report type, zero traffic:
 * :mod:`~repro.analyze.equivalence` — *proves* the paper's correctness
   theorem per artifact: product-automaton bisimulation of the compiled
   MFA against a reference automaton built from the un-decomposed pattern
-  ASTs, with shortest-counterexample extraction on inequivalence.
+  ASTs, with shortest-counterexample extraction on inequivalence;
+* :mod:`~repro.analyze.adversary` — worst-case cost audit: synthesizes
+  replay-confirmed witness traces for every data-dependent slow path an
+  artifact carries (D²FA chain walks, hot-cache thrash, prefilter
+  evasion, filter bit-churn) with statically predicted slowdown bounds.
 
 :mod:`~repro.analyze.bundle` applies the first two tolerantly to
 serialized bundles, so a corrupt artifact yields findings instead of one
@@ -25,6 +29,15 @@ an oracle — lives in :mod:`repro.core.verify`; this package is the
 compile-time half of the same correctness argument.
 """
 
+from .adversary import (
+    REQUIRED_WITNESS_KINDS,
+    AdversaryResult,
+    ReplayOutcome,
+    WitnessTrace,
+    analyze_adversary,
+    analyze_engine_adversary,
+    replay_witness,
+)
 from .automaton import analyze_dfa, analyze_engine, analyze_mfa
 from .bundle import analyze_bundle
 from .bytecode import analyze_program, dead_bits, strip_dead_bits
@@ -74,4 +87,11 @@ __all__ = [
     "RISK_LOW",
     "RISK_MEDIUM",
     "RISK_HIGH",
+    "REQUIRED_WITNESS_KINDS",
+    "AdversaryResult",
+    "ReplayOutcome",
+    "WitnessTrace",
+    "analyze_adversary",
+    "analyze_engine_adversary",
+    "replay_witness",
 ]

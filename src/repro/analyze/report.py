@@ -18,6 +18,8 @@ Code namespaces (see ``docs/static-analysis.md`` for the full registry):
 * ``AU*`` — automaton invariants (:mod:`repro.analyze.automaton`)
 * ``DS*`` — decomposition-safety audit (:mod:`repro.analyze.safety`)
 * ``EX*`` — explosion triage (:mod:`repro.analyze.explosion`)
+* ``EQ*`` — equivalence prover (:mod:`repro.analyze.equivalence`)
+* ``AV*`` — adversarial worst-case audit (:mod:`repro.analyze.adversary`)
 """
 
 from __future__ import annotations

@@ -21,12 +21,23 @@ Examples::
     mfa-bench lint C7p          # static verifier over one rule set
     mfa-bench lint out.mfab     # ... or over a serialized bundle
     mfa-bench lint --all --json # every shipped set, machine-readable
+    mfa-bench lint C7p --fail-on warning  # gate on warnings too
+    mfa-bench audit B217p       # worst-case cost audit + witness replay
+    mfa-bench audit B217p --json --out witnesses.json  # CI witness corpus
+    mfa-bench audit out.mfab --no-replay  # static bounds only, no timing
     mfa-bench verify S24        # runtime oracle: MFA stream vs reference
     mfa-bench prove S24         # equivalence proof, one per pattern
     mfa-bench prove --all --jobs 4        # every set, proofs in parallel
     mfa-bench prove out.mfab --patterns C8  # prove a serialized artifact
 
-``lint`` exits non-zero when any error-severity finding survives;
+``lint`` exits non-zero when any error-severity finding survives
+(``--fail-on warning`` tightens the gate to warnings as well);
+``audit`` synthesizes adversarial worst-case witness traces (longest
+default-transition chains, prefilter-evading streams, hot-cache
+thrashers, filter bit-churn maximizers), replays each through the real
+scalar and fastpath engines, and exits non-zero on any error-severity
+``AV`` finding — a crashed audit or a witness whose replay diverged
+from the reference match stream;
 ``verify`` exits non-zero on any stream divergence from the oracle;
 ``prove`` exits non-zero on any error-severity ``EQ`` finding — a
 replay-confirmed divergence with its shortest distinguishing input, or a
@@ -384,7 +395,16 @@ def _lint_one_set(set_name: str):
     return report
 
 
-def _cmd_lint(target: str | None, lint_all: bool, json_out: bool) -> int:
+def _report_fails(report, fail_on: str) -> bool:
+    """Gate decision for one report under the ``--fail-on`` threshold."""
+    if report.has_errors:
+        return True
+    return fail_on == "warning" and bool(report.warnings)
+
+
+def _cmd_lint(
+    target: str | None, lint_all: bool, json_out: bool, fail_on: str = "error"
+) -> int:
     """Run the static verifier over rule sets and/or bundle files."""
     import json
     from pathlib import Path
@@ -414,7 +434,7 @@ def _cmd_lint(target: str | None, lint_all: bool, json_out: bool) -> int:
     if json_out:
         print(json.dumps({name: r.to_dict() for name, r in reports.items()},
                          indent=2, sort_keys=True))
-        failed = any(r.has_errors for r in reports.values())
+        failed = any(_report_fails(r, fail_on) for r in reports.values())
     else:
         for name, report in reports.items():
             counts = report.counts()
@@ -422,9 +442,95 @@ def _cmd_lint(target: str | None, lint_all: bool, json_out: bool) -> int:
                   f"warning(s), {counts['info']} info")
             for line in report.describe():
                 print(f"  {line}")
-            if report.has_errors:
+            if _report_fails(report, fail_on):
                 failed = True
     return 1 if failed else 0
+
+
+def _audit_one_set(set_name: str, depth: int, replay: bool):
+    """Adversarial worst-case audit of one shipped rule set.
+
+    Compiles with the D²FA artifact tier by default so every witness
+    class the analyzer knows about (chain-depth, cache-thrash,
+    prefilter-evasion, filter-churn) has a channel to target; a dense
+    compile would leave the chain-walk classes with nothing to audit.
+    """
+    from ..analyze import AnalysisReport, analyze_adversary
+    from ..analyze.report import ERROR
+    from ..core import compile_mfa
+    from .harness import STATE_BUDGET, patterns_for
+
+    try:
+        mfa = compile_mfa(
+            patterns_for(set_name), state_budget=STATE_BUDGET, compress=depth
+        )
+    except Exception as exc:  # noqa: BLE001 - an uncompilable set is a finding
+        report = AnalysisReport()
+        report.add(
+            "AV100",
+            ERROR,
+            "adversary",
+            f"cannot compile {set_name} under budget {STATE_BUDGET}: "
+            f"{type(exc).__name__}: {exc}",
+        )
+        from ..analyze.adversary import AdversaryResult
+
+        return AdversaryResult(report, [], [])
+    return analyze_adversary(mfa, replay=replay)
+
+
+def _cmd_audit(
+    target: str | None,
+    audit_all: bool,
+    json_out: bool,
+    out_path: str | None,
+    depth: int,
+    replay: bool,
+) -> int:
+    """Worst-case cost audit over rule sets and/or bundle files."""
+    import json
+    from pathlib import Path
+
+    from ..analyze import analyze_engine_adversary
+    from ..core import loads_mfa
+
+    if audit_all:
+        targets = list(all_set_names())
+    elif target is None:
+        print("audit needs a rule-set name, a bundle path, or --all")
+        return 2
+    else:
+        targets = [target]
+
+    results = {}
+    for name in targets:
+        if name in all_set_names():
+            results[name] = _audit_one_set(name, depth, replay)
+        elif Path(name).exists():
+            engine = loads_mfa(Path(name).read_bytes())
+            results[name] = analyze_engine_adversary(engine, replay=replay)
+        else:
+            print(f"unknown target {name!r}: not a rule set {all_set_names()} "
+                  f"and not a file")
+            return 2
+
+    doc = {name: result.to_dict() for name, result in results.items()}
+    if out_path:
+        # The witness corpus artifact CI uploads: payloads in hex with
+        # their predicted bounds and (when replayed) measured slowdowns.
+        with open(out_path, "w") as handle:
+            handle.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"witness corpus: {out_path}")
+    if json_out:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        for name, result in results.items():
+            counts = result.report.counts()
+            print(f"{name}: {counts['error']} error(s), {counts['warning']} "
+                  f"warning(s), {counts['info']} info")
+            for line in result.describe().splitlines():
+                print(f"  {line}")
+    return 1 if any(r.report.has_errors for r in results.values()) else 0
 
 
 def _prove_one_set(set_name: str, budget: int, jobs: int):
@@ -574,25 +680,46 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "table5", "fig2", "fig3", "fig4", "fig5",
             "explosion", "report", "compile", "scan",
-            "rcompile", "rscan", "lint", "verify", "prove", "serve",
+            "rcompile", "rscan", "lint", "audit", "verify", "prove", "serve",
         ],
     )
     parser.add_argument(
         "set_name",
         nargs="?",
         help="pattern set for 'compile'/'scan'/'verify', or a set name / "
-        "bundle path for 'lint'/'prove'",
+        "bundle path for 'lint'/'audit'/'prove'",
     )
     parser.add_argument("pcap", nargs="?", help="capture file for 'scan'")
     parser.add_argument(
         "--all",
         action="store_true",
-        help="for 'lint'/'prove': run over every shipped rule set",
+        help="for 'lint'/'audit'/'prove': run over every shipped rule set",
     )
     parser.add_argument(
         "--json",
         action="store_true",
-        help="for 'lint'/'prove': machine-readable findings (stable ordering)",
+        help="for 'lint'/'audit'/'prove': machine-readable findings "
+        "(stable ordering)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning"),
+        default="error",
+        help="for 'lint': exit non-zero on findings at or above this "
+        "severity (default: error)",
+    )
+    parser.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="for 'audit': skip replaying witnesses through the real "
+        "engines — static cost bounds only (fast, no timing noise)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="for 'audit': write the witness corpus (payload hex + "
+        "predicted/measured cost ratios) as JSON to this path",
     )
     parser.add_argument(
         "--engine",
@@ -698,7 +825,16 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "report":
         generate_all()
     elif args.command == "lint":
-        return _cmd_lint(args.set_name, args.all, args.json)
+        return _cmd_lint(args.set_name, args.all, args.json, args.fail_on)
+    elif args.command == "audit":
+        return _cmd_audit(
+            args.set_name,
+            args.all,
+            args.json,
+            args.out,
+            args.compress or DEFAULT_CHAIN_DEPTH,
+            not args.no_replay,
+        )
     elif args.command == "prove":
         from ..analyze import DEFAULT_PRODUCT_BUDGET
 

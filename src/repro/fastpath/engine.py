@@ -155,6 +155,10 @@ class FastPathMFA:
             raise ValueError(f"prefilter must be one of {_PREFILTER_MODES}, got {mode!r}")
         self.prefilter_mode = mode
         self._prefilter_runtime: PrefilterRuntime | None = None
+        # Why a requested prefilter is not running (None when it is, or was
+        # never requested/available).  Surfaced by ScanReport so chain-mode
+        # deployments see the drop instead of silently losing the stage.
+        self.prefilter_disabled: str | None = None
         self._vector_ready = False
         # Chain-walk mode: set when the MFA's DFA is a forest-backed
         # ChainDFA (compressed bundle loaded without flattening).  The
@@ -174,6 +178,10 @@ class FastPathMFA:
                 plan = build_prefilter(mfa)
             if plan is not None:
                 self._prefilter_runtime = PrefilterRuntime(plan)
+        elif mode != "off" and self._chain and mfa.prefilter is not None:
+            # The artifact carries a compiled plan the chain kernel cannot
+            # use — say so instead of dropping the stage without trace.
+            self.prefilter_disabled = "chain-decode"
 
     @property
     def prefilter_active(self) -> bool:

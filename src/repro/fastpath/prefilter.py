@@ -186,7 +186,7 @@ def _chain_anchor(classes: tuple[CharClass, ...]) -> Optional[int]:
 
 
 def build_prefilter(
-    mfa: "MFA", min_literal: Optional[int] = None
+    mfa: "MFA", min_literal: Optional[int] = None, audit: bool = False
 ) -> Optional[dict]:
     """Compile a prefilter plan from an MFA's split provenance.
 
@@ -195,6 +195,16 @@ def build_prefilter(
     component with no extractable required chain, an unbounded component,
     or an anchor too weak to be selective.  ``None`` means the engine falls
     back to scanning every byte — never an unsound plan.
+
+    ``audit=True`` is the introspection hook for the adversarial audit
+    (:mod:`repro.analyze.adversary`): instead of abandoning the plan at
+    the first uncoverable component, it *skips* that component and
+    records ``(match_id, reason)`` under ``stats["uncoverable"]``, and
+    the plan carries ``"audit": True``.  An audit plan is **unsound for
+    production matching** — skipped components would be missed — and the
+    engine never builds one on its own; it exists so the worst-case cost
+    of the prefilter stage can be analyzed and replayed even on rule
+    sets one pathological component keeps from shipping a plan.
     """
     components = mfa.split.components
     if not components:
@@ -211,6 +221,8 @@ def build_prefilter(
     n_anchored = 0
     n_end_anchored = 0
 
+    uncoverable: list[dict] = []
+
     for component in components:
         action = program.actions.get(component.match_id)
         if action is not None:
@@ -221,9 +233,19 @@ def build_prefilter(
             if action.clear != NONE and action.set == NONE and action.report == NONE:
                 # A clear-only action whose shape we cannot summarize: its
                 # accepts could fire in gaps unsummarized, so no plan.
+                if audit:
+                    uncoverable.append(
+                        {"match_id": component.match_id, "reason": "clear-shape"}
+                    )
+                    continue
                 return None
         longest = max_length(component.root)
         if longest is None or longest == 0 or longest > _MAX_WARMUP:
+            if audit:
+                uncoverable.append(
+                    {"match_id": component.match_id, "reason": "unbounded"}
+                )
+                continue
             return None
         warmup = max(warmup, longest)
         if component.anchored:
@@ -238,17 +260,31 @@ def build_prefilter(
             n_end_anchored += 1
             continue
         if min_length(component.root) == 0:
+            if audit:
+                uncoverable.append(
+                    {"match_id": component.match_id, "reason": "nullable"}
+                )
+                continue
             return None
         cover = required_chains(component.root)
         if cover is None:
+            if audit:
+                uncoverable.append(
+                    {"match_id": component.match_id, "reason": "no-chain"}
+                )
+                continue
             return None
+        specs: list[dict] = []
+        bad = None
         for chain in cover:
             if len(chain.classes) < min_literal:
-                return None
+                bad = "short-chain"
+                break
             anchor = _chain_anchor(chain.classes)
             if anchor is None:
-                return None
-            chains.append(
+                bad = "weak-anchor"
+                break
+            specs.append(
                 {
                     "classes": [format(c.bits, "064x") for c in chain.classes],
                     "tail_min": chain.tail_min,
@@ -256,23 +292,37 @@ def build_prefilter(
                     "anchor": anchor,
                 }
             )
-            horizon = max(horizon, len(chain.classes) - 1 + chain.tail_max)
+        if bad is not None:
+            if audit:
+                uncoverable.append({"match_id": component.match_id, "reason": bad})
+                continue
+            return None
+        for spec in specs:
+            horizon = max(
+                horizon, len(spec["classes"]) - 1 + int(spec["tail_max"])
+            )
+        chains.extend(specs)
 
-    return {
+    stats = {
+        "n_components": len(components),
+        "n_chains": len(chains),
+        "n_clears": len(clears),
+        "n_anchored": n_anchored,
+        "n_end_anchored": n_end_anchored,
+    }
+    plan: dict = {
         "version": PLAN_VERSION,
         "w": warmup,
         "a_max": a_max,
         "horizon": horizon,
         "chains": chains,
         "clears": clears,
-        "stats": {
-            "n_components": len(components),
-            "n_chains": len(chains),
-            "n_clears": len(clears),
-            "n_anchored": n_anchored,
-            "n_end_anchored": n_end_anchored,
-        },
+        "stats": stats,
     }
+    if audit:
+        stats["uncoverable"] = uncoverable
+        plan["audit"] = True
+    return plan
 
 
 def plan_summary(plan: Optional[dict]) -> str:

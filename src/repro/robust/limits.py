@@ -19,6 +19,7 @@ and the benchmark harness:
  REPRO_FALLBACK_CHAIN    comma-separated engines, e.g. ``mfa,hybridfa,nfa``
  REPRO_COMPILE_ANALYZE   0 disables pre-compile triage / post-compile audit
  REPRO_COMPILE_PROVE     1 runs the equivalence prover on the shipped engine
+ REPRO_COMPILE_ADVERSARY 1 runs the adversarial worst-case audit escort
  REPRO_MAX_FLOWS         concurrent-flow cap of the assembler / flow table
  REPRO_MAX_FLOW_BYTES    per-flow buffered-byte cap
  REPRO_MAX_FLOW_SEGS     per-flow buffered-segment cap
@@ -76,6 +77,11 @@ class CompileLimits:
     over the shipped engine and records the outcome as the report's
     ``proof`` field.  Like the audit, a failed proof never turns a
     shippable engine into a hard failure — the findings are the signal.
+
+    ``adversary`` (off by default) runs the worst-case cost audit
+    (:mod:`repro.analyze.adversary`) over the shipped engine — static
+    witness synthesis only, no replay — and records the ``AV`` findings
+    as the report's ``adversary`` field.  Never fatal either.
     """
 
     budget_schedule: tuple[int, ...] = (DEFAULT_STATE_BUDGET,)
@@ -83,6 +89,7 @@ class CompileLimits:
     fallback_chain: tuple[str, ...] = DEFAULT_FALLBACK_CHAIN
     analyze: bool = True
     prove: bool = False
+    adversary: bool = False
 
     def __post_init__(self) -> None:
         if not self.budget_schedule:
@@ -134,12 +141,14 @@ def compile_limits_from_env(environ: Mapping[str, str] | None = None) -> Compile
     )
     analyze = environ.get("REPRO_COMPILE_ANALYZE", "1") not in ("0", "false", "no")
     prove = environ.get("REPRO_COMPILE_PROVE", "0") in ("1", "true", "yes")
+    adversary = environ.get("REPRO_COMPILE_ADVERSARY", "0") in ("1", "true", "yes")
     return CompileLimits(
         budget_schedule=schedule,
         time_budget=time_budget,
         fallback_chain=chain,
         analyze=analyze,
         prove=prove,
+        adversary=adversary,
     )
 
 

@@ -401,6 +401,8 @@ class ResilientCompiler:
             self._audit(engine, report)
         if self.limits.prove and engine is not None:
             self._prove(engine, patterns, report)
+        if self.limits.adversary and engine is not None:
+            self._adversary(engine, report)
         return CompileResult(engine, engine_name, report, patterns)
 
     def _pretriage(self, patterns: list[Pattern], report: CompileReport) -> None:
@@ -465,6 +467,29 @@ class ResilientCompiler:
             report.proof = proof
         report.phases["prove"] = time.perf_counter() - tick
 
+    def _adversary(self, engine: object, report: CompileReport) -> None:
+        """Worst-case cost audit of the shipped engine; findings advisory.
+
+        Static witness synthesis only — the escort never replays traffic
+        (that is ``mfa-bench audit`` / ``bench_adversarial.py`` work).
+        """
+        from ..analyze import AnalysisReport, analyze_engine_adversary
+        from ..analyze.report import ERROR
+
+        tick = time.perf_counter()
+        try:
+            report.adversary = analyze_engine_adversary(engine).report
+        except Exception as exc:  # noqa: BLE001 - an audit crash IS a finding
+            adversary = AnalysisReport()
+            adversary.add(
+                "AV100",
+                ERROR,
+                "adversary",
+                f"adversarial audit crashed: {type(exc).__name__}: {exc}",
+            )
+            report.adversary = adversary
+        report.phases["adversary"] = time.perf_counter() - tick
+
 
 def compile_resilient(
     rules: Sequence[str | Pattern],
@@ -511,6 +536,9 @@ def resilient_scan(
     if isinstance(mode, str):
         report.prefilter_mode = mode
         report.prefilter_active = bool(getattr(engine, "prefilter_active", False))
+        disabled = getattr(engine, "prefilter_disabled", None)
+        if isinstance(disabled, str):
+            report.prefilter_disabled = disabled
     alerts: list[FlowMatch] = []
     batching = bool(batch_size and batch_size > 1 and hasattr(engine, "run_batch"))
     pending: list[Flow] = []

@@ -81,6 +81,11 @@ class CompileReport:
     # patterns (when CompileLimits.prove is on): EQ findings, including
     # the explicit EQ110 when the proof was budget-bounded.
     proof: "AnalysisReport | None" = None
+    # Adversarial worst-case audit of the shipped engine (when
+    # CompileLimits.adversary is on): AV findings with the predicted
+    # worst/clean cost ratios of every slow-path channel the artifact
+    # carries (repro.analyze.adversary; witnesses stay with the CLI).
+    adversary: "AnalysisReport | None" = None
 
     @property
     def ok(self) -> bool:
@@ -119,6 +124,9 @@ class CompileReport:
             "triage": self.triage.to_dict() if self.triage is not None else None,
             "audit": self.audit.to_dict() if self.audit is not None else None,
             "proof": self.proof.to_dict() if self.proof is not None else None,
+            "adversary": (
+                self.adversary.to_dict() if self.adversary is not None else None
+            ),
         }
 
     def describe(self) -> list[str]:
@@ -169,6 +177,13 @@ class CompileReport:
                 f"{counts['warning']} warning(s), {counts['info']} info)"
             )
             lines.extend(f"  {f.describe()}" for f in self.proof)
+        if self.adversary is not None:
+            counts = self.adversary.counts()
+            lines.append(
+                f"adversary: {counts['error']} error(s), {counts['warning']} "
+                f"warning(s), {counts['info']} info"
+            )
+            lines.extend(f"  {f.describe()}" for f in self.adversary)
         if self.engine_name is None:
             lines.append("no engine constructed")
         else:
@@ -194,6 +209,10 @@ class ScanReport:
     # and whether a compiled plan was actually active at scan time.
     prefilter_mode: str | None = None
     prefilter_active: bool = False
+    # Why a requested prefilter was not active (e.g. "chain-decode" when
+    # the compressed artifact was loaded without flattening, which the
+    # chain kernel cannot prefilter).  None when active or never requested.
+    prefilter_disabled: str | None = None
 
     @property
     def degraded(self) -> bool:
@@ -232,6 +251,7 @@ class ScanReport:
             "prefilter": {
                 "mode": self.prefilter_mode,
                 "active": self.prefilter_active,
+                "disabled": self.prefilter_disabled,
             },
         }
 
@@ -242,6 +262,8 @@ class ScanReport:
         ]
         if self.prefilter_mode is not None:
             state = "active" if self.prefilter_active else "inactive"
+            if self.prefilter_disabled is not None:
+                state += f", auto-disabled: {self.prefilter_disabled}"
             lines.append(f"prefilter: {self.prefilter_mode} ({state})")
         if self.assembler.any_dropped():
             lines.append(

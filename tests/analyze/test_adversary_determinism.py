@@ -1,0 +1,53 @@
+"""Hash-seed determinism of adversarial witness synthesis.
+
+A witness payload is a pinnable regression input: CI archives the corpus
+and operators replay it against future builds.  That only works if the
+same artifact always yields byte-identical witnesses — the value
+iteration, greedy policy walks, gram-collision stream assembly, and
+finding order must not leak Python's per-process hash randomization.
+Two subprocesses under different ``PYTHONHASHSEED`` values must print
+exactly the same corpus.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_SCRIPT = r"""
+import json
+
+from repro.analyze import analyze_adversary
+from repro.bench.harness import patterns_for
+from repro.core import compile_mfa
+
+mfa = compile_mfa(patterns_for("C8"), compress=4)
+result = analyze_adversary(mfa, replay=False)
+print(json.dumps([w.to_dict() for w in result.witnesses], sort_keys=True))
+print(result.report.to_json())
+for line in result.describe().splitlines():
+    print(line)
+"""
+
+
+def _render(seed: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        text=True,
+        env={
+            "PYTHONHASHSEED": seed,
+            "PYTHONPATH": str(_REPO_ROOT / "src"),
+            "PATH": "/usr/bin:/bin",
+        },
+        cwd=str(_REPO_ROOT),
+        check=True,
+    )
+    return result.stdout
+
+
+def test_witness_corpus_is_hash_seed_independent():
+    rendered = _render("0")
+    assert "payload_hex" in rendered and "AV130" in rendered
+    assert rendered == _render("1")

@@ -1,4 +1,4 @@
-"""CLI contract of the lint gate and the runtime-oracle verify command."""
+"""CLI contract of the lint/audit gates and the runtime-oracle verify."""
 
 import json
 
@@ -50,6 +50,115 @@ class TestLintCommand:
         first = capsys.readouterr().out
         main(["lint", "C8", "--json"])
         assert capsys.readouterr().out == first
+
+
+class TestLintFailOn:
+    def test_default_threshold_tolerates_warnings(self, monkeypatch, capsys):
+        from repro.analyze import AnalysisReport
+        from repro.analyze.report import WARNING
+
+        warned = AnalysisReport()
+        warned.add("FB110", WARNING, "filter", "dead bit", "bit 3")
+        monkeypatch.setattr(
+            "repro.bench.cli._lint_one_set", lambda name: warned
+        )
+        assert main(["lint", "C8"]) == 0
+        assert main(["lint", "C8", "--fail-on", "error"]) == 0
+
+    def test_warning_threshold_gates_warnings(self, monkeypatch, capsys):
+        from repro.analyze import AnalysisReport
+        from repro.analyze.report import WARNING
+
+        warned = AnalysisReport()
+        warned.add("FB110", WARNING, "filter", "dead bit", "bit 3")
+        monkeypatch.setattr(
+            "repro.bench.cli._lint_one_set", lambda name: warned
+        )
+        assert main(["lint", "C8", "--fail-on", "warning"]) == 1
+        assert main(["lint", "C8", "--fail-on", "warning", "--json"]) == 1
+
+    def test_warning_threshold_passes_clean_report(self, monkeypatch, capsys):
+        from repro.analyze import AnalysisReport
+
+        monkeypatch.setattr(
+            "repro.bench.cli._lint_one_set", lambda name: AnalysisReport()
+        )
+        assert main(["lint", "C8", "--fail-on", "warning"]) == 0
+
+    def test_unknown_threshold_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "C8", "--fail-on", "info"])
+
+
+class TestAuditCommand:
+    @pytest.fixture(scope="class")
+    def audit_result(self):
+        from repro.analyze import analyze_adversary
+
+        mfa = compile_mfa(patterns_for("C8"), compress=4)
+        return analyze_adversary(mfa, replay=False)
+
+    def test_static_audit_exits_zero(self, monkeypatch, audit_result, capsys):
+        monkeypatch.setattr(
+            "repro.bench.cli._audit_one_set",
+            lambda name, depth, replay: audit_result,
+        )
+        assert main(["audit", "C8", "--no-replay"]) == 0
+        out = capsys.readouterr().out
+        assert "witness chain-depth" in out
+        assert "AV130" in out
+
+    def test_json_output_carries_witness_corpus(
+        self, monkeypatch, audit_result, capsys
+    ):
+        monkeypatch.setattr(
+            "repro.bench.cli._audit_one_set",
+            lambda name, depth, replay: audit_result,
+        )
+        assert main(["audit", "C8", "--no-replay", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        kinds = {w["kind"] for w in payload["C8"]["witnesses"]}
+        assert {"chain-depth", "cache-thrash", "prefilter-evasion"} <= kinds
+        for witness in payload["C8"]["witnesses"]:
+            assert bytes.fromhex(witness["payload_hex"])
+
+    def test_out_writes_corpus_file(
+        self, monkeypatch, audit_result, tmp_path, capsys
+    ):
+        monkeypatch.setattr(
+            "repro.bench.cli._audit_one_set",
+            lambda name, depth, replay: audit_result,
+        )
+        corpus = tmp_path / "witnesses.json"
+        assert main(["audit", "C8", "--no-replay", "--out", str(corpus)]) == 0
+        payload = json.loads(corpus.read_text())
+        assert payload["C8"]["witnesses"]
+
+    def test_error_findings_exit_one(self, monkeypatch, capsys):
+        from repro.analyze import AnalysisReport
+        from repro.analyze.adversary import AdversaryResult
+        from repro.analyze.report import ERROR
+
+        failed = AnalysisReport()
+        failed.add("AV106", ERROR, "adversary", "stream diverged", "replay")
+        monkeypatch.setattr(
+            "repro.bench.cli._audit_one_set",
+            lambda name, depth, replay: AdversaryResult(failed),
+        )
+        assert main(["audit", "C8"]) == 1
+        assert "AV106" in capsys.readouterr().out
+
+    def test_unknown_target_exits_two(self, capsys):
+        assert main(["audit", "no-such-thing"]) == 2
+
+    def test_missing_target_exits_two(self, capsys):
+        assert main(["audit"]) == 2
+
+    def test_bundle_target_is_audited(self, tmp_path, bundle_bytes, capsys):
+        path = tmp_path / "c8.mfab"
+        path.write_bytes(bundle_bytes)
+        assert main(["audit", str(path), "--no-replay"]) == 0
+        assert "AV130" in capsys.readouterr().out
 
 
 class TestVerifyCommand:

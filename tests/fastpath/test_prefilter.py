@@ -321,7 +321,9 @@ class TestReportPlumbing:
         alerts, report = resilient_scan(engine, packets, batch_size=4)
         assert report.prefilter_mode == "on"
         assert report.prefilter_active is True
-        assert report.to_dict()["prefilter"] == {"mode": "on", "active": True}
+        assert report.to_dict()["prefilter"] == {
+            "mode": "on", "active": True, "disabled": None,
+        }
         assert any("prefilter: on (active)" in line for line in report.describe())
         assert alerts  # HELO matched
 
@@ -330,7 +332,9 @@ class TestReportPlumbing:
 
         _alerts, report = resilient_scan(mfa, [])
         assert report.prefilter_mode is None
-        assert report.to_dict()["prefilter"] == {"mode": None, "active": False}
+        assert report.to_dict()["prefilter"] == {
+            "mode": None, "active": False, "disabled": None,
+        }
 
     def test_serve_config_validates_prefilter(self):
         from repro.serve import ServeConfig

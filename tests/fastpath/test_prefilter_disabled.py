@@ -1,0 +1,83 @@
+"""Surfacing of the silent prefilter drop in chain-decode mode.
+
+A compressed artifact loaded with ``decode="chain"`` keeps the D²FA
+forest, which the lockstep prefilter kernel cannot drive — the engine
+quietly ran without its prefilter stage even when the bundle carried a
+compiled plan.  That disposition must now be observable end to end:
+``FastPathMFA.prefilter_disabled`` names the reason, ``resilient_scan``
+copies it onto the :class:`~repro.robust.report.ScanReport`, and the
+adversarial auditor flags the configuration (``AV110``, covered in
+``tests/analyze/test_adversary.py``).
+"""
+
+import pytest
+
+from repro.core import compile_mfa
+from repro.core.serialize import dumps_mfa, loads_mfa
+from repro.fastpath import HAVE_NUMPY, build_fastpath
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="fastpath needs numpy")
+
+RULES = [
+    ".*alpha.*omega",
+    ".*abc[^\\n]*xyz",
+    "^HELO ",
+]
+
+
+@pytest.fixture(scope="module")
+def chain_mfa():
+    blob = dumps_mfa(compile_mfa(RULES, compress=4))
+    return loads_mfa(blob, decode="chain")
+
+
+class TestEngineAttribute:
+    def test_chain_decode_names_the_reason(self, chain_mfa):
+        assert chain_mfa.prefilter is not None  # the plan made the trip
+        engine = build_fastpath(chain_mfa, prefilter="auto")
+        assert not engine.prefilter_active
+        assert engine.prefilter_disabled == "chain-decode"
+
+    def test_requested_off_is_not_disabled(self, chain_mfa):
+        # "off" is an operator decision, not a silent drop.
+        engine = build_fastpath(chain_mfa, prefilter="off")
+        assert engine.prefilter_disabled is None
+
+    def test_dense_engine_is_not_disabled(self):
+        engine = build_fastpath(compile_mfa(RULES), prefilter="auto")
+        assert engine.prefilter_active
+        assert engine.prefilter_disabled is None
+
+    def test_flatten_decode_keeps_the_plan(self):
+        blob = dumps_mfa(compile_mfa(RULES, compress=4))
+        engine = build_fastpath(loads_mfa(blob, decode="flatten"), prefilter="auto")
+        assert engine.prefilter_active
+        assert engine.prefilter_disabled is None
+
+
+class TestScanReportPlumbing:
+    def test_resilient_scan_records_the_reason(self, chain_mfa):
+        from repro.robust import resilient_scan
+        from repro.traffic.flows import FiveTuple, Packet
+
+        key = FiveTuple("10.0.0.1", 1234, "10.0.0.2", 80, 6)
+        packets = [Packet(key=key, payload=b"HELO alpha omega", seq=0)]
+        engine = build_fastpath(chain_mfa, prefilter="auto")
+        alerts, report = resilient_scan(engine, packets, batch_size=4)
+        assert alerts  # the scan still matches, just without the stage
+        assert report.prefilter_disabled == "chain-decode"
+        assert report.to_dict()["prefilter"]["disabled"] == "chain-decode"
+        assert any(
+            "auto-disabled: chain-decode" in line for line in report.describe()
+        )
+
+    def test_active_prefilter_reports_no_reason(self):
+        from repro.robust import resilient_scan
+        from repro.traffic.flows import FiveTuple, Packet
+
+        key = FiveTuple("10.0.0.1", 1234, "10.0.0.2", 80, 6)
+        packets = [Packet(key=key, payload=b"HELO alpha omega", seq=0)]
+        engine = build_fastpath(compile_mfa(RULES), prefilter="auto")
+        _alerts, report = resilient_scan(engine, packets, batch_size=4)
+        assert report.prefilter_active
+        assert report.prefilter_disabled is None
