@@ -1,0 +1,196 @@
+"""Interaction-aware shard planning versus contiguous partitioning.
+
+Compiles the synthetic redundant family (R32: duplicates, subsumed
+rules, a literal-head cluster and an explosive overlap-separator tail)
+with both shard plans of :func:`repro.core.compile_mfa` and gates that
+the cross-rule interaction planner (:mod:`repro.analyze.ruleset`)
+actually tames the co-location blow-up: the contiguous plan packs the
+explosive tail rules into the same shards, multiplying subset-construction
+states, while the interaction plan isolates them.
+
+Run directly (CI does)::
+
+    python benchmarks/bench_ruleset.py --quick
+
+Exit-1 gates:
+
+- the interaction plan's measured peak per-shard state count must be at
+  least ``--factor`` (1.3) times lower than the contiguous plan's;
+- both sharded engines must report the identical confirmed match stream
+  on every tracked trace flow (zero diffs);
+- pruning the analyzer-flagged redundant rules must keep the engine
+  stream-equivalent: the equivalence prover passes and the alias-mapped
+  unpruned stream equals the pruned stream on every trace flow;
+- the analyzer itself reports zero errors on the gated set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--set", dest="set_name", default="R32", help="gated rule set"
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, help="shard count for both plans"
+    )
+    parser.add_argument(
+        "--factor", type=float, default=1.3,
+        help="gate: contiguous peak per-shard states must exceed the "
+        "interaction plan's peak by this ratio",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer trace flows per profile (CI)",
+    )
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args(argv)
+
+    from conftest import write_results
+
+    from repro.analyze import analyze_engine_equivalence
+    from repro.analyze.ruleset import analyze_ruleset, map_stream, prune_patterns
+    from repro.bench.harness import STATE_BUDGET, patterns_for, real_trace_flows
+    from repro.core import compile_mfa
+    from repro.traffic import PROFILES
+
+    patterns = list(patterns_for(args.set_name))
+    flow_cap = 3 if args.quick else None
+
+    # -- analysis -------------------------------------------------------------
+    start = time.perf_counter()
+    result = analyze_ruleset(patterns)
+    analyze_seconds = time.perf_counter() - start
+    counts = result.report.counts()
+
+    # -- shard plans ----------------------------------------------------------
+    engines = {}
+    plan_rows = []
+    for strategy in ("contiguous", "interaction"):
+        start = time.perf_counter()
+        sharded = compile_mfa(
+            patterns,
+            state_budget=STATE_BUDGET,
+            shards=args.shards,
+            shard_plan=strategy,
+        )
+        seconds = time.perf_counter() - start
+        per_shard = [shard.n_states for shard in sharded.shards]
+        engines[strategy] = sharded
+        plan_rows.append({
+            "strategy": strategy,
+            "shards": len(per_shard),
+            "per_shard_states": per_shard,
+            "peak_states": max(per_shard),
+            "total_states": sum(per_shard),
+            "compile_seconds": round(seconds, 3),
+        })
+    contiguous_peak = plan_rows[0]["peak_states"]
+    interaction_peak = plan_rows[1]["peak_states"]
+    peak_ratio = contiguous_peak / max(interaction_peak, 1)
+
+    # -- stream equivalence across plans --------------------------------------
+    plan_diffs = 0
+    flows_checked = 0
+    for profile in PROFILES:
+        flows = real_trace_flows(args.set_name, profile.name)
+        for payload in flows[:flow_cap]:
+            flows_checked += 1
+            if engines["contiguous"].run(payload) != engines["interaction"].run(payload):
+                plan_diffs += 1
+
+    # -- pruning --------------------------------------------------------------
+    kept, alias = prune_patterns(patterns, result)
+    unpruned = compile_mfa(patterns, state_budget=STATE_BUDGET)
+    pruned = compile_mfa(kept, state_budget=STATE_BUDGET)
+    proof = analyze_engine_equivalence(pruned, kept)
+    prune_diffs = 0
+    for profile in PROFILES:
+        flows = real_trace_flows(args.set_name, profile.name)
+        for payload in flows[:flow_cap]:
+            expect = map_stream(unpruned.run(payload), alias)
+            got = {(e.pos, e.match_id) for e in pruned.run(payload)}
+            if expect != got:
+                prune_diffs += 1
+    prune_ok = not proof.has_errors and prune_diffs == 0
+
+    doc = {
+        "set": args.set_name,
+        "quick": args.quick,
+        "shards": args.shards,
+        "factor_required": args.factor,
+        "analysis": {
+            "seconds": round(analyze_seconds, 3),
+            "counts": counts,
+            "duplicates": len(result.duplicates),
+            "subsumed": len(result.subsumed),
+            "shadowed": len(result.shadowed),
+            "witnesses_confirmed": sum(1 for w in result.witnesses if w.confirmed),
+            "witnesses": len(result.witnesses),
+        },
+        "plans": plan_rows,
+        "peak_ratio": round(peak_ratio, 3),
+        "plan_stream_diffs": plan_diffs,
+        "flows_checked": flows_checked,
+        "prune": {
+            "rules_in": len(patterns),
+            "rules_kept": len(kept),
+            "unpruned_states": unpruned.dfa.n_states,
+            "pruned_states": pruned.dfa.n_states,
+            "proof_counts": proof.counts(),
+            "stream_diffs": prune_diffs,
+            "ok": prune_ok,
+        },
+    }
+    out = write_results("BENCH_ruleset.json", doc, args.out)
+
+    for row in plan_rows:
+        print(
+            f"{args.set_name} {row['strategy']}: peak {row['peak_states']} "
+            f"states/shard {row['per_shard_states']} "
+            f"in {row['compile_seconds']}s"
+        )
+    print(
+        f"peak ratio {peak_ratio:.2f}x (need >= {args.factor}x), "
+        f"{plan_diffs} plan stream diff(s) over {flows_checked} flow(s)"
+    )
+    print(
+        f"prune: {len(patterns)} -> {len(kept)} rule(s), "
+        f"{unpruned.dfa.n_states} -> {pruned.dfa.n_states} states, "
+        f"{'ok' if prune_ok else 'FAILED'} -> {out}"
+    )
+
+    failed = False
+    if peak_ratio < args.factor:
+        print(
+            f"FAIL: interaction plan peak {interaction_peak} is only "
+            f"{peak_ratio:.2f}x below contiguous {contiguous_peak} "
+            f"(need >= {args.factor}x)",
+            file=sys.stderr,
+        )
+        failed = True
+    if plan_diffs:
+        print(
+            "FAIL: the shard plans disagree on the confirmed match stream",
+            file=sys.stderr,
+        )
+        failed = True
+    if not prune_ok:
+        print(
+            "FAIL: pruning the redundant rules changed the match stream",
+            file=sys.stderr,
+        )
+        failed = True
+    if counts["error"]:
+        print("FAIL: the cross-rule analysis reported errors", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """Static verifier & lint suite for MFA artifacts, bytecode, and rule sets.
 
-Six analyzers, one report type, zero traffic:
+Seven analyzers, one report type, zero traffic:
 
 * :mod:`~repro.analyze.bytecode` — proves invariants of the
   ``(test, set, clear, report)`` filter programs: references, liveness,
@@ -20,7 +20,12 @@ Six analyzers, one report type, zero traffic:
 * :mod:`~repro.analyze.adversary` — worst-case cost audit: synthesizes
   replay-confirmed witness traces for every data-dependent slow path an
   artifact carries (D²FA chain walks, hot-cache thrash, prefilter
-  evasion, filter bit-churn) with statically predicted slowdown bounds.
+  evasion, filter bit-churn) with statically predicted slowdown bounds;
+* :mod:`~repro.analyze.ruleset` — cross-rule interaction analysis:
+  exact duplicate/subsumption/shadowing proofs via product-automaton
+  walks with replay-confirmed witnesses, a predicted-cost interaction
+  graph, and the interaction-aware shard planner behind
+  ``compile_mfa(shard_plan="interaction")``.
 
 :mod:`~repro.analyze.bundle` applies the first two tolerantly to
 serialized bundles, so a corrupt artifact yields findings instead of one
@@ -58,6 +63,17 @@ from .explosion import (
     triage_patterns,
 )
 from .report import ERROR, INFO, SEVERITIES, WARNING, AnalysisReport, Finding
+from .ruleset import (
+    Containment,
+    InteractionEdge,
+    RulesetResult,
+    ShardPlan,
+    SubsumptionWitness,
+    analyze_ruleset,
+    pattern_contains,
+    plan_shards,
+    prune_patterns,
+)
 from .safety import audit_split
 
 __all__ = [
@@ -94,4 +110,13 @@ __all__ = [
     "analyze_adversary",
     "analyze_engine_adversary",
     "replay_witness",
+    "Containment",
+    "InteractionEdge",
+    "RulesetResult",
+    "ShardPlan",
+    "SubsumptionWitness",
+    "analyze_ruleset",
+    "pattern_contains",
+    "plan_shards",
+    "prune_patterns",
 ]

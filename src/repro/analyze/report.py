@@ -20,6 +20,7 @@ Code namespaces (see ``docs/static-analysis.md`` for the full registry):
 * ``EX*`` — explosion triage (:mod:`repro.analyze.explosion`)
 * ``EQ*`` — equivalence prover (:mod:`repro.analyze.equivalence`)
 * ``AV*`` — adversarial worst-case audit (:mod:`repro.analyze.adversary`)
+* ``RS*`` — cross-rule interaction analysis (:mod:`repro.analyze.ruleset`)
 """
 
 from __future__ import annotations

@@ -29,6 +29,10 @@ Examples::
     mfa-bench prove S24         # equivalence proof, one per pattern
     mfa-bench prove --all --jobs 4        # every set, proofs in parallel
     mfa-bench prove out.mfab --patterns C8  # prove a serialized artifact
+    mfa-bench rules R32         # cross-rule analysis: duplicates, subsumption
+    mfa-bench rules --all --json  # every set, machine-readable RS findings
+    mfa-bench rules R32 --prune   # drop redundant rules, prove equivalence
+    mfa-bench rules R32 --plan --shards 4  # contiguous vs interaction plan
 
 ``lint`` exits non-zero when any error-severity finding survives
 (``--fail-on warning`` tightens the gate to warnings as well);
@@ -42,7 +46,12 @@ from the reference match stream;
 ``prove`` exits non-zero on any error-severity ``EQ`` finding — a
 replay-confirmed divergence with its shortest distinguishing input, or a
 proof that could not run at all.  A budget-bounded proof (``EQ110``,
-``--budget``) is a warning, not a failure.
+``--budget``) is a warning, not a failure;
+``rules`` runs the cross-rule interaction analyzer (duplicate /
+subsumption / shadowing proofs with replay-confirmed witnesses, RS1xx)
+and honours the same ``--fail-on`` gate as ``lint``; ``--prune`` also
+exits non-zero when the pruned set fails the equivalence prover or
+diverges from the unpruned stream on any tracked trace.
 
 Compiled MFAs are cached on disk between runs of the resilient commands
 (``~/.cache/repro-mfa``, override with ``REPRO_CACHE_DIR``); set
@@ -367,8 +376,9 @@ def _cmd_scan(
 
 
 def _lint_one_set(set_name: str):
-    """Static-analysis report of one shipped rule set: triage + engine audit."""
-    from ..analyze import AnalysisReport, triage_patterns
+    """Static-analysis report of one shipped rule set: triage + cross-rule
+    analysis + engine audit."""
+    from ..analyze import AnalysisReport, analyze_ruleset, triage_patterns
     from ..analyze.report import ERROR
     from .harness import STATE_BUDGET, patterns_for
 
@@ -376,6 +386,9 @@ def _lint_one_set(set_name: str):
     patterns = patterns_for(set_name)
     triage = triage_patterns(patterns, state_budget=STATE_BUDGET)
     report.extend(triage.report)
+    # Cross-rule pass: duplicate/subsumed/shadowed rules surface as RS
+    # findings in the default lint sweep, witnesses replay-confirmed.
+    analyze_ruleset(patterns, report=report)
     from ..core import compile_mfa
 
     try:
@@ -444,6 +457,124 @@ def _cmd_lint(
                 print(f"  {line}")
             if _report_fails(report, fail_on):
                 failed = True
+    return 1 if failed else 0
+
+
+def _prune_and_verify(set_name: str, patterns, result) -> dict:
+    """Prune RS101/RS102 losers and prove the pruned compile equivalent.
+
+    Two independent checks back the prune: the EQ prover over the pruned
+    engine against the kept patterns, and an event-level stream diff on
+    every tracked trace — each unpruned event must map (dropped id ->
+    surviving keeper id) onto the pruned stream exactly.
+    """
+    from ..analyze import analyze_engine_equivalence
+    from ..analyze.ruleset import map_stream, prune_patterns
+    from ..core import compile_mfa
+    from .harness import PROFILES, STATE_BUDGET, real_trace_flows
+
+    kept, alias = prune_patterns(patterns, result)
+    doc: dict = {
+        "rules_in": len(patterns),
+        "rules_kept": len(kept),
+        "alias": {str(k): v for k, v in sorted(alias.items())},
+    }
+    if not alias:
+        doc.update({"ok": True, "note": "nothing to prune"})
+        return doc
+    unpruned = compile_mfa(list(patterns), state_budget=STATE_BUDGET)
+    pruned = compile_mfa(kept, state_budget=STATE_BUDGET)
+    proof = analyze_engine_equivalence(pruned, kept)
+    doc["proof"] = proof.to_dict()
+    diffs = 0
+    flows = 0
+    for profile in PROFILES:
+        for payload in real_trace_flows(set_name, profile.name):
+            flows += 1
+            expected = map_stream(unpruned.run(payload), alias)
+            got = {(e.pos, e.match_id) for e in pruned.run(payload)}
+            if expected != got:
+                diffs += 1
+    doc["traces"] = {"flows": flows, "stream_diffs": diffs}
+    doc["ok"] = not proof.has_errors and diffs == 0
+    return doc
+
+
+def _cmd_rules(
+    target: str | None,
+    rules_all: bool,
+    json_out: bool,
+    prune: bool,
+    plan: bool,
+    shards: int,
+    fail_on: str = "error",
+) -> int:
+    """Cross-rule interaction analysis over shipped rule sets."""
+    import json
+
+    from ..analyze import analyze_ruleset
+    from ..analyze.ruleset import contiguous_plan, plan_shards
+    from .harness import patterns_for
+
+    if rules_all:
+        targets = list(all_set_names())
+    elif target is None:
+        print("rules needs a rule-set name or --all")
+        return 2
+    elif target not in all_set_names():
+        print(f"unknown rule set {target!r}; have {all_set_names()}")
+        return 2
+    else:
+        targets = [target]
+
+    failed = False
+    docs: dict[str, dict] = {}
+    for name in targets:
+        patterns = list(patterns_for(name))
+        result = analyze_ruleset(patterns)
+        doc = result.to_dict()
+        if plan:
+            contig = contiguous_plan(patterns, shards)
+            inter = plan_shards(patterns, shards)
+            doc["plans"] = {
+                "shards": shards,
+                "contiguous": contig.to_dict(),
+                "interaction": inter.to_dict(),
+            }
+        if prune:
+            doc["prune"] = _prune_and_verify(name, patterns, result)
+            if not doc["prune"]["ok"]:
+                failed = True
+        docs[name] = doc
+        if _report_fails(result.report, fail_on):
+            failed = True
+        if json_out:
+            continue
+        print(f"== {name} ==")
+        for line in result.report.describe():
+            print(f"  {line}")
+        if plan:
+            contig_peak = doc["plans"]["contiguous"]["peak"]
+            inter_peak = doc["plans"]["interaction"]["peak"]
+            print(
+                f"  shard plan ({shards} shards): contiguous predicted peak "
+                f"{contig_peak}, interaction predicted peak {inter_peak}"
+            )
+        if prune:
+            p = doc["prune"]
+            verdict = "ok" if p["ok"] else "FAILED"
+            print(
+                f"  prune: {p['rules_in']} -> {p['rules_kept']} rule(s), "
+                f"{verdict}"
+                + (
+                    f" ({p['traces']['flows']} trace flow(s), "
+                    f"{p['traces']['stream_diffs']} stream diff(s))"
+                    if "traces" in p
+                    else ""
+                )
+            )
+    if json_out:
+        print(json.dumps(docs, indent=2, sort_keys=True))
     return 1 if failed else 0
 
 
@@ -681,32 +812,46 @@ def main(argv: list[str] | None = None) -> int:
             "table5", "fig2", "fig3", "fig4", "fig5",
             "explosion", "report", "compile", "scan",
             "rcompile", "rscan", "lint", "audit", "verify", "prove", "serve",
+            "rules",
         ],
     )
     parser.add_argument(
         "set_name",
         nargs="?",
-        help="pattern set for 'compile'/'scan'/'verify', or a set name / "
-        "bundle path for 'lint'/'audit'/'prove'",
+        help="pattern set for 'compile'/'scan'/'verify'/'rules', or a set "
+        "name / bundle path for 'lint'/'audit'/'prove'",
     )
     parser.add_argument("pcap", nargs="?", help="capture file for 'scan'")
     parser.add_argument(
         "--all",
         action="store_true",
-        help="for 'lint'/'audit'/'prove': run over every shipped rule set",
+        help="for 'lint'/'audit'/'prove'/'rules': run over every shipped "
+        "rule set",
     )
     parser.add_argument(
         "--json",
         action="store_true",
-        help="for 'lint'/'audit'/'prove': machine-readable findings "
+        help="for 'lint'/'audit'/'prove'/'rules': machine-readable findings "
         "(stable ordering)",
     )
     parser.add_argument(
         "--fail-on",
         choices=("error", "warning"),
         default="error",
-        help="for 'lint': exit non-zero on findings at or above this "
-        "severity (default: error)",
+        help="for 'lint'/'rules': exit non-zero on findings at or above "
+        "this severity (default: error)",
+    )
+    parser.add_argument(
+        "--prune",
+        action="store_true",
+        help="for 'rules': drop RS101/RS102 rules, prove the pruned set "
+        "equivalent (EQ prover + mapped stream diff on tracked traces)",
+    )
+    parser.add_argument(
+        "--plan",
+        action="store_true",
+        help="for 'rules': print the contiguous vs interaction-aware shard "
+        "plans with their predicted per-shard state peaks (--shards)",
     )
     parser.add_argument(
         "--no-replay",
@@ -757,7 +902,8 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="for 'compile': also time the sharded parallel compiler "
         "(rule set split into N shards); for 'serve': shard count of the "
-        "daemon's engine (per-shard reload caching)",
+        "daemon's engine (per-shard reload caching); for 'rules --plan': "
+        "shard count the plans are computed for (default 4)",
     )
     parser.add_argument(
         "--workers",
@@ -826,6 +972,16 @@ def main(argv: list[str] | None = None) -> int:
         generate_all()
     elif args.command == "lint":
         return _cmd_lint(args.set_name, args.all, args.json, args.fail_on)
+    elif args.command == "rules":
+        return _cmd_rules(
+            args.set_name,
+            args.all,
+            args.json,
+            args.prune,
+            args.plan,
+            args.shards if args.shards > 1 else 4,
+            args.fail_on,
+        )
     elif args.command == "audit":
         return _cmd_audit(
             args.set_name,

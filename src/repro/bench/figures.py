@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from statistics import mean
 
+from ..patterns import ruleset_names
 from ..traffic import DIFFICULTIES, PROFILES
 from .harness import (
     ENGINES,
@@ -18,7 +19,6 @@ from .harness import (
     measure_run_cpb,
     real_trace_flows,
     synthetic_payload,
-    all_set_names,
 )
 from .plots import bar_chart, line_chart
 
@@ -43,7 +43,7 @@ def fig3_rows() -> list[str]:
         f"{'Pattern':7s} {'NFA':>8s} {'DFA':>9s} {'HFA':>9s} {'MFA':>9s}",
         "-" * 46,
     ]
-    for name in all_set_names():
+    for name in ruleset_names():
         cells = []
         for engine_name in ("nfa", "dfa", "hfa", "mfa"):
             result = build_engine(name, engine_name)
@@ -76,7 +76,7 @@ def fig4_collect(
 ) -> list[ThroughputPoint]:
     """Run every engine over every synthetic 'real-life' trace."""
     points: list[ThroughputPoint] = []
-    for set_name in set_names or all_set_names():
+    for set_name in set_names or ruleset_names():
         for engine_name in engines:
             result = build_engine(set_name, engine_name)
             for profile in PROFILES:
@@ -99,7 +99,7 @@ def fig4_rows(points: list[ThroughputPoint]) -> list[str]:
     by_key: dict[tuple[str, str], dict[str, float | None]] = {}
     for point in points:
         by_key.setdefault((point.set_name, point.engine), {})[point.trace] = point.cpb
-    set_order = {n: i for i, n in enumerate(all_set_names())}
+    set_order = {n: i for i, n in enumerate(ruleset_names())}
     engine_order = {n: i for i, n in enumerate(ENGINES)}
     for (set_name, engine), cells in sorted(
         by_key.items(), key=lambda kv: (set_order[kv[0][0]], engine_order[kv[0][1]])
@@ -136,7 +136,7 @@ def fig5_collect(
 ) -> list[ThroughputPoint]:
     """Throughput at each Becchi difficulty, averaged over pattern sets."""
     points: list[ThroughputPoint] = []
-    for set_name in set_names or all_set_names():
+    for set_name in set_names or ruleset_names():
         for p_match in DIFFICULTIES:
             payload = synthetic_payload(set_name, p_match)
             label = "rand" if p_match is None else f"{p_match:.2f}"
@@ -182,7 +182,7 @@ def fig5_rows(points: list[ThroughputPoint]) -> list[str]:
 def fig3_chart() -> list[str]:
     """Construction times as the paper's log-scale bar groups."""
     series: dict[str, dict[str, float | None]] = {}
-    for name in all_set_names():
+    for name in ruleset_names():
         group: dict[str, float | None] = {}
         for engine_name in ("nfa", "dfa", "hfa", "mfa"):
             result = build_engine(name, engine_name)

@@ -279,4 +279,12 @@ def write_table(name: str, lines: Sequence[str]) -> Path:
 
 
 def all_set_names() -> list[str]:
-    return ruleset_names()
+    """The paper's seven sets plus the tracked synthetic fixtures.
+
+    ``R32`` is the redundant-family fixture for the cross-rule analyzer
+    (duplicates, subsumption, an explosive contiguous tail) — included
+    here so the default ``lint``/``rules``/``audit``/``prove`` sweeps
+    exercise RS findings without a separate invocation.  Figure
+    reproductions keep using :func:`ruleset_names` (paper sets only).
+    """
+    return ruleset_names() + ["R32"]

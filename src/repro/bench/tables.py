@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..automata.memory import format_mb, image_size
-from .harness import BuildResult, build_engine, patterns_for, all_set_names
+from ..patterns import ruleset_names
+from .harness import BuildResult, build_engine, patterns_for
 
 __all__ = ["table5_rows", "fig2_rows", "Table5Row"]
 
@@ -28,7 +29,7 @@ class Table5Row:
 
 def table5_data() -> list[Table5Row]:
     rows: list[Table5Row] = []
-    for name in all_set_names():
+    for name in ruleset_names():
         nfa = build_engine(name, "nfa")
         dfa = build_engine(name, "dfa")
         mfa = build_engine(name, "mfa")
@@ -89,7 +90,7 @@ def fig2_rows() -> list[str]:
     ]
     ratios = []
     compressed_ratios = []
-    for name in all_set_names():
+    for name in ruleset_names():
         cells: dict[str, str] = {}
         filter_share = ""
         for engine_name in ("nfa", "dfa", "hfa", "mfa"):

@@ -100,6 +100,7 @@ def compile_mfa(
     prove: bool = False,
     prefilter: bool = True,
     compress: "bool | int | None" = None,
+    shard_plan: str = "contiguous",
 ) -> MFA:
     """Parse, split and compile a rule set into a match-filtering automaton.
 
@@ -108,7 +109,14 @@ def compile_mfa(
     ``shards`` contiguous chunks compiled across ``jobs`` worker
     processes, and the result is a :class:`~repro.fastcompile.ShardedMFA`
     whose confirmed-match stream is the single-shot stream in canonical
-    ``(pos, match_id)`` order.  ``cache`` (a
+    ``(pos, match_id)`` order.  ``shard_plan="interaction"`` replaces the
+    contiguous partition with the interaction-aware assignment from
+    :func:`repro.analyze.ruleset.plan_shards`, which spreads rules with
+    surviving separator factors across shards instead of letting
+    co-authored explosive rules multiply one shard's state space;
+    contiguous stays the default because its per-shard cache keys are
+    incremental-friendly.  Match-ids are global under either plan, so the
+    merged stream is identical.  ``cache`` (a
     :class:`repro.fastpath.ArtifactCache`) keys each shard separately so
     one-rule edits rebuild one shard.  ``phases`` is an out-dict
     accumulating per-phase wall time (``parse``/``split``/``determinize``/
@@ -151,6 +159,7 @@ def compile_mfa(
             phases=phases,
             prefilter=prefilter,
             compress=compress,
+            shard_plan=shard_plan,
         )
         if lint:
             from ..analyze import analyze_engine
@@ -182,6 +191,7 @@ def compile_mfa(
             phases=phases,
             prefilter=prefilter,
             compress=compress,
+            shard_plan=shard_plan,
         )
     import time as _time
 

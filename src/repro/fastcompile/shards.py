@@ -78,7 +78,9 @@ def partition_patterns(
     if shards < 1:
         raise ValueError("shards must be >= 1")
     n = len(patterns)
-    shards = min(shards, n) or 1
+    if n == 0:
+        return []
+    shards = min(shards, n)
     base, extra = divmod(n, shards)
     out: list[list[Pattern]] = []
     start = 0
@@ -359,12 +361,19 @@ def compile_mfa_sharded(
     phases: dict[str, float] | None = None,
     prefilter: bool = True,
     compress: "bool | int | None" = None,
+    shard_plan: str = "contiguous",
 ) -> ShardedMFA | MFA:
     """Parse, partition and compile a rule set as parallel shards.
 
     Match-ids are assigned globally (1-based input position) before
     partitioning, so the recombined engine reports exactly the ids a
-    single-shot :func:`repro.core.compile_mfa` would.  ``shards <= 1``
+    single-shot :func:`repro.core.compile_mfa` would — under *any*
+    partition, which is what makes ``shard_plan`` safe.  ``"contiguous"``
+    (the default) keeps the incremental-cache-friendly chunks of
+    :func:`partition_patterns`; ``"interaction"`` asks
+    :func:`repro.analyze.ruleset.plan_shards` for an assignment that
+    spreads explosive rules across shards instead of letting appended
+    neighbors multiply one shard's subset construction.  ``shards <= 1``
     degenerates to the single-shot compile and returns a plain
     :class:`MFA`.  A shard failure propagates — use
     :class:`repro.robust.ResilientCompiler` (``shards=``) for per-shard
@@ -393,7 +402,18 @@ def compile_mfa_sharded(
         if built.error is not None:
             raise built.error
         return built.engine
-    shard_patterns = partition_patterns(patterns, shards)
+    if shard_plan == "contiguous":
+        shard_patterns = partition_patterns(patterns, shards)
+    elif shard_plan == "interaction":
+        # Lazy import: repro.analyze imports this package at module load.
+        from ..analyze.ruleset import plan_shards
+
+        plan = plan_shards(patterns, shards, splitter_options=splitter_options)
+        shard_patterns = [
+            [patterns[i] for i in chunk] for chunk in plan.assignments
+        ]
+    else:
+        raise ValueError(f"unknown shard_plan {shard_plan!r}")
     results = compile_shards(
         shard_patterns,
         splitter_options,

@@ -276,6 +276,58 @@ def _build_b217p() -> RuleSet:
     )
 
 
+# -- R set: synthetic redundant family for the cross-rule analyzer ------------
+
+
+def _build_r32() -> RuleSet:
+    """32 rules shaped like an organically-grown production set: literal-head
+    clusters with duplicates and subsumed members (RS101/RS102 fodder for
+    :mod:`repro.analyze.ruleset`), and a contiguous block of explosive
+    overlap-separator rules appended at the end — exactly the growth
+    pattern that makes contiguous shard partitioning pay a multiplicative
+    state product one shard over, and interaction-aware planning win."""
+    rng = make_rng(32, "r32")
+    rules: list[str] = [
+        # Literal-head cluster around ".exe" droppers: the broad rule
+        # subsumes the specific ones (same-position containment: every
+        # specific hit ends where a ".exe" hit ends).
+        ".*\\.exe",
+        ".*cmd\\.exe",          # RS102: subsumed by .*\.exe
+        ".*powershell\\.exe",   # RS102: subsumed by .*\.exe
+        # /admin probe cluster with an exact duplicate (rules merged from
+        # two feeds, as happens when lists are concatenated untriaged).
+        ".*GET /admin",
+        ".*GET /admin",         # RS101: duplicate
+        ".*GET /administrator", # same head cluster, NOT subsumed (position)
+        # Shell-command cluster: character class generalizes a literal.
+        ".*uid=[0-9]+;",
+        ".*uid=1000;",          # RS102: subsumed by .*uid=[0-9]+;
+        ".*uid=1001;",          # RS102: subsumed by .*uid=[0-9]+;
+        # Shadowing fodder: no single peer contains [2-5], but the union
+        # of [0-3] and [4-7] does — the RS103 shape pairwise checks miss.
+        ".*sid=[0-3]x",
+        ".*sid=[4-7]x",
+        ".*sid=[2-5]x",         # RS103: shadowed by the union of the two above
+    ]
+    # Benign string fillers of realistic lengths, distinct heads.
+    while len(rules) < 26:
+        length = rng.randrange(6, 12)
+        rules.append(f".*{_filler_word(rng, length)}")
+    # The explosive tail: overlap-separator dot-star rules whose segment
+    # reversal defeats safe decomposition (residual factor stays > 1), so
+    # their interaction cost is real at compile time — and they sit
+    # contiguously, as appended rules do.
+    while len(rules) < 32:
+        word = _filler_word(rng, 3)
+        rules.append(f".*{word}.*{word[::-1]}")
+    return RuleSet(
+        "R32",
+        "synthetic redundant family: duplicate/subsumed clusters + a "
+        "contiguous explosive tail (cross-rule analyzer fixture)",
+        tuple(rules),
+    )
+
+
 def _base_variant(p_set: RuleSet, base_name: str, n_restored: int) -> RuleSet:
     """The paper's 'p' sets restore commented-out rules from the originals
     (C7, S31, B217); the base variant is the p set minus the restored
@@ -305,6 +357,7 @@ RULESETS: dict[str, RuleSet] = {
         _S31P,
         _base_variant(_S31P, "S31", 9),
         _build_s34(),
+        _build_r32(),
     )
 }
 

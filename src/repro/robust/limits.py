@@ -20,6 +20,7 @@ and the benchmark harness:
  REPRO_COMPILE_ANALYZE   0 disables pre-compile triage / post-compile audit
  REPRO_COMPILE_PROVE     1 runs the equivalence prover on the shipped engine
  REPRO_COMPILE_ADVERSARY 1 runs the adversarial worst-case audit escort
+ REPRO_COMPILE_RULESET   1 runs the cross-rule interaction analysis escort
  REPRO_MAX_FLOWS         concurrent-flow cap of the assembler / flow table
  REPRO_MAX_FLOW_BYTES    per-flow buffered-byte cap
  REPRO_MAX_FLOW_SEGS     per-flow buffered-segment cap
@@ -82,6 +83,12 @@ class CompileLimits:
     (:mod:`repro.analyze.adversary`) over the shipped engine — static
     witness synthesis only, no replay — and records the ``AV`` findings
     as the report's ``adversary`` field.  Never fatal either.
+
+    ``ruleset`` (off by default) runs the cross-rule interaction analysis
+    (:mod:`repro.analyze.ruleset`) over the *input patterns* — duplicate /
+    subsumption / shadowing proofs with replay-confirmed witnesses plus
+    the interaction census — and records the ``RS`` findings as the
+    report's ``ruleset`` field.  Never fatal either.
     """
 
     budget_schedule: tuple[int, ...] = (DEFAULT_STATE_BUDGET,)
@@ -90,6 +97,7 @@ class CompileLimits:
     analyze: bool = True
     prove: bool = False
     adversary: bool = False
+    ruleset: bool = False
 
     def __post_init__(self) -> None:
         if not self.budget_schedule:
@@ -142,6 +150,7 @@ def compile_limits_from_env(environ: Mapping[str, str] | None = None) -> Compile
     analyze = environ.get("REPRO_COMPILE_ANALYZE", "1") not in ("0", "false", "no")
     prove = environ.get("REPRO_COMPILE_PROVE", "0") in ("1", "true", "yes")
     adversary = environ.get("REPRO_COMPILE_ADVERSARY", "0") in ("1", "true", "yes")
+    ruleset = environ.get("REPRO_COMPILE_RULESET", "0") in ("1", "true", "yes")
     return CompileLimits(
         budget_schedule=schedule,
         time_budget=time_budget,
@@ -149,6 +158,7 @@ def compile_limits_from_env(environ: Mapping[str, str] | None = None) -> Compile
         analyze=analyze,
         prove=prove,
         adversary=adversary,
+        ruleset=ruleset,
     )
 
 

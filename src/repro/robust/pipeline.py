@@ -403,6 +403,8 @@ class ResilientCompiler:
             self._prove(engine, patterns, report)
         if self.limits.adversary and engine is not None:
             self._adversary(engine, report)
+        if self.limits.ruleset:
+            self._ruleset(patterns, report)
         return CompileResult(engine, engine_name, report, patterns)
 
     def _pretriage(self, patterns: list[Pattern], report: CompileReport) -> None:
@@ -489,6 +491,33 @@ class ResilientCompiler:
             )
             report.adversary = adversary
         report.phases["adversary"] = time.perf_counter() - tick
+
+    def _ruleset(self, patterns: list[Pattern], report: CompileReport) -> None:
+        """Cross-rule interaction analysis of the input patterns; advisory.
+
+        Runs on the surviving (non-quarantined) patterns, not the engine:
+        duplicate / subsumption / shadowing proofs with replay-confirmed
+        witnesses land as RS findings on the report's ``ruleset`` field.
+        Like every escort, a crash is itself a finding — never fatal.
+        """
+        from ..analyze import AnalysisReport, analyze_ruleset
+        from ..analyze.report import ERROR
+
+        tick = time.perf_counter()
+        try:
+            report.ruleset = analyze_ruleset(
+                patterns, splitter_options=self.splitter_options
+            ).report
+        except Exception as exc:  # noqa: BLE001 - an analysis crash IS a finding
+            ruleset = AnalysisReport()
+            ruleset.add(
+                "RS100",
+                ERROR,
+                "ruleset",
+                f"cross-rule analysis crashed: {type(exc).__name__}: {exc}",
+            )
+            report.ruleset = ruleset
+        report.phases["ruleset"] = time.perf_counter() - tick
 
 
 def compile_resilient(

@@ -86,6 +86,11 @@ class CompileReport:
     # worst/clean cost ratios of every slow-path channel the artifact
     # carries (repro.analyze.adversary; witnesses stay with the CLI).
     adversary: "AnalysisReport | None" = None
+    # Cross-rule interaction analysis of the input patterns (when
+    # CompileLimits.ruleset is on): RS findings — duplicate / subsumed /
+    # shadowed rules with replay-confirmed witnesses, walk budgets, and
+    # the interaction census (repro.analyze.ruleset).
+    ruleset: "AnalysisReport | None" = None
 
     @property
     def ok(self) -> bool:
@@ -127,6 +132,7 @@ class CompileReport:
             "adversary": (
                 self.adversary.to_dict() if self.adversary is not None else None
             ),
+            "ruleset": self.ruleset.to_dict() if self.ruleset is not None else None,
         }
 
     def describe(self) -> list[str]:
@@ -184,6 +190,13 @@ class CompileReport:
                 f"warning(s), {counts['info']} info"
             )
             lines.extend(f"  {f.describe()}" for f in self.adversary)
+        if self.ruleset is not None:
+            counts = self.ruleset.counts()
+            lines.append(
+                f"ruleset: {counts['error']} error(s), {counts['warning']} "
+                f"warning(s), {counts['info']} info"
+            )
+            lines.extend(f"  {f.describe()}" for f in self.ruleset)
         if self.engine_name is None:
             lines.append("no engine constructed")
         else:

@@ -17,7 +17,7 @@ _REGISTRY = _REPO_ROOT / "docs" / "static-analysis.md"
 # Codes appear in source as string literals ("AV101") — pulling them
 # from quotes rather than AnalysisReport.add() call sites also catches
 # codes routed through helpers or emitted by the CLI wrappers.
-_CODE_IN_SOURCE = re.compile(r"""["']((?:BN|FB|AU|DS|EX|EQ|AV)\d{3})["']""")
+_CODE_IN_SOURCE = re.compile(r"""["']((?:BN|FB|AU|DS|EX|EQ|AV|RS)\d{3})["']""")
 
 
 def _emitted_codes() -> set[str]:
@@ -30,7 +30,7 @@ def _emitted_codes() -> set[str]:
 def test_analyzer_sources_emit_codes():
     codes = _emitted_codes()
     assert len(codes) > 20  # the suite emits dozens; zero means the regex broke
-    assert "AV101" in codes and "EQ101" in codes
+    assert "AV101" in codes and "EQ101" in codes and "RS101" in codes
 
 
 def test_every_emitted_code_has_a_registry_row():
@@ -38,7 +38,7 @@ def test_every_emitted_code_has_a_registry_row():
     documented = {
         match.group(1)
         for match in re.finditer(
-            r"^\|\s*((?:BN|FB|AU|DS|EX|EQ|AV)\d{3})\s*\|", registry, re.MULTILINE
+            r"^\|\s*((?:BN|FB|AU|DS|EX|EQ|AV|RS)\d{3})\s*\|", registry, re.MULTILINE
         )
     }
     undocumented = sorted(_emitted_codes() - documented)

@@ -1,0 +1,51 @@
+"""Hash-seed determinism of cross-rule analysis witnesses.
+
+An RS101/RS102 witness payload is the replayable proof a rule was safe
+to prune — CI archives it and operators replay it against future builds.
+The product-automaton walk, joint-alphabet representative choice, cluster
+ordering, and finding order must not leak Python's per-process hash
+randomization: two subprocesses under different ``PYTHONHASHSEED``
+values must print exactly the same analysis, byte for byte.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_SCRIPT = r"""
+import json
+
+from repro.analyze import analyze_ruleset, plan_shards
+from repro.bench.harness import patterns_for
+
+patterns = list(patterns_for("R32"))
+result = analyze_ruleset(patterns)
+print(json.dumps([w.to_dict() for w in result.witnesses], sort_keys=True))
+print(result.report.to_json())
+print(json.dumps(result.to_dict()["pairs"], sort_keys=True))
+print(json.dumps(plan_shards(patterns, 4).to_dict(), sort_keys=True))
+"""
+
+
+def _render(seed: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        text=True,
+        env={
+            "PYTHONHASHSEED": seed,
+            "PYTHONPATH": str(_REPO_ROOT / "src"),
+            "PATH": "/usr/bin:/bin",
+        },
+        cwd=str(_REPO_ROOT),
+        check=True,
+    )
+    return result.stdout
+
+
+def test_ruleset_analysis_is_hash_seed_independent():
+    rendered = _render("0")
+    assert "payload_hex" in rendered and "RS101" in rendered
+    assert rendered == _render("1")

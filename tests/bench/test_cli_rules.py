@@ -1,0 +1,55 @@
+"""CLI contract of the ``rules`` cross-rule analysis command."""
+
+import json
+
+from repro.bench.cli import main
+
+
+class TestRulesCommand:
+    def test_clean_ruleset_exits_zero(self, capsys):
+        assert main(["rules", "C8"]) == 0
+        out = capsys.readouterr().out
+        assert "C8" in out
+
+    def test_redundant_fixture_reports_findings(self, capsys):
+        assert main(["rules", "R32"]) == 0  # warnings do not gate by default
+        out = capsys.readouterr().out
+        assert "RS101" in out and "RS102" in out and "RS103" in out
+
+    def test_fail_on_warning_gates(self, capsys):
+        assert main(["rules", "R32", "--fail-on", "warning"]) == 1
+
+    def test_unknown_target_exits_two(self, capsys):
+        assert main(["rules", "no-such-set"]) == 2
+
+    def test_json_output_shape(self, capsys):
+        assert main(["rules", "R32", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        doc = payload["R32"]
+        assert doc["report"]["counts"]["error"] == 0
+        assert len(doc["witnesses"]) == 6
+        assert all(w["confirmed"] for w in doc["witnesses"])
+
+    def test_json_output_is_deterministic(self, capsys):
+        main(["rules", "R32", "--json"])
+        first = capsys.readouterr().out
+        main(["rules", "R32", "--json"])
+        assert capsys.readouterr().out == first
+
+    def test_plan_section(self, capsys):
+        assert main(["rules", "R32", "--plan", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        plans = payload["R32"]["plans"]
+        assert plans["interaction"]["peak"] < plans["contiguous"]["peak"]
+
+    def test_prune_section_verifies_stream_equivalence(self, capsys):
+        assert main(["rules", "R32", "--prune", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        prune = payload["R32"]["prune"]
+        assert prune["ok"] is True
+        assert prune["rules_in"] == 32 and prune["rules_kept"] == 27
+
+    def test_lint_all_covers_the_redundant_fixture(self, capsys):
+        assert main(["lint", "R32"]) == 0  # RS findings are warnings, not errors
+        out = capsys.readouterr().out
+        assert "RS102" in out

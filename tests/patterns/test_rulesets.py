@@ -15,8 +15,9 @@ PAPER_COUNTS = {
 
 class TestInventory:
     def test_names(self):
-        # The evaluation matrix plus the base (non-p) variants.
-        assert set(ruleset_names()) | {"B217", "C7", "S31"} == set(RULESETS)
+        # The evaluation matrix plus the base (non-p) variants and the
+        # synthetic redundant fixture for the cross-rule analyzer.
+        assert set(ruleset_names()) | {"B217", "C7", "S31", "R32"} == set(RULESETS)
 
     def test_counts_match_paper(self):
         for name, count in PAPER_COUNTS.items():
